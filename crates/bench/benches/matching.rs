@@ -1,0 +1,47 @@
+//! Criterion bench for E6/E7: classifier training, schema matching and
+//! DesignAdvisor ranking over generated universities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use revere_corpus::{Corpus, CorpusEntry, DesignAdvisor, MatchingAdvisor, MultiStrategyClassifier};
+use revere_storage::Catalog;
+use revere_workload::UniversityGenerator;
+
+fn corpus_of(n: usize) -> (Corpus, Vec<revere_workload::University>) {
+    let gen = UniversityGenerator { seed: 6, rename_prob: 0.6, rows_per_relation: 10, ..Default::default() };
+    let mut us = gen.generate(n + 2);
+    let test = us.split_off(n);
+    let mut corpus = Corpus::new();
+    for u in &us {
+        let mut e = CorpusEntry::schema_only(u.schema.clone());
+        e.data = u.data.clone();
+        e.labels = u.truth.attributes.clone().into_iter().collect();
+        corpus.add(e);
+    }
+    (corpus, test)
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corpus_tools");
+    group.sample_size(10);
+    for n in [4usize, 12] {
+        let (corpus, test) = corpus_of(n);
+        group.bench_with_input(BenchmarkId::new("train_classifier", n), &corpus, |b, corp| {
+            b.iter(|| MultiStrategyClassifier::train(std::hint::black_box(corp)))
+        });
+        let clf = MultiStrategyClassifier::train(&corpus);
+        let matcher = MatchingAdvisor::new(clf.clone());
+        let (a, bb) = (&test[0], &test[1]);
+        group.bench_with_input(BenchmarkId::new("match_schema_pair", n), &matcher, |b, m| {
+            b.iter(|| m.match_schemas(&a.schema, &a.data, &bb.schema, &bb.data))
+        });
+        let advisor = DesignAdvisor::new(&corpus, matcher);
+        let fragment = &a.schema;
+        group.bench_with_input(BenchmarkId::new("design_advisor_rank", n), &advisor, |b, adv| {
+            b.iter(|| adv.rank(&corpus, fragment, &Catalog::new()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

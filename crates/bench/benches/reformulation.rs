@@ -1,0 +1,45 @@
+//! Criterion bench for E2: reformulation time vs chain length, with the
+//! pruning heuristics on and off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use revere_pdms::{ReformulateOptions, Reformulator};
+use revere_query::{parse_query, GlavMapping};
+
+fn chain_mappings(k: usize) -> Vec<GlavMapping> {
+    (1..k)
+        .map(|i| {
+            GlavMapping::parse(
+                format!("m{i}"),
+                format!("P{}", i - 1),
+                format!("P{i}"),
+                &format!(
+                    "m(T, E) :- P{}.course(T, E) ==> m(T, E) :- P{i}.course(T, E)",
+                    i - 1
+                ),
+            )
+            .expect("mapping parses")
+        })
+        .collect()
+}
+
+fn bench_reformulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reformulation_chain");
+    for k in [2usize, 4, 6, 8] {
+        let mappings = chain_mappings(k);
+        let q = parse_query(&format!("q(T, E) :- P{}.course(T, E)", k - 1)).unwrap();
+        for pruning in [true, false] {
+            let label = if pruning { "pruned" } else { "unpruned" };
+            let reformulator = Reformulator::new(
+                mappings.clone(),
+                ReformulateOptions { pruning, ..Default::default() },
+            );
+            group.bench_with_input(BenchmarkId::new(label, k), &q, |b, q| {
+                b.iter(|| reformulator.reformulate(std::hint::black_box(q)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reformulation);
+criterion_main!(benches);

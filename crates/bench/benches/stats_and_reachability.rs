@@ -1,0 +1,59 @@
+//! Criterion bench for E1/E9: full-network query answering across
+//! topologies, and corpus statistics computation scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use revere_bench::fixtures::course_network;
+use revere_corpus::{Corpus, CorpusEntry, CorpusStats};
+use revere_workload::{TopologyKind, UniversityGenerator};
+
+fn bench_reachability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pdms_query");
+    group.sample_size(10);
+    for n in [4usize, 8, 16] {
+        for (kind, label) in [
+            (TopologyKind::Chain, "chain"),
+            (TopologyKind::Star, "star"),
+            (TopologyKind::Random { extra: 2 }, "random"),
+        ] {
+            let net = course_network(kind, n, 5, 7);
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &net,
+                |b, net| {
+                    b.iter(|| {
+                        net.query_str("P0", "q(T, E) :- P0.course(T, E)")
+                            .expect("query runs")
+                            .answers
+                            .len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corpus_stats");
+    group.sample_size(10);
+    for n in [20usize, 100] {
+        let gen = UniversityGenerator { seed: 9, rows_per_relation: 5, ..Default::default() };
+        let mut corpus = Corpus::new();
+        for u in gen.generate(n) {
+            let mut e = CorpusEntry::schema_only(u.schema.clone());
+            e.data = u.data.clone();
+            corpus.add(e);
+        }
+        group.bench_with_input(BenchmarkId::new("compute", n), &corpus, |b, corp| {
+            b.iter(|| CorpusStats::compute(std::hint::black_box(corp)))
+        });
+        let stats = CorpusStats::compute(&corpus);
+        group.bench_with_input(BenchmarkId::new("similar_names", n), &stats, |b, s| {
+            b.iter(|| s.similar_names("instructor", 10))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reachability, bench_stats);
+criterion_main!(benches);

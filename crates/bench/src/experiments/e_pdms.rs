@@ -1,0 +1,207 @@
+//! E1–E3: the PDMS experiments.
+
+use crate::fixtures::course_network;
+use crate::table::{ms, Table};
+use revere_pdms::xmlmap::figure4_mapping;
+use revere_pdms::{ReformulateOptions, Reformulator};
+use revere_query::{parse_query, GlavMapping};
+use revere_workload::{Topology, TopologyKind};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// E1 — Fig 2 / §3: connectivity suffices for full reach, with a linear
+/// number of mappings (vs quadratic pairwise).
+pub fn e1_reachability() -> Table {
+    let mut t = Table::new(
+        "E1: PDMS reachability & mapping effort (Fig 2, §3)",
+        &[
+            "peers", "topology", "mappings", "pairwise", "mediated", "diameter",
+            "peers reached", "answers", "messages",
+        ],
+    );
+    for &n in &[4usize, 8, 16, 32] {
+        for (kind, label) in [
+            (TopologyKind::Chain, "chain"),
+            (TopologyKind::Star, "star"),
+            (TopologyKind::Tree, "tree"),
+            (TopologyKind::Random { extra: 2 }, "random+2"),
+        ] {
+            let topology = Topology::generate(kind, n, 7);
+            let net = crate::fixtures::network_from_topology(&topology, 1);
+            let out = net
+                .query_str("P0", "q(T, E) :- P0.course(T, E)")
+                .expect("query runs");
+            t.row(vec![
+                n.to_string(),
+                label.to_string(),
+                topology.mapping_count().to_string(),
+                topology.pairwise_mapping_count().to_string(),
+                topology.mediated_mapping_count().to_string(),
+                topology.diameter().map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
+                out.reformulation.peers_reached.len().to_string(),
+                out.answers.len().to_string(),
+                out.messages.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// E2 — §3.1.1: reformulation over the transitive closure; effect of the
+/// pruning heuristics on chains with redundant shortcut edges.
+pub fn e2_reformulation_pruning() -> Table {
+    let mut t = Table::new(
+        "E2: reformulation over the transitive closure; pruning ablation (§3.1.1)",
+        &[
+            "chain length", "extra edges", "pruning", "disjuncts", "nodes expanded",
+            "candidates", "pruned(containment)", "pruned(visited)", "time ms",
+        ],
+    );
+    for &k in &[2usize, 4, 6, 8] {
+        for &extra in &[0usize, 2] {
+            // A chain of k peers plus `extra` redundant shortcut mappings.
+            let mut mappings: Vec<GlavMapping> = (1..k)
+                .map(|i| {
+                    GlavMapping::parse(
+                        format!("m{i}"),
+                        format!("P{}", i - 1),
+                        format!("P{i}"),
+                        &format!(
+                            "m(T, E) :- P{}.course(T, E) ==> m(T, E) :- P{i}.course(T, E)",
+                            i - 1
+                        ),
+                    )
+                    .expect("chain mapping parses")
+                })
+                .collect();
+            for e in 0..extra.min(k.saturating_sub(2)) {
+                mappings.push(
+                    GlavMapping::parse(
+                        format!("short{e}"),
+                        format!("P{e}"),
+                        format!("P{}", e + 2),
+                        &format!(
+                            "m(T, E) :- P{e}.course(T, E) ==> m(T, E) :- P{}.course(T, E)",
+                            e + 2
+                        ),
+                    )
+                    .expect("shortcut mapping parses"),
+                );
+            }
+            let q = parse_query(&format!("q(T, E) :- P{}.course(T, E)", k - 1)).unwrap();
+            for pruning in [true, false] {
+                let reformulator = Reformulator::new(
+                    mappings.clone(),
+                    ReformulateOptions { pruning, ..Default::default() },
+                );
+                let start = Instant::now();
+                let res = reformulator.reformulate(&q);
+                let elapsed = start.elapsed();
+                t.row(vec![
+                    k.to_string(),
+                    extra.to_string(),
+                    if pruning { "on" } else { "off" }.to_string(),
+                    res.union.len().to_string(),
+                    res.nodes_expanded.to_string(),
+                    res.candidates_generated.to_string(),
+                    res.pruned_by_containment.to_string(),
+                    res.pruned_by_visited.to_string(),
+                    ms(elapsed),
+                ]);
+            }
+        }
+    }
+    t
+}
+
+/// E3 — Figs 3+4: the XML mapping template end to end, scaling with
+/// source size.
+pub fn e3_xml_mapping() -> Table {
+    let mut t = Table::new(
+        "E3: Figure 4 Berkeley->MIT XML mapping (Figs 3-4)",
+        &["depts", "courses", "output subjects", "valid vs MIT DTD", "time ms"],
+    );
+    let mapping = figure4_mapping();
+    for &depts in &[1usize, 8, 32, 128] {
+        let courses_per = 4;
+        let mut src = String::from("<schedule><college><name>Berkeley</name>");
+        for d in 0..depts {
+            src.push_str(&format!("<dept><name>D{d}</name>"));
+            for c in 0..courses_per {
+                src.push_str(&format!(
+                    "<course><title>T{d}_{c}</title><size>{}</size></course>",
+                    10 + c
+                ));
+            }
+            src.push_str("</dept>");
+        }
+        src.push_str("</college></schedule>");
+        let doc = revere_xml::parse(&src).expect("generated source parses");
+        revere_xml::dtd::berkeley_schema().validate(&doc).expect("source valid");
+        let start = Instant::now();
+        let out = mapping
+            .apply(&HashMap::from([("Berkeley.xml".to_string(), doc)]))
+            .expect("mapping applies");
+        let elapsed = start.elapsed();
+        let subjects = revere_xml::Path::parse("//subject")
+            .unwrap()
+            .eval(&out, out.root())
+            .len();
+        let valid = revere_xml::dtd::mit_schema().validate(&out).is_ok();
+        t.row(vec![
+            depts.to_string(),
+            (depts * courses_per).to_string(),
+            subjects.to_string(),
+            valid.to_string(),
+            ms(elapsed),
+        ]);
+    }
+    t
+}
+
+/// Reachability checks used by the reachability bench.
+pub fn query_full_reach(n: usize, kind: TopologyKind) -> usize {
+    let net = course_network(kind, n, 1, 7);
+    net.query_str("P0", "q(T, E) :- P0.course(T, E)")
+        .map(|o| o.answers.len())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_full_reach_everywhere() {
+        let t = e1_reachability();
+        // peers reached (col 6) always equals peers (col 0).
+        for r in &t.rows {
+            assert_eq!(r[0], r[6], "{r:?}");
+        }
+    }
+
+    #[test]
+    fn e2_pruning_never_increases_work() {
+        let t = e2_reformulation_pruning();
+        // Rows come in on/off pairs; compare nodes expanded.
+        for pair in t.rows.chunks(2) {
+            let on: usize = pair[0][4].parse().unwrap();
+            let off: usize = pair[1][4].parse().unwrap();
+            assert!(on <= off, "pruning expanded more nodes: {pair:?}");
+            // Same number of disjuncts reached (completeness preserved)
+            // for chains without shortcuts.
+            if pair[0][1] == "0" {
+                assert_eq!(pair[0][3], pair[1][3], "{pair:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn e3_output_counts_match_input() {
+        let t = e3_xml_mapping();
+        for r in &t.rows {
+            assert_eq!(r[1], r[2], "subjects != courses: {r:?}");
+            assert_eq!(r[3], "true");
+        }
+    }
+}

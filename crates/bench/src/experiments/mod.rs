@@ -1,0 +1,44 @@
+//! The E1–E10 experiments (see DESIGN.md §2 for the paper anchors).
+
+pub mod e_corpus;
+pub mod e_mangrove;
+pub mod e_pdms;
+pub mod e_placement;
+pub mod e_views;
+
+use crate::table::Table;
+
+/// Run every experiment in order.
+pub fn run_all() -> Vec<Table> {
+    vec![
+        e_pdms::e1_reachability(),
+        e_pdms::e2_reformulation_pruning(),
+        e_pdms::e3_xml_mapping(),
+        e_mangrove::e4_instant_gratification(),
+        e_mangrove::e5_cleaning_policies(),
+        e_corpus::e6_matching_accuracy(),
+        e_corpus::e7_design_advisor(),
+        e_views::e8_updategrams(),
+        e_corpus::e9_stats_scaling(),
+        e_corpus::e10_join_effort(),
+        e_placement::e11_placement(),
+    ]
+}
+
+/// Run one experiment by id (`"E1"`..`"E10"`).
+pub fn run_one(id: &str) -> Option<Table> {
+    match id.to_ascii_uppercase().as_str() {
+        "E1" => Some(e_pdms::e1_reachability()),
+        "E2" => Some(e_pdms::e2_reformulation_pruning()),
+        "E3" => Some(e_pdms::e3_xml_mapping()),
+        "E4" => Some(e_mangrove::e4_instant_gratification()),
+        "E5" => Some(e_mangrove::e5_cleaning_policies()),
+        "E6" => Some(e_corpus::e6_matching_accuracy()),
+        "E7" => Some(e_corpus::e7_design_advisor()),
+        "E8" => Some(e_views::e8_updategrams()),
+        "E9" => Some(e_corpus::e9_stats_scaling()),
+        "E10" => Some(e_corpus::e10_join_effort()),
+        "E11" => Some(e_placement::e11_placement()),
+        _ => None,
+    }
+}

@@ -1,0 +1,84 @@
+//! Shared fixtures for experiments and benches.
+
+use revere_pdms::{PdmsNetwork, Peer};
+use revere_query::GlavMapping;
+use revere_storage::{Attribute, RelSchema, Relation, Value};
+use revere_workload::{Topology, TopologyKind};
+
+/// Build a PDMS over `topology` where every peer `Pi` stores one
+/// `course(title, enrollment)` relation with `rows_per_peer` rows, and
+/// every topology edge is a GLAV mapping between the neighbors' course
+/// relations.
+pub fn course_network(kind: TopologyKind, n: usize, rows_per_peer: usize, seed: u64) -> PdmsNetwork {
+    let topology = Topology::generate(kind, n, seed);
+    network_from_topology(&topology, rows_per_peer)
+}
+
+/// Same, from an explicit topology.
+pub fn network_from_topology(topology: &Topology, rows_per_peer: usize) -> PdmsNetwork {
+    let mut net = PdmsNetwork::new();
+    // The transitive closure must span the whole graph: bound the
+    // rule-goal depth by the topology size, not the default.
+    net.options.max_depth = topology.n.max(8);
+    for i in 0..topology.n {
+        let mut p = Peer::new(format!("P{i}"));
+        let mut r = Relation::new(RelSchema::new(
+            "course",
+            vec![Attribute::text("title"), Attribute::int("enrollment")],
+        ));
+        for k in 0..rows_per_peer {
+            r.insert(vec![
+                Value::str(format!("Course {k} at P{i}")),
+                Value::Int((10 + (i * 7 + k * 13) % 300) as i64),
+            ]);
+        }
+        p.add_relation(r);
+        net.add_peer(p);
+    }
+    for (idx, (a, b)) in topology.edges.iter().enumerate() {
+        net.add_mapping(
+            GlavMapping::parse(
+                format!("m{idx}"),
+                format!("P{a}"),
+                format!("P{b}"),
+                &format!("m(T, E) :- P{a}.course(T, E) ==> m(T, E) :- P{b}.course(T, E)"),
+            )
+            .expect("fixture mapping parses"),
+        );
+    }
+    net
+}
+
+/// A big binary relation `r(a, b)` for view-maintenance experiments.
+pub fn big_relation(name: &str, rows: usize, domain: i64) -> Relation {
+    let mut r = Relation::new(RelSchema::new(
+        name,
+        vec![Attribute::int("a"), Attribute::int("b")],
+    ));
+    for i in 0..rows {
+        r.insert(vec![
+            Value::Int((i as i64 * 31) % domain),
+            Value::Int((i as i64 * 17 + 5) % domain),
+        ]);
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn course_network_is_queryable() {
+        let net = course_network(TopologyKind::Chain, 3, 2, 0);
+        let out = net.query_str("P2", "q(T, E) :- P2.course(T, E)").unwrap();
+        assert_eq!(out.answers.len(), 6);
+    }
+
+    #[test]
+    fn big_relation_shape() {
+        let r = big_relation("r", 100, 37);
+        assert_eq!(r.len(), 100);
+        assert!(r.iter().all(|t| t[0].as_int().unwrap() < 37));
+    }
+}

@@ -1,0 +1,16 @@
+//! Experiment harness for the REVERE reproduction.
+//!
+//! The paper is a vision paper with no evaluation tables; DESIGN.md §2
+//! derives ten experiments (E1–E10) from its quantifiable claims. Each
+//! experiment here regenerates one table of `EXPERIMENTS.md`; the `report`
+//! binary runs them all. Criterion benches under `benches/` time the
+//! hot paths the experiments exercise.
+//!
+//! Everything is seeded; `report` output is reproducible run to run
+//! (timings vary, shapes do not).
+
+pub mod experiments;
+pub mod fixtures;
+pub mod table;
+
+pub use table::Table;

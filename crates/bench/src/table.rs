@@ -1,0 +1,106 @@
+//! ASCII/markdown result tables for the `report` binary.
+
+use std::fmt;
+
+/// A result table: a title, column headers and string rows.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment id + description, e.g. `E1: PDMS reachability`.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows (each as long as `headers`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch in {}", self.title);
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render as a GitHub-flavored markdown table (for EXPERIMENTS.md).
+    pub fn markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.headers.len())));
+        for r in &self.rows {
+            out.push_str(&format!("| {} |\n", r.join(" | ")));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, " {:width$} |", c, width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        let total: usize = widths.iter().map(|w| w + 3).sum::<usize>() + 1;
+        writeln!(f, "{}", "-".repeat(total))?;
+        for r in &self.rows {
+            line(f, r)?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format a duration in milliseconds with 2 decimals.
+pub fn ms(d: std::time::Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_ascii_and_markdown() {
+        let mut t = Table::new("E0: smoke", &["n", "value"]);
+        t.row(vec!["1".into(), "a".into()]);
+        t.row(vec!["2".into(), "bb".into()]);
+        let ascii = t.to_string();
+        assert!(ascii.contains("== E0: smoke =="));
+        assert!(ascii.contains("| 2 | bb"));
+        let md = t.markdown();
+        assert!(md.contains("| n | value |"));
+        assert!(md.contains("|---|---|"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        Table::new("t", &["a", "b"]).row(vec!["only".into()]);
+    }
+}

@@ -1,0 +1,372 @@
+//! DesignAdvisor: corpus-assisted schema authoring (§4.3.1).
+//!
+//! "It is given a fragment of a database, i.e., a pair (S, D), where S is
+//! a partial schema and D is a (possibly empty) set of data ... The tool
+//! returns a ranked set of schemas S′ ... in decreasing order of their
+//! similarity: sim(S′, (S,D)) = α·fit(S′, S, D) + β·preference(S′)",
+//! where fit "is currently defined to be the ratio between the total
+//! number of mappings between S′ and S and the total number of elements of
+//! S′ and S", and preference covers "whether S′ is commonly used ... or is
+//! relatively concise and minimal".
+//!
+//! The advisor also "monitors the coordinator's actions" and produces
+//! refactoring advice — the paper's worked example being that "TA
+//! information has been modeled in a table separate from the course table"
+//! at most other universities, which here falls out of the corpus'
+//! `usual_home` statistic.
+
+use crate::matcher::MatchingAdvisor;
+use crate::stats::CorpusStats;
+use crate::text::{stem, tokenize};
+use crate::corpus::Corpus;
+use revere_storage::{Catalog, DbSchema};
+
+/// One ranked corpus schema.
+#[derive(Debug, Clone)]
+pub struct RankedSchema {
+    /// Index into the corpus entries.
+    pub corpus_index: usize,
+    /// Schema name.
+    pub name: String,
+    /// The combined similarity score.
+    pub sim: f64,
+    /// The fit component.
+    pub fit: f64,
+    /// The preference component.
+    pub preference: f64,
+    /// Number of element correspondences found between fragment and schema.
+    pub mapped_elements: usize,
+}
+
+/// A piece of design advice.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchemaAdvice {
+    /// Attributes the top-ranked schemas have for this relation that the
+    /// fragment lacks (the auto-complete of §4.3).
+    MissingAttributes {
+        /// The fragment relation.
+        relation: String,
+        /// Suggested attribute names (from corpus schemas).
+        suggestions: Vec<String>,
+    },
+    /// An attribute usually modeled in a different relation — the paper's
+    /// TA example.
+    AttributeUsuallyElsewhere {
+        /// The fragment relation holding the attribute.
+        relation: String,
+        /// The attribute.
+        attribute: String,
+        /// The relation-name term it usually lives under in the corpus.
+        usual_relation: String,
+        /// How many corpus schemas model it there.
+        support: usize,
+    },
+}
+
+/// The advisor: corpus + statistics + matcher.
+#[derive(Debug, Clone)]
+pub struct DesignAdvisor {
+    /// Weight α on fit.
+    pub alpha: f64,
+    /// Weight β on preference.
+    pub beta: f64,
+    matcher: MatchingAdvisor,
+    stats: CorpusStats,
+    usage: Vec<usize>,
+    element_counts: Vec<usize>,
+    names: Vec<String>,
+}
+
+impl DesignAdvisor {
+    /// Build from a corpus and a trained matcher.
+    pub fn new(corpus: &Corpus, matcher: MatchingAdvisor) -> DesignAdvisor {
+        DesignAdvisor {
+            alpha: 0.8,
+            beta: 0.2,
+            matcher,
+            stats: CorpusStats::compute(corpus),
+            usage: corpus.entries.iter().map(|e| e.usage_count).collect(),
+            element_counts: corpus.entries.iter().map(|e| e.schema.element_count()).collect(),
+            names: corpus.entries.iter().map(|e| e.schema.name.clone()).collect(),
+        }
+    }
+
+    /// Borrow the computed corpus statistics.
+    pub fn stats(&self) -> &CorpusStats {
+        &self.stats
+    }
+
+    /// Rank corpus schemas for a fragment `(S, D)`.
+    pub fn rank(&self, corpus: &Corpus, fragment: &DbSchema, data: &Catalog) -> Vec<RankedSchema> {
+        let max_usage = self.usage.iter().copied().max().unwrap_or(1).max(1) as f64;
+        let mut out: Vec<RankedSchema> = corpus
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, entry)| {
+                let corr = self
+                    .matcher
+                    .match_schemas(fragment, data, &entry.schema, &entry.data);
+                let mapped = corr.len();
+                // fit: mappings / total elements of both (the paper's ratio,
+                // ×2 so a perfect 1:1 cover of identical schemas scores
+                // 1.0), with each mapping weighted by the matcher's
+                // confidence so a handful of dubious matches to a tiny
+                // schema does not out-rank solid matches to a real one.
+                let mapped_confidence: f64 = corr.iter().map(|c| c.confidence).sum();
+                let total = fragment.element_count() + self.element_counts[i];
+                let fit = if total == 0 { 0.0 } else { 2.0 * mapped_confidence / total as f64 };
+                // preference: usage popularity + conciseness.
+                let popularity = self.usage[i] as f64 / max_usage;
+                let conciseness = 1.0 / (1.0 + self.element_counts[i] as f64 / 20.0);
+                let preference = 0.7 * popularity + 0.3 * conciseness;
+                RankedSchema {
+                    corpus_index: i,
+                    name: self.names[i].clone(),
+                    sim: self.alpha * fit + self.beta * preference,
+                    fit,
+                    preference,
+                    mapped_elements: mapped,
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| b.sim.total_cmp(&a.sim).then_with(|| a.corpus_index.cmp(&b.corpus_index)));
+        out
+    }
+
+    /// Auto-complete + refactoring advice for a fragment, using the top
+    /// `k` ranked schemas.
+    pub fn advise(
+        &self,
+        corpus: &Corpus,
+        fragment: &DbSchema,
+        data: &Catalog,
+        k: usize,
+    ) -> Vec<SchemaAdvice> {
+        let ranking = self.rank(corpus, fragment, data);
+        let mut advice = Vec::new();
+
+        // Missing attributes: for each fragment relation, see what the
+        // top-k schemas' matched relations have that the fragment lacks.
+        for frag_rel in &fragment.relations {
+            let mut suggestions: Vec<String> = Vec::new();
+            for ranked in ranking.iter().take(k) {
+                let entry = &corpus.entries[ranked.corpus_index];
+                let corr =
+                    self.matcher
+                        .match_schemas(fragment, data, &entry.schema, &entry.data);
+                // Which corpus relation does this fragment relation map to?
+                let mut target_rel: Option<&str> = None;
+                for c in &corr {
+                    if c.left.0 == frag_rel.name {
+                        target_rel = Some(
+                            entry
+                                .schema
+                                .relations
+                                .iter()
+                                .find(|r| r.name == c.right.0)
+                                .map(|r| r.name.as_str())
+                                .unwrap_or(""),
+                        );
+                        break;
+                    }
+                }
+                let Some(target_rel) = target_rel else { continue };
+                let Some(target) = entry.schema.relation(target_rel) else { continue };
+                let mapped_right: Vec<&str> = corr
+                    .iter()
+                    .filter(|c| c.left.0 == frag_rel.name)
+                    .map(|c| c.right.1.as_str())
+                    .collect();
+                for attr in target.attr_names() {
+                    if !mapped_right.contains(&attr)
+                        && !suggestions.iter().any(|s| s == attr)
+                        && frag_rel.position(attr).is_none()
+                    {
+                        suggestions.push(attr.to_string());
+                    }
+                }
+            }
+            if !suggestions.is_empty() {
+                advice.push(SchemaAdvice::MissingAttributes {
+                    relation: frag_rel.name.clone(),
+                    suggestions,
+                });
+            }
+        }
+
+        // "Usually modeled elsewhere": compare each attribute's home
+        // relation against corpus statistics.
+        for frag_rel in &fragment.relations {
+            let rel_term = tokenize(&frag_rel.name)
+                .first()
+                .map(|t| stem(t))
+                .unwrap_or_default();
+            for attr in frag_rel.attr_names() {
+                for tok in tokenize(attr) {
+                    if let Some((usual, support)) = self.stats.usual_home(&tok) {
+                        if usual != rel_term && support >= 2 {
+                            advice.push(SchemaAdvice::AttributeUsuallyElsewhere {
+                                relation: frag_rel.name.clone(),
+                                attribute: attr.to_string(),
+                                usual_relation: usual,
+                                support,
+                            });
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        advice
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifiers::MultiStrategyClassifier;
+    use crate::corpus::CorpusEntry;
+    use revere_storage::{RelSchema, Relation, Value};
+
+    /// Corpus: several course schemas; most keep TA info in its own table.
+    fn corpus() -> Corpus {
+        let mut c = Corpus::new();
+        for i in 0..4 {
+            let schema = DbSchema::new(format!("U{i}"))
+                .with(RelSchema::text("course", &["title", "instructor", "time", "room"]))
+                .with(RelSchema::text("ta", &["ta_name", "contact_phone"]));
+            let mut e = CorpusEntry::schema_only(schema);
+            e.usage_count = 4 - i; // U0 most popular
+            let mut r = Relation::new(RelSchema::text(
+                "course",
+                &["title", "instructor", "time", "room"],
+            ));
+            for k in 0..5 {
+                r.insert(vec![
+                    Value::str(format!("Topics {k}")),
+                    Value::str("Prof Grace Hopper"),
+                    Value::str("MWF 10:30-11:20"),
+                    Value::str("Sieg 134"),
+                ]);
+            }
+            e.data.register(r);
+            for (attr, canon) in [
+                ("title", "title"),
+                ("instructor", "instructor"),
+                ("time", "time"),
+                ("room", "room"),
+            ] {
+                e.labels.insert(
+                    ("course".into(), attr.into()),
+                    ("course".into(), canon.into()),
+                );
+            }
+            for (attr, canon) in [("ta_name", "name"), ("contact_phone", "phone")] {
+                e.labels.insert(("ta".into(), attr.into()), ("ta".into(), canon.into()));
+            }
+            c.add(e);
+        }
+        // One unrelated schema (publications) to rank below.
+        c.add(CorpusEntry::schema_only(
+            DbSchema::new("Pubs").with(RelSchema::text("paper", &["doi", "venue", "pages"])),
+        ));
+        c
+    }
+
+    fn advisor(c: &Corpus) -> DesignAdvisor {
+        DesignAdvisor::new(c, MatchingAdvisor::new(MultiStrategyClassifier::train(c)))
+    }
+
+    fn fragment() -> (DbSchema, Catalog) {
+        let schema = DbSchema::new("UW").with(RelSchema::text("class", &["name", "teacher"]));
+        let mut cat = Catalog::new();
+        let mut r = Relation::new(RelSchema::text("class", &["name", "teacher"]));
+        for k in 0..5 {
+            r.insert(vec![
+                Value::str(format!("Intro {k}")),
+                Value::str("Prof Ada Lovelace"),
+            ]);
+        }
+        cat.register(r);
+        (schema, cat)
+    }
+
+    #[test]
+    fn ranks_domain_schemas_above_unrelated() {
+        let c = corpus();
+        let a = advisor(&c);
+        let (frag, data) = fragment();
+        let ranking = a.rank(&c, &frag, &data);
+        assert_eq!(ranking.len(), 5);
+        assert!(ranking[0].name.starts_with('U'), "{ranking:?}");
+        let pubs_rank = ranking.iter().position(|r| r.name == "Pubs").unwrap();
+        assert!(pubs_rank >= 3, "unrelated schema ranked {pubs_rank}");
+        assert!(ranking[0].sim >= ranking[1].sim);
+    }
+
+    #[test]
+    fn popularity_breaks_fit_ties() {
+        let c = corpus();
+        let a = advisor(&c);
+        let (frag, data) = fragment();
+        let ranking = a.rank(&c, &frag, &data);
+        // U0..U3 have identical schemas; popularity (usage_count) must
+        // order U0 first among them.
+        let course_ranks: Vec<&RankedSchema> =
+            ranking.iter().filter(|r| r.name.starts_with('U')).collect();
+        assert_eq!(course_ranks[0].name, "U0");
+    }
+
+    #[test]
+    fn suggests_missing_attributes() {
+        let c = corpus();
+        let a = advisor(&c);
+        let (frag, data) = fragment();
+        let advice = a.advise(&c, &frag, &data, 2);
+        let missing = advice.iter().find_map(|adv| match adv {
+            SchemaAdvice::MissingAttributes { relation, suggestions } if relation == "class" => {
+                Some(suggestions.clone())
+            }
+            _ => None,
+        });
+        let missing = missing.expect("missing-attribute advice for class");
+        assert!(
+            missing.iter().any(|s| s == "time") && missing.iter().any(|s| s == "room"),
+            "{missing:?}"
+        );
+    }
+
+    #[test]
+    fn flags_attribute_usually_elsewhere() {
+        // Fragment models the TA phone inside the course table.
+        let c = corpus();
+        let a = advisor(&c);
+        let schema = DbSchema::new("UW").with(RelSchema::text(
+            "course",
+            &["title", "contact_phone"],
+        ));
+        let advice = a.advise(&c, &schema, &Catalog::new(), 2);
+        assert!(
+            advice.iter().any(|adv| matches!(
+                adv,
+                SchemaAdvice::AttributeUsuallyElsewhere { attribute, usual_relation, .. }
+                    if attribute == "contact_phone" && usual_relation == "ta"
+            )),
+            "{advice:?}"
+        );
+    }
+
+    #[test]
+    fn alpha_beta_weights_shift_ranking() {
+        let c = corpus();
+        let mut a = advisor(&c);
+        let (frag, data) = fragment();
+        a.alpha = 0.0;
+        a.beta = 1.0;
+        let pref_only = a.rank(&c, &frag, &data);
+        // With fit ignored, the most popular schema wins outright.
+        assert_eq!(pref_only[0].name, "U0");
+        assert!(pref_only[0].fit <= 1.0);
+    }
+}

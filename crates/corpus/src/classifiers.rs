@@ -1,0 +1,547 @@
+//! The LSD-style multi-strategy learners (§4.3.2, \[13\]).
+//!
+//! "The system uses a multi-strategy learning method that can employ
+//! multiple learners, thereby having the ability to learn from different
+//! kinds of information in the input (e.g., values of the data instances,
+//! names of attributes, proximity of attributes, structure of the schema,
+//! etc)." Three base learners are implemented — name, value (a naive
+//! Bayes over surface features of data values) and structure (sibling
+//! context) — plus a meta-learner whose per-learner weights are fitted on
+//! the training data, mirroring LSD's stacking.
+//!
+//! "The classifiers computed by LSD actually encode a statistic for a
+//! composite structure that includes the set of values in a column and the
+//! column name": [`MultiStrategyClassifier::predict`] is exactly that
+//! statistic, normalized into a distribution over corpus concepts.
+
+use crate::corpus::{ConceptLabel, Corpus};
+use crate::text::{jaccard, name_similarity, stem, tokenize, SparseVec, SynonymTable};
+use revere_storage::Value;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Everything the learners may inspect about one schema element.
+#[derive(Debug, Clone)]
+pub struct ElementInfo {
+    /// Attribute name.
+    pub name: String,
+    /// Name of the relation it belongs to.
+    pub relation: String,
+    /// Sibling attribute names.
+    pub siblings: Vec<String>,
+    /// Sampled data values (may be empty).
+    pub values: Vec<Value>,
+}
+
+/// A normalized distribution over concept labels, best first.
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    /// `(label, probability)` sorted descending.
+    pub scores: Vec<(ConceptLabel, f64)>,
+}
+
+impl Prediction {
+    /// The most likely label with its probability.
+    pub fn top(&self) -> Option<(&ConceptLabel, f64)> {
+        self.scores.first().map(|(l, s)| (l, *s))
+    }
+
+    /// The distribution as a sparse vector (for prediction correlation).
+    pub fn as_vector(&self) -> SparseVec {
+        SparseVec::from_counts(
+            self.scores
+                .iter()
+                .map(|((c, a), s)| (format!("{c}.{a}"), *s)),
+        )
+    }
+
+    fn normalized(mut scores: Vec<(ConceptLabel, f64)>) -> Prediction {
+        let sum: f64 = scores.iter().map(|(_, s)| s.max(0.0)).sum();
+        if sum > 0.0 {
+            for (_, s) in &mut scores {
+                *s = s.max(0.0) / sum;
+            }
+        }
+        scores.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        Prediction { scores }
+    }
+}
+
+/// Which base learner(s) to consult.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Learner {
+    /// Attribute/relation name similarity.
+    Name,
+    /// Naive Bayes over data-value surface features.
+    Value,
+    /// Sibling-context similarity.
+    Structure,
+    /// Weighted combination of all three.
+    Meta,
+}
+
+// ---------------------------------------------------------------------
+// Name learner
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Default)]
+struct NameLearner {
+    /// label → surface names seen in training (attribute and relation).
+    surface: BTreeMap<ConceptLabel, Vec<(String, String)>>,
+}
+
+impl NameLearner {
+    fn train(&mut self, label: &ConceptLabel, relation: &str, attr: &str) {
+        self.surface
+            .entry(label.clone())
+            .or_default()
+            .push((relation.to_string(), attr.to_string()));
+    }
+
+    fn score(&self, el: &ElementInfo, label: &ConceptLabel, syn: &SynonymTable) -> f64 {
+        let Some(names) = self.surface.get(label) else {
+            return 0.0;
+        };
+        names
+            .iter()
+            .map(|(rel, attr)| {
+                0.75 * name_similarity(&el.name, attr, syn)
+                    + 0.25 * name_similarity(&el.relation, rel, syn)
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Value learner (naive Bayes over surface features)
+// ---------------------------------------------------------------------
+
+/// Surface features of one data value.
+fn value_features(v: &Value) -> Vec<&'static str> {
+    let s = v.to_string();
+    let mut f = Vec::new();
+    if matches!(v, Value::Int(_) | Value::Float(_)) {
+        f.push("numeric_type");
+    }
+    let digits = s.chars().filter(|c| c.is_ascii_digit()).count();
+    let alphas = s.chars().filter(|c| c.is_alphabetic()).count();
+    if digits > 0 {
+        f.push("has_digit");
+    }
+    if alphas > 0 {
+        f.push("has_alpha");
+    }
+    if digits > alphas {
+        f.push("mostly_digits");
+    }
+    if s.contains('@') {
+        f.push("has_at");
+    }
+    if s.contains('-') {
+        f.push("has_dash");
+    }
+    if s.contains(':') {
+        f.push("has_colon");
+    }
+    if s.contains("http") {
+        f.push("has_http");
+    }
+    f.push(match s.len() {
+        0..=4 => "len_tiny",
+        5..=9 => "len_short",
+        10..=19 => "len_medium",
+        _ => "len_long",
+    });
+    f.push(match s.split_whitespace().count() {
+        0 | 1 => "tok_1",
+        2 => "tok_2",
+        3 => "tok_3",
+        _ => "tok_many",
+    });
+    if s.chars().next().is_some_and(|c| c.is_uppercase()) {
+        f.push("starts_upper");
+    }
+    f
+}
+
+#[derive(Debug, Clone, Default)]
+struct ValueLearner {
+    /// label → (feature → count).
+    feature_counts: BTreeMap<ConceptLabel, BTreeMap<&'static str, usize>>,
+    /// label → number of training values.
+    totals: BTreeMap<ConceptLabel, usize>,
+}
+
+impl ValueLearner {
+    fn train(&mut self, label: &ConceptLabel, values: &[Value]) {
+        for v in values {
+            *self.totals.entry(label.clone()).or_default() += 1;
+            let counts = self.feature_counts.entry(label.clone()).or_default();
+            for f in value_features(v) {
+                *counts.entry(f).or_default() += 1;
+            }
+        }
+    }
+
+    /// Log-likelihood of the element's values under the label's feature
+    /// model, turned into a bounded score via per-label comparison (the
+    /// caller normalizes across labels).
+    fn score(&self, el: &ElementInfo, label: &ConceptLabel) -> f64 {
+        if el.values.is_empty() {
+            return 0.0;
+        }
+        let Some(total) = self.totals.get(label).copied() else {
+            return 0.0;
+        };
+        let counts = &self.feature_counts[label];
+        let mut log_sum = 0.0;
+        let n = el.values.len().min(10);
+        for v in el.values.iter().take(10) {
+            for f in value_features(v) {
+                let c = counts.get(f).copied().unwrap_or(0);
+                // Laplace smoothing; denominator = training values + 2.
+                let p = (c as f64 + 1.0) / (total as f64 + 2.0);
+                log_sum += p.ln();
+            }
+        }
+        // Geometric-mean likelihood per value, in (0, 1].
+        (log_sum / n as f64).exp()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Structure learner (sibling context)
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Default)]
+struct StructureLearner {
+    /// label → typical stemmed sibling tokens.
+    contexts: BTreeMap<ConceptLabel, BTreeSet<String>>,
+}
+
+fn stemmed_tokens(names: &[String]) -> BTreeSet<String> {
+    names
+        .iter()
+        .flat_map(|n| tokenize(n))
+        .map(|t| stem(&t))
+        .collect()
+}
+
+impl StructureLearner {
+    fn train(&mut self, label: &ConceptLabel, siblings: &[String]) {
+        self.contexts
+            .entry(label.clone())
+            .or_default()
+            .extend(stemmed_tokens(siblings));
+    }
+
+    fn score(&self, el: &ElementInfo, label: &ConceptLabel) -> f64 {
+        let Some(ctx) = self.contexts.get(label) else {
+            return 0.0;
+        };
+        let mine = stemmed_tokens(&el.siblings);
+        jaccard(&mine, ctx)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Multi-strategy classifier
+// ---------------------------------------------------------------------
+
+/// The trained classifier set: three base learners plus fitted weights.
+#[derive(Debug, Clone)]
+pub struct MultiStrategyClassifier {
+    labels: Vec<ConceptLabel>,
+    name: NameLearner,
+    value: ValueLearner,
+    structure: StructureLearner,
+    /// Meta weights for (name, value, structure), fitted on training data.
+    pub weights: [f64; 3],
+    synonyms: SynonymTable,
+}
+
+impl MultiStrategyClassifier {
+    /// Train on every labeled element of the corpus, then fit the meta
+    /// weights by **leave-one-schema-out** accuracy of each base learner
+    /// (LSD-style stacking). Plain training accuracy would let the name
+    /// learner — which memorizes every training surface name — dominate
+    /// while generalizing worst; held-out fitting measures what each
+    /// learner contributes on schemas it has not seen.
+    pub fn train(corpus: &Corpus) -> MultiStrategyClassifier {
+        let mut clf = Self::build(corpus, None);
+        let mut correct = [0usize; 3];
+        let mut total = 0usize;
+        for skip in 0..corpus.entries.len() {
+            if corpus.entries[skip].labels.is_empty() {
+                continue;
+            }
+            let held_out = Self::build(corpus, Some(skip));
+            for ((rel, attr), label) in &corpus.entries[skip].labels {
+                let entry = &corpus.entries[skip];
+                let info = ElementInfo {
+                    name: attr.clone(),
+                    relation: rel.clone(),
+                    siblings: entry.siblings(rel, attr).iter().map(|s| s.to_string()).collect(),
+                    values: entry.sample_values(rel, attr, 10),
+                };
+                total += 1;
+                for (k, learner) in [Learner::Name, Learner::Value, Learner::Structure]
+                    .iter()
+                    .enumerate()
+                {
+                    if let Some((top, _)) = held_out.predict_with(&info, &[*learner]).top() {
+                        if top == label {
+                            correct[k] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        if total > 0 {
+            // Sharpen: held-out accuracies cluster (0.7-0.95), so a high
+            // power is needed for the reliably-better learner to actually
+            // steer the product-of-experts combination.
+            for (w, c) in clf.weights.iter_mut().zip(correct) {
+                let acc = c as f64 / total as f64;
+                *w = acc.powi(6).max(0.01);
+            }
+        }
+        clf
+    }
+
+    /// Build the base learners from every labeled element, optionally
+    /// skipping one corpus entry (for leave-one-out weight fitting).
+    fn build(corpus: &Corpus, skip: Option<usize>) -> MultiStrategyClassifier {
+        let mut clf = MultiStrategyClassifier {
+            labels: corpus.label_space(),
+            name: NameLearner::default(),
+            value: ValueLearner::default(),
+            structure: StructureLearner::default(),
+            weights: [1.0, 1.0, 1.0],
+            synonyms: SynonymTable::default_domain(),
+        };
+        for (i, (rel, attr), label) in corpus.labeled_elements() {
+            if skip == Some(i) {
+                continue;
+            }
+            let entry = &corpus.entries[i];
+            clf.name.train(label, rel, attr);
+            clf.value.train(label, &entry.sample_values(rel, attr, 10));
+            clf.structure.train(
+                label,
+                &entry
+                    .siblings(rel, attr)
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect::<Vec<_>>(),
+            );
+        }
+        clf
+    }
+
+    /// The label space.
+    pub fn labels(&self) -> &[ConceptLabel] {
+        &self.labels
+    }
+
+    /// Replace the synonym table consulted by the name learner.
+    pub fn set_synonyms(&mut self, synonyms: SynonymTable) {
+        self.synonyms = synonyms;
+    }
+
+    /// Predict with the full meta-combination.
+    pub fn predict(&self, el: &ElementInfo) -> Prediction {
+        self.predict_with(el, &[Learner::Meta])
+    }
+
+    /// Predict with a chosen subset of learners (the E6 ablation knob).
+    pub fn predict_with(&self, el: &ElementInfo, learners: &[Learner]) -> Prediction {
+        let use_meta = learners.contains(&Learner::Meta);
+        let active = |l: Learner| use_meta || learners.contains(&l);
+        // Per-learner scores are normalized independently before
+        // combination so no learner dominates on raw scale.
+        let mut per_learner: Vec<(f64, Vec<f64>)> = Vec::new();
+        if active(Learner::Name) {
+            let raw: Vec<f64> = self
+                .labels
+                .iter()
+                .map(|l| self.name.score(el, l, &self.synonyms))
+                .collect();
+            per_learner.push((if use_meta { self.weights[0] } else { 1.0 }, normalize(raw)));
+        }
+        if active(Learner::Value) {
+            let raw: Vec<f64> = self.labels.iter().map(|l| self.value.score(el, l)).collect();
+            per_learner.push((if use_meta { self.weights[1] } else { 1.0 }, normalize(raw)));
+        }
+        if active(Learner::Structure) {
+            let raw: Vec<f64> = self
+                .labels
+                .iter()
+                .map(|l| self.structure.score(el, l))
+                .collect();
+            per_learner.push((if use_meta { self.weights[2] } else { 1.0 }, normalize(raw)));
+        }
+        // Log-linear (product-of-experts) combination: a label must be
+        // plausible under EVERY consulted learner, weighted by the
+        // learner's held-out reliability. This stops one confidently
+        // wrong learner (typically the name learner on a renamed
+        // element) from outvoting two diffusely right ones, which a
+        // linear mixture cannot.
+        const EPS: f64 = 0.02;
+        let mut combined = vec![0.0f64; self.labels.len()];
+        if per_learner.len() > 1 {
+            let wsum: f64 = per_learner.iter().map(|(w, _)| w).sum();
+            for (i, c) in combined.iter_mut().enumerate() {
+                let mut log_score = 0.0;
+                for (w, scores) in &per_learner {
+                    log_score += (w / wsum) * (scores[i] + EPS).ln();
+                }
+                *c = log_score.exp();
+            }
+        } else {
+            for (w, scores) in &per_learner {
+                for (i, s) in scores.iter().enumerate() {
+                    combined[i] += w * s;
+                }
+            }
+        }
+        Prediction::normalized(
+            self.labels
+                .iter()
+                .cloned()
+                .zip(combined)
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+fn normalize(raw: Vec<f64>) -> Vec<f64> {
+    let sum: f64 = raw.iter().map(|s| s.max(0.0)).sum();
+    if sum <= 0.0 {
+        return raw;
+    }
+    raw.into_iter().map(|s| s.max(0.0) / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusEntry;
+    use revere_storage::{DbSchema, RelSchema, Relation};
+
+    /// A small labeled corpus: courses (title + enrollment) and people
+    /// (name + phone) under varying surface vocabulary.
+    fn labeled_corpus() -> Corpus {
+        let mut c = Corpus::new();
+        let variants = [
+            ("course", "title", "enrollment", "instructor"),
+            ("class", "name", "size", "teacher"),
+            ("subject", "heading", "seats", "professor"),
+        ];
+        for (i, (rel, title, enr, inst)) in variants.iter().enumerate() {
+            let schema =
+                DbSchema::new(format!("U{i}")).with(RelSchema::text(*rel, &[title, enr, inst]));
+            let mut e = CorpusEntry::schema_only(schema);
+            let mut r = Relation::new(RelSchema::text(*rel, &[title, enr, inst]));
+            for k in 0..6 {
+                r.insert(vec![
+                    Value::str(format!("Introduction to Topic {k}")),
+                    Value::Int(20 + k),
+                    Value::str(format!("Prof Ada Lovelace{k}")),
+                ]);
+            }
+            e.data.register(r);
+            for (attr, canon) in [(title, "title"), (enr, "enrollment"), (inst, "instructor")] {
+                e.labels.insert(
+                    (rel.to_string(), attr.to_string()),
+                    ("course".to_string(), canon.to_string()),
+                );
+            }
+            c.add(e);
+        }
+        c
+    }
+
+    fn element(name: &str, relation: &str, siblings: &[&str], values: Vec<Value>) -> ElementInfo {
+        ElementInfo {
+            name: name.into(),
+            relation: relation.into(),
+            siblings: siblings.iter().map(|s| s.to_string()).collect(),
+            values,
+        }
+    }
+
+    #[test]
+    fn name_learner_recognizes_synonyms() {
+        let clf = MultiStrategyClassifier::train(&labeled_corpus());
+        let el = element("lecturer", "offering", &["titolo"], vec![]);
+        let p = clf.predict_with(&el, &[Learner::Name]);
+        assert_eq!(p.top().unwrap().0 .1, "instructor");
+    }
+
+    #[test]
+    fn value_learner_separates_numbers_from_names() {
+        let clf = MultiStrategyClassifier::train(&labeled_corpus());
+        let numeric = element(
+            "zzz",
+            "unknown",
+            &[],
+            (0..5).map(|i| Value::Int(30 + i)).collect(),
+        );
+        let p = clf.predict_with(&numeric, &[Learner::Value]);
+        assert_eq!(p.top().unwrap().0 .1, "enrollment", "{:?}", p.scores);
+    }
+
+    #[test]
+    fn structure_learner_uses_siblings() {
+        let clf = MultiStrategyClassifier::train(&labeled_corpus());
+        // Unhelpful name, but siblings match the course context.
+        let el = element("x1", "tbl", &["title", "enrollment"], vec![]);
+        let p = clf.predict_with(&el, &[Learner::Structure]);
+        let ((concept, _), _) = p.top().unwrap();
+        assert_eq!(concept, "course");
+    }
+
+    #[test]
+    fn meta_combines_and_weights_are_fitted() {
+        let clf = MultiStrategyClassifier::train(&labeled_corpus());
+        assert!(clf.weights.iter().all(|w| *w > 0.0));
+        let el = element(
+            "course_title",
+            "offering",
+            &["capacity", "professor"],
+            vec![
+                Value::str("Introduction to Topic 77"),
+                Value::str("Introduction to Topic 78"),
+            ],
+        );
+        let p = clf.predict(&el);
+        assert_eq!(p.top().unwrap().0 .1, "title", "{:?}", p.scores);
+    }
+
+    #[test]
+    fn predictions_are_distributions() {
+        let clf = MultiStrategyClassifier::train(&labeled_corpus());
+        let el = element("title", "course", &["enrollment"], vec![]);
+        let p = clf.predict(&el);
+        let sum: f64 = p.scores.iter().map(|(_, s)| s).sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+        assert!(p.scores.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn empty_corpus_trains_empty_label_space() {
+        let clf = MultiStrategyClassifier::train(&Corpus::new());
+        assert!(clf.labels().is_empty());
+        let p = clf.predict(&element("x", "y", &[], vec![]));
+        assert!(p.top().is_none());
+    }
+
+    #[test]
+    fn prediction_vector_for_correlation() {
+        let clf = MultiStrategyClassifier::train(&labeled_corpus());
+        let a = clf.predict(&element("title", "course", &["enrollment"], vec![]));
+        let b = clf.predict(&element("heading", "subject", &["seats"], vec![]));
+        // Same concept: distributions correlate strongly.
+        assert!(a.as_vector().cosine(&b.as_vector()) > 0.5);
+    }
+}

@@ -1,0 +1,293 @@
+//! Composite statistics over partial structures (§4.2.2).
+//!
+//! "Composite statistics are similar to the ones above, but maintained
+//! about partial structures ... the number of partial structures is
+//! virtually infinite, and we will not be able to maintain all possible
+//! statistics. Hence, we will maintain only statistics on partial
+//! structures that appear frequently (discovered using techniques such as
+//! \[50, 18, 39\]), and estimate the statistics for other partial
+//! structures."
+//!
+//! A *partial structure* here is a set of (stemmed) attribute terms
+//! co-resident in one relation. [`FrequentStructures::mine`] runs a
+//! bottom-up apriori pass to find all such sets above a support
+//! threshold; [`FrequentStructures::support`] answers exact counts for
+//! mined sets and falls back to an independence-style **estimate** for
+//! everything else — exactly the maintain-frequent/estimate-rest split
+//! the paper prescribes.
+
+use crate::corpus::Corpus;
+use crate::text::{stem, tokenize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// An itemset of stemmed attribute terms.
+pub type StructureKey = BTreeSet<String>;
+
+/// Mined frequent attribute-sets with an estimator for the rest.
+#[derive(Debug, Clone)]
+pub struct FrequentStructures {
+    /// Frequent itemsets (size ≥ 1) → exact support (relations containing
+    /// all the terms).
+    frequent: BTreeMap<StructureKey, usize>,
+    /// Total relations scanned.
+    pub relation_count: usize,
+    /// The support threshold used.
+    pub min_support: usize,
+    /// Largest itemset size mined.
+    pub max_size: usize,
+}
+
+/// Exact or estimated support.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Support {
+    /// The structure was mined: exact relation count.
+    Exact(usize),
+    /// The structure is infrequent/unseen: an independence estimate.
+    Estimated(f64),
+}
+
+impl Support {
+    /// The numeric value either way.
+    pub fn value(&self) -> f64 {
+        match self {
+            Support::Exact(n) => *n as f64,
+            Support::Estimated(e) => *e,
+        }
+    }
+}
+
+impl FrequentStructures {
+    /// Mine all attribute-term itemsets with support ≥ `min_support`, up
+    /// to `max_size` terms (apriori: every frequent k-set's (k−1)-subsets
+    /// are frequent, so candidates are joined from the previous level).
+    pub fn mine(corpus: &Corpus, min_support: usize, max_size: usize) -> FrequentStructures {
+        // Transaction list: the stemmed attribute-term set of each relation.
+        let transactions: Vec<StructureKey> = corpus
+            .entries
+            .iter()
+            .flat_map(|e| e.schema.relations.iter())
+            .map(|r| {
+                r.attrs
+                    .iter()
+                    .flat_map(|a| tokenize(&a.name))
+                    .map(|t| stem(&t))
+                    .collect()
+            })
+            .collect();
+        let mut frequent: BTreeMap<StructureKey, usize> = BTreeMap::new();
+
+        // Level 1.
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        for tx in &transactions {
+            for t in tx {
+                *counts.entry(t.clone()).or_default() += 1;
+            }
+        }
+        let mut level: Vec<StructureKey> = Vec::new();
+        for (t, n) in counts {
+            if n >= min_support {
+                let key: StructureKey = [t].into_iter().collect();
+                frequent.insert(key.clone(), n);
+                level.push(key);
+            }
+        }
+
+        // Levels 2..=max_size.
+        for _size in 2..=max_size {
+            // Candidate generation: union pairs from the previous level
+            // differing by one element.
+            let mut candidates: BTreeSet<StructureKey> = BTreeSet::new();
+            for (i, a) in level.iter().enumerate() {
+                for b in level.iter().skip(i + 1) {
+                    let union: StructureKey = a.union(b).cloned().collect();
+                    if union.len() == a.len() + 1 {
+                        // Apriori check: all subsets of size |a| frequent.
+                        let all_frequent = union.iter().all(|drop| {
+                            let sub: StructureKey =
+                                union.iter().filter(|t| *t != drop).cloned().collect();
+                            frequent.contains_key(&sub)
+                        });
+                        if all_frequent {
+                            candidates.insert(union);
+                        }
+                    }
+                }
+            }
+            if candidates.is_empty() {
+                break;
+            }
+            let mut next_level = Vec::new();
+            for cand in candidates {
+                let n = transactions.iter().filter(|tx| cand.is_subset(tx)).count();
+                if n >= min_support {
+                    frequent.insert(cand.clone(), n);
+                    next_level.push(cand);
+                }
+            }
+            if next_level.is_empty() {
+                break;
+            }
+            level = next_level;
+        }
+        FrequentStructures {
+            frequent,
+            relation_count: transactions.len(),
+            min_support,
+            max_size,
+        }
+    }
+
+    /// Support of an arbitrary attribute-term set: exact when mined,
+    /// otherwise estimated by scaling the best mined-subset support by the
+    /// marginal frequencies of the missing terms (independence
+    /// assumption) — "estimate the statistics for other partial
+    /// structures".
+    pub fn support(&self, terms: &[&str]) -> Support {
+        let key: StructureKey = terms.iter().map(|t| stem(t)).collect();
+        if let Some(&n) = self.frequent.get(&key) {
+            return Support::Exact(n);
+        }
+        if self.relation_count == 0 || key.is_empty() {
+            return Support::Estimated(0.0);
+        }
+        // Find the largest mined subset of the key.
+        let mut best_subset: Option<(&StructureKey, usize)> = None;
+        for (k, &n) in &self.frequent {
+            if k.is_subset(&key) {
+                let better = match best_subset {
+                    None => true,
+                    Some((bk, _)) => k.len() > bk.len(),
+                };
+                if better {
+                    best_subset = Some((k, n));
+                }
+            }
+        }
+        let (base_set, base_n) = match best_subset {
+            Some(x) => x,
+            None => return Support::Estimated(0.0),
+        };
+        // Multiply in each missing term's marginal probability.
+        let mut estimate = base_n as f64;
+        for t in key.difference(base_set) {
+            let single: StructureKey = [t.clone()].into_iter().collect();
+            let marginal = self
+                .frequent
+                .get(&single)
+                .map(|&n| n as f64 / self.relation_count as f64)
+                // Below threshold: bound by (min_support − 1) occurrences.
+                .unwrap_or((self.min_support.saturating_sub(1)) as f64 / self.relation_count as f64);
+            estimate *= marginal;
+        }
+        Support::Estimated(estimate)
+    }
+
+    /// All mined itemsets of a given size, most frequent first.
+    pub fn of_size(&self, size: usize) -> Vec<(&StructureKey, usize)> {
+        let mut out: Vec<_> = self
+            .frequent
+            .iter()
+            .filter(|(k, _)| k.len() == size)
+            .map(|(k, &n)| (k, n))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        out
+    }
+
+    /// Number of mined itemsets.
+    pub fn len(&self) -> usize {
+        self.frequent.len()
+    }
+
+    /// True when nothing cleared the threshold.
+    pub fn is_empty(&self) -> bool {
+        self.frequent.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusEntry;
+    use revere_storage::{DbSchema, RelSchema};
+
+    fn corpus() -> Corpus {
+        let mut c = Corpus::new();
+        // 5 schemas with course(title, instructor, time); 2 with
+        // course(title, instructor); 1 odd one out.
+        for i in 0..5 {
+            c.add(CorpusEntry::schema_only(
+                DbSchema::new(format!("A{i}"))
+                    .with(RelSchema::text("course", &["title", "instructor", "time"])),
+            ));
+        }
+        for i in 0..2 {
+            c.add(CorpusEntry::schema_only(
+                DbSchema::new(format!("B{i}"))
+                    .with(RelSchema::text("course", &["title", "instructor"])),
+            ));
+        }
+        c.add(CorpusEntry::schema_only(
+            DbSchema::new("odd").with(RelSchema::text("paper", &["doi", "venue"])),
+        ));
+        c
+    }
+
+    #[test]
+    fn mines_frequent_sets_by_level() {
+        let fs = FrequentStructures::mine(&corpus(), 3, 4);
+        assert_eq!(fs.relation_count, 8);
+        // Singletons.
+        assert_eq!(fs.support(&["title"]), Support::Exact(7));
+        assert_eq!(fs.support(&["time"]), Support::Exact(5));
+        // Pair and triple.
+        assert_eq!(fs.support(&["title", "instructor"]), Support::Exact(7));
+        assert_eq!(fs.support(&["title", "instructor", "time"]), Support::Exact(5));
+        // Below threshold: doi appears once.
+        assert!(matches!(fs.support(&["doi"]), Support::Estimated(_)));
+    }
+
+    #[test]
+    fn estimates_unseen_structures() {
+        let fs = FrequentStructures::mine(&corpus(), 3, 2);
+        // The triple was not mined (max_size 2) → estimated from the pair
+        // times time's marginal (5/8).
+        let s = fs.support(&["title", "instructor", "time"]);
+        match s {
+            Support::Estimated(e) => {
+                let expected = 7.0 * (5.0 / 8.0);
+                assert!((e - expected).abs() < 1e-9, "estimate {e} != {expected}");
+            }
+            Support::Exact(_) => panic!("triple should not be mined at max_size 2"),
+        }
+    }
+
+    #[test]
+    fn estimate_orders_plausible_above_implausible() {
+        let fs = FrequentStructures::mine(&corpus(), 3, 2);
+        let plausible = fs.support(&["title", "instructor", "time"]).value();
+        let implausible = fs.support(&["title", "doi"]).value();
+        assert!(plausible > implausible);
+    }
+
+    #[test]
+    fn of_size_sorted_by_support() {
+        let fs = FrequentStructures::mine(&corpus(), 3, 3);
+        let pairs = fs.of_size(2);
+        assert!(!pairs.is_empty());
+        assert!(pairs.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn empty_corpus_is_harmless() {
+        let fs = FrequentStructures::mine(&Corpus::new(), 1, 3);
+        assert!(fs.is_empty());
+        assert_eq!(fs.support(&["anything"]).value(), 0.0);
+    }
+
+    #[test]
+    fn stemming_applies_to_queries() {
+        let fs = FrequentStructures::mine(&corpus(), 3, 2);
+        assert_eq!(fs.support(&["titles"]), fs.support(&["title"]));
+    }
+}

@@ -1,0 +1,230 @@
+//! The corpus of structures (§4.1).
+//!
+//! "Each corpus will include: forms of schema information ... actual data:
+//! example tables ... known mappings between schemas in the corpus ...
+//! relevant metadata." A [`CorpusEntry`] is one contributed database:
+//! schema, sampled data, and (when the contributor supplied them — e.g.
+//! via previously confirmed mappings) concept labels on its elements,
+//! which are the learners' training signal.
+
+use revere_storage::{Catalog, DbSchema, Value};
+use std::collections::BTreeMap;
+
+/// An element of some schema: `(relation, attribute)`.
+pub type Element = (String, String);
+
+/// A concept label: `(concept, canonical attribute)`, e.g.
+/// `("course", "title")`.
+pub type ConceptLabel = (String, String);
+
+/// One schema (with optional data and labels) in the corpus.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// The schema.
+    pub schema: DbSchema,
+    /// Sampled data for the schema's relations (may be empty).
+    pub data: Catalog,
+    /// Ground-truth concept labels for elements, when known.
+    pub labels: BTreeMap<Element, ConceptLabel>,
+    /// How often this schema is known to be used/adopted (the `preference`
+    /// signal of §4.3.1: "whether S′ is commonly used").
+    pub usage_count: usize,
+}
+
+impl CorpusEntry {
+    /// Entry with schema only.
+    pub fn schema_only(schema: DbSchema) -> Self {
+        CorpusEntry { schema, data: Catalog::new(), labels: BTreeMap::new(), usage_count: 1 }
+    }
+
+    /// Up to `n` sample values for an element.
+    pub fn sample_values(&self, rel: &str, attr: &str, n: usize) -> Vec<Value> {
+        self.data
+            .get(rel)
+            .map(|r| r.sample_values(attr, n))
+            .unwrap_or_default()
+    }
+
+    /// Sibling attribute names of an element (its structural context).
+    pub fn siblings(&self, rel: &str, attr: &str) -> Vec<&str> {
+        self.schema
+            .relation(rel)
+            .map(|r| r.attr_names().filter(|a| *a != attr).collect())
+            .unwrap_or_default()
+    }
+}
+
+/// A known mapping between two corpus entries: confirmed element
+/// correspondences ("known mappings between schemas in the corpus").
+#[derive(Debug, Clone)]
+pub struct KnownMapping {
+    /// Index of the first entry.
+    pub left: usize,
+    /// Index of the second entry.
+    pub right: usize,
+    /// Confirmed element pairs.
+    pub pairs: Vec<(Element, Element)>,
+}
+
+/// The corpus.
+#[derive(Debug, Clone, Default)]
+pub struct Corpus {
+    /// The entries.
+    pub entries: Vec<CorpusEntry>,
+    /// Confirmed mappings between entries.
+    pub known_mappings: Vec<KnownMapping>,
+}
+
+impl Corpus {
+    /// Empty corpus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an entry, returning its index.
+    pub fn add(&mut self, entry: CorpusEntry) -> usize {
+        self.entries.push(entry);
+        self.entries.len() - 1
+    }
+
+    /// Record a confirmed mapping between two entries.
+    pub fn add_known_mapping(&mut self, mapping: KnownMapping) {
+        assert!(mapping.left < self.entries.len() && mapping.right < self.entries.len());
+        self.known_mappings.push(mapping);
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the corpus holds no schemas.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All labeled elements across entries:
+    /// `(entry index, element, label)`.
+    pub fn labeled_elements(&self) -> impl Iterator<Item = (usize, &Element, &ConceptLabel)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .flat_map(|(i, e)| e.labels.iter().map(move |(el, lb)| (i, el, lb)))
+    }
+
+    /// Distinct concept labels present in the corpus, sorted.
+    pub fn label_space(&self) -> Vec<ConceptLabel> {
+        let mut labels: Vec<ConceptLabel> = self
+            .labeled_elements()
+            .map(|(_, _, l)| l.clone())
+            .collect();
+        labels.sort();
+        labels.dedup();
+        labels
+    }
+
+    /// Propagate labels along known mappings: if one side of a confirmed
+    /// pair is labeled and the other is not, copy the label. Returns how
+    /// many labels were added — this is how "the corpus and its associated
+    /// statistics act as a domain expert" that grows with use.
+    pub fn propagate_labels(&mut self) -> usize {
+        let mut added = 0;
+        for m in self.known_mappings.clone() {
+            for (a, b) in &m.pairs {
+                let la = self.entries[m.left].labels.get(a).cloned();
+                let lb = self.entries[m.right].labels.get(b).cloned();
+                match (la, lb) {
+                    (Some(l), None) => {
+                        self.entries[m.right].labels.insert(b.clone(), l);
+                        added += 1;
+                    }
+                    (None, Some(l)) => {
+                        self.entries[m.left].labels.insert(a.clone(), l);
+                        added += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        added
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revere_storage::{RelSchema, Relation};
+
+    fn entry(name: &str, rel: &str, attrs: &[&str]) -> CorpusEntry {
+        let schema = DbSchema::new(name).with(RelSchema::text(rel, attrs));
+        let mut e = CorpusEntry::schema_only(schema);
+        let mut r = Relation::new(RelSchema::text(rel, attrs));
+        r.insert(attrs.iter().map(|a| Value::str(format!("{a}_v1"))).collect());
+        r.insert(attrs.iter().map(|a| Value::str(format!("{a}_v2"))).collect());
+        e.data.register(r);
+        e
+    }
+
+    #[test]
+    fn add_and_sample() {
+        let mut c = Corpus::new();
+        let i = c.add(entry("U1", "course", &["title", "size"]));
+        assert_eq!(i, 0);
+        let vals = c.entries[0].sample_values("course", "title", 10);
+        assert_eq!(vals.len(), 2);
+        assert!(c.entries[0].sample_values("nope", "title", 10).is_empty());
+    }
+
+    #[test]
+    fn siblings_exclude_self() {
+        let e = entry("U1", "course", &["title", "size", "teacher"]);
+        assert_eq!(e.siblings("course", "size"), vec!["title", "teacher"]);
+    }
+
+    #[test]
+    fn label_space_dedups() {
+        let mut c = Corpus::new();
+        let mut e1 = entry("U1", "course", &["title"]);
+        e1.labels.insert(
+            ("course".into(), "title".into()),
+            ("course".into(), "title".into()),
+        );
+        let mut e2 = entry("U2", "class", &["name"]);
+        e2.labels.insert(
+            ("class".into(), "name".into()),
+            ("course".into(), "title".into()),
+        );
+        c.add(e1);
+        c.add(e2);
+        assert_eq!(c.label_space().len(), 1);
+        assert_eq!(c.labeled_elements().count(), 2);
+    }
+
+    #[test]
+    fn propagate_labels_through_known_mappings() {
+        let mut c = Corpus::new();
+        let mut e1 = entry("U1", "course", &["title"]);
+        e1.labels.insert(
+            ("course".into(), "title".into()),
+            ("course".into(), "title".into()),
+        );
+        let e2 = entry("U2", "class", &["name"]);
+        c.add(e1);
+        c.add(e2);
+        c.add_known_mapping(KnownMapping {
+            left: 0,
+            right: 1,
+            pairs: vec![(
+                ("course".into(), "title".into()),
+                ("class".into(), "name".into()),
+            )],
+        });
+        assert_eq!(c.propagate_labels(), 1);
+        assert_eq!(
+            c.entries[1].labels.get(&("class".into(), "name".into())),
+            Some(&("course".into(), "title".into()))
+        );
+        // Idempotent.
+        assert_eq!(c.propagate_labels(), 0);
+    }
+}

@@ -1,0 +1,277 @@
+//! GLUE-style instance-based matching (§4.3.2, \[14\]).
+//!
+//! The paper's MatchingAdvisor builds on "our previous work on schema
+//! matching in the LSD \[13\] and GLUE \[14\] Systems". GLUE's signature move
+//! is matching by the *joint distribution of instances*: two elements
+//! correspond when their data values look alike, independent of any names
+//! or corpus. This module provides that corpus-free baseline: columns are
+//! summarized by a distribution over surface features plus a value-overlap
+//! term, and schemas are matched greedily on the combined similarity.
+//!
+//! It complements the corpus-trained [`crate::matcher::MatchingAdvisor`]:
+//! useful when no corpus exists yet (the bootstrap problem), and as a
+//! baseline the corpus-assisted matcher must beat.
+
+use crate::matcher::Correspondence;
+use revere_storage::{Catalog, DbSchema, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Feature histogram of a column's values.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ColumnProfile {
+    features: BTreeMap<&'static str, f64>,
+    values: BTreeSet<String>,
+    n: usize,
+}
+
+/// Surface features of one value (the same axes the LSD value learner
+/// uses, kept independent so the two can evolve separately).
+fn features_of(v: &Value) -> Vec<&'static str> {
+    let s = v.to_string();
+    let mut f = Vec::new();
+    if matches!(v, Value::Int(_) | Value::Float(_)) {
+        f.push("numeric");
+    }
+    let digits = s.chars().filter(|c| c.is_ascii_digit()).count();
+    let alphas = s.chars().filter(|c| c.is_alphabetic()).count();
+    if digits > alphas {
+        f.push("digit_heavy");
+    }
+    if s.contains('@') {
+        f.push("at_sign");
+    }
+    if s.contains('-') {
+        f.push("dash");
+    }
+    if s.contains(':') {
+        f.push("colon");
+    }
+    if s.contains("http") {
+        f.push("url_like");
+    }
+    f.push(match s.len() {
+        0..=4 => "len_0_4",
+        5..=9 => "len_5_9",
+        10..=19 => "len_10_19",
+        _ => "len_20_plus",
+    });
+    f.push(match s.split_whitespace().count() {
+        0 | 1 => "words_1",
+        2 => "words_2",
+        _ => "words_3_plus",
+    });
+    if s.chars().next().is_some_and(|c| c.is_uppercase()) {
+        f.push("capitalized");
+    }
+    f
+}
+
+impl ColumnProfile {
+    /// Summarize a column from (a sample of) its values.
+    pub fn from_values(values: &[Value]) -> ColumnProfile {
+        let mut p = ColumnProfile::default();
+        for v in values {
+            p.n += 1;
+            p.values.insert(v.to_string().to_lowercase());
+            for f in features_of(v) {
+                *p.features.entry(f).or_default() += 1.0;
+            }
+        }
+        // Normalize to a distribution.
+        if p.n > 0 {
+            for w in p.features.values_mut() {
+                *w /= p.n as f64;
+            }
+        }
+        p
+    }
+
+    /// Number of sampled values.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when no values were sampled.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Similarity in [0, 1]: feature-distribution affinity (1 − total
+    /// variation distance) blended with exact value overlap (Jaccard) —
+    /// the overlap term is what lets shared vocabularies (course codes,
+    /// department names) snap columns together the way GLUE's joint
+    /// distribution estimation does.
+    pub fn similarity(&self, other: &ColumnProfile) -> f64 {
+        if self.is_empty() || other.is_empty() {
+            return 0.0;
+        }
+        let keys: BTreeSet<&&str> = self.features.keys().chain(other.features.keys()).collect();
+        let tv: f64 = keys
+            .into_iter()
+            .map(|k| {
+                (self.features.get(*k).copied().unwrap_or(0.0)
+                    - other.features.get(*k).copied().unwrap_or(0.0))
+                .abs()
+            })
+            .sum::<f64>()
+            / 2.0;
+        let dist_sim = 1.0 - tv.clamp(0.0, 1.0);
+        let inter = self.values.intersection(&other.values).count();
+        let union = self.values.len() + other.values.len() - inter;
+        let overlap = if union == 0 { 0.0 } else { inter as f64 / union as f64 };
+        0.7 * dist_sim + 0.3 * overlap
+    }
+}
+
+/// Match two schemas purely on instance profiles (no names, no corpus).
+/// Greedy one-to-one extraction by descending similarity; pairs below
+/// `threshold` are dropped.
+pub fn match_by_instances(
+    s1: &DbSchema,
+    d1: &Catalog,
+    s2: &DbSchema,
+    d2: &Catalog,
+    threshold: f64,
+) -> Vec<Correspondence> {
+    let profile = |schema: &DbSchema, data: &Catalog| -> Vec<((String, String), ColumnProfile)> {
+        let mut out = Vec::new();
+        for rel in &schema.relations {
+            for attr in rel.attr_names() {
+                let values = data
+                    .get(&rel.name)
+                    .map(|r| r.sample_values(attr, 25))
+                    .unwrap_or_default();
+                out.push((
+                    (rel.name.clone(), attr.to_string()),
+                    ColumnProfile::from_values(&values),
+                ));
+            }
+        }
+        out
+    };
+    let left = profile(s1, d1);
+    let right = profile(s2, d2);
+    let mut scored: Vec<(usize, usize, f64)> = Vec::new();
+    for (i, (_, lp)) in left.iter().enumerate() {
+        for (j, (_, rp)) in right.iter().enumerate() {
+            let s = lp.similarity(rp);
+            if s >= threshold {
+                scored.push((i, j, s));
+            }
+        }
+    }
+    scored.sort_by(|a, b| b.2.total_cmp(&a.2).then_with(|| (a.0, a.1).cmp(&(b.0, b.1))));
+    let mut used_l = BTreeSet::new();
+    let mut used_r = BTreeSet::new();
+    let mut out = Vec::new();
+    for (i, j, s) in scored {
+        if used_l.contains(&i) || used_r.contains(&j) {
+            continue;
+        }
+        used_l.insert(i);
+        used_r.insert(j);
+        out.push(Correspondence {
+            left: left[i].0.clone(),
+            right: right[j].0.clone(),
+            confidence: s,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revere_storage::{RelSchema, Relation};
+
+    fn phones() -> Vec<Value> {
+        (0..10).map(|i| Value::str(format!("206-555-{i:04}"))).collect()
+    }
+
+    fn names() -> Vec<Value> {
+        (0..10).map(|i| Value::str(format!("Ada Lovelace{i}"))).collect()
+    }
+
+    fn counts() -> Vec<Value> {
+        (0..10).map(|i| Value::Int(40 + i)).collect()
+    }
+
+    #[test]
+    fn profiles_separate_kinds() {
+        let p_phone = ColumnProfile::from_values(&phones());
+        let p_name = ColumnProfile::from_values(&names());
+        let p_count = ColumnProfile::from_values(&counts());
+        assert!(p_phone.similarity(&p_phone) > 0.99);
+        assert!(p_phone.similarity(&p_name) < p_phone.similarity(&p_phone));
+        assert!(p_count.similarity(&p_name) < 0.5);
+    }
+
+    #[test]
+    fn value_overlap_boosts_shared_vocabulary() {
+        let dept_a: Vec<Value> = ["History", "Classics", "Physics"]
+            .iter()
+            .map(|s| Value::str(*s))
+            .collect();
+        let dept_b: Vec<Value> = ["History", "Physics", "Biology"]
+            .iter()
+            .map(|s| Value::str(*s))
+            .collect();
+        let other: Vec<Value> = ["MWF 10:30-11:20", "TTh 9:00-10:20", "F 13:30-14:20"]
+            .iter()
+            .map(|s| Value::str(*s))
+            .collect();
+        let pa = ColumnProfile::from_values(&dept_a);
+        let pb = ColumnProfile::from_values(&dept_b);
+        let po = ColumnProfile::from_values(&other);
+        assert!(pa.similarity(&pb) > pa.similarity(&po));
+    }
+
+    #[test]
+    fn empty_profiles_never_match() {
+        let empty = ColumnProfile::from_values(&[]);
+        let full = ColumnProfile::from_values(&phones());
+        assert_eq!(empty.similarity(&full), 0.0);
+        assert!(empty.is_empty());
+    }
+
+    fn schema_with(rel: &str, cols: &[(&str, Vec<Value>)]) -> (DbSchema, Catalog) {
+        let attrs: Vec<&str> = cols.iter().map(|(a, _)| *a).collect();
+        let schema = DbSchema::new("X").with(RelSchema::text(rel, &attrs));
+        let mut r = Relation::new(RelSchema::text(rel, &attrs));
+        for i in 0..cols[0].1.len() {
+            r.insert(cols.iter().map(|(_, vs)| vs[i].clone()).collect());
+        }
+        let mut cat = Catalog::new();
+        cat.register(r);
+        (schema, cat)
+    }
+
+    #[test]
+    fn matches_columns_with_opaque_names() {
+        // Names are deliberately useless; only instances can match these.
+        let (s1, d1) = schema_with("t1", &[("a1", phones()), ("a2", names()), ("a3", counts())]);
+        let (s2, d2) = schema_with("t2", &[("b1", names()), ("b2", counts()), ("b3", phones())]);
+        let corr = match_by_instances(&s1, &d1, &s2, &d2, 0.5);
+        assert_eq!(corr.len(), 3, "{corr:?}");
+        let find = |l: &str| corr.iter().find(|c| c.left.1 == l).map(|c| c.right.1.as_str());
+        assert_eq!(find("a1"), Some("b3"));
+        assert_eq!(find("a2"), Some("b1"));
+        assert_eq!(find("a3"), Some("b2"));
+    }
+
+    #[test]
+    fn one_to_one_is_respected() {
+        let (s1, d1) = schema_with("t1", &[("a1", phones()), ("a2", phones())]);
+        let (s2, d2) = schema_with("t2", &[("b1", phones())]);
+        let corr = match_by_instances(&s1, &d1, &s2, &d2, 0.3);
+        assert_eq!(corr.len(), 1);
+    }
+
+    #[test]
+    fn threshold_filters_weak_pairs() {
+        let (s1, d1) = schema_with("t1", &[("a1", phones())]);
+        let (s2, d2) = schema_with("t2", &[("b1", names())]);
+        let strict = match_by_instances(&s1, &d1, &s2, &d2, 0.9);
+        assert!(strict.is_empty());
+    }
+}

@@ -1,0 +1,46 @@
+//! Statistics over structures: the corpus component of REVERE (§4).
+//!
+//! "We propose to build for the S-WORLD the analog of one of the most
+//! powerful techniques of the U-WORLD, namely the statistical analysis of
+//! corpora ... Based on these statistics, we will build a set of general
+//! purpose tools to assist structuring and mapping applications."
+//!
+//! * [`text`] — the U-WORLD toolbox adapted to schema terms: tokenization
+//!   of identifiers, a light stemmer, synonym tables, string similarity,
+//!   TF-IDF vectors (§4.2.1's "word stemming, synonym tables,
+//!   inter-language dictionaries" axes).
+//! * [`corpus`] — the corpus itself: schemas, data samples, ground-truth
+//!   concept labels and known mappings (§4.1's inventory).
+//! * [`stats`] — basic statistics (term usage by role, co-occurring schema
+//!   elements, similar names) and composite statistics (frequent partial
+//!   structures) per §4.2.
+//! * [`classifiers`] — the LSD-style multi-strategy learners \[13\]: name,
+//!   value and structure learners plus a trained meta-combiner.
+//! * [`matcher`] — `MatchingAdvisor` (§4.3.2): classify the elements of
+//!   two unseen schemas against the corpus and "find correlations in the
+//!   predictions", producing correspondences with confidences.
+//! * [`advisor`] — `DesignAdvisor` (§4.3.1): ranked schema retrieval for a
+//!   fragment under `sim = α·fit + β·preference`, plus refactoring advice
+//!   (the "TA information ... in a table separate from the course table"
+//!   example).
+//! * [`qreform`] — §4.4's unfamiliar-schema querying: keywords in the
+//!   user's vocabulary → ranked well-formed queries over the actual schema.
+
+pub mod advisor;
+pub mod classifiers;
+pub mod composite;
+pub mod corpus;
+pub mod instance;
+pub mod matcher;
+pub mod qreform;
+pub mod stats;
+pub mod text;
+
+pub use advisor::{DesignAdvisor, RankedSchema, SchemaAdvice};
+pub use classifiers::{Learner, MultiStrategyClassifier, Prediction};
+pub use composite::{FrequentStructures, Support};
+pub use corpus::{Corpus, CorpusEntry};
+pub use instance::{match_by_instances, ColumnProfile};
+pub use matcher::{Correspondence, MatchQuality, MatchingAdvisor};
+pub use qreform::QueryReformulator;
+pub use stats::{CorpusStats, TermRole};

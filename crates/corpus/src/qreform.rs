@@ -1,0 +1,278 @@
+//! Querying unfamiliar data (§4.4).
+//!
+//! "A user should be able to access a database ... the schema of which she
+//! does not know, and pose a query using her own terminology ... One can
+//! imagine a tool that uses the corpus to propose reformulations of the
+//! user's query that are well formed w.r.t. the schema at hand. The tool
+//! may propose a few such queries ... and let the user choose among them."
+//!
+//! [`QueryReformulator`] maps each user keyword to candidate schema
+//! elements (via corpus classifiers + name similarity), then assembles
+//! well-formed conjunctive queries: one atom per relation touched, joined
+//! on attributes the corpus statistics say co-refer (same concept), with
+//! the matched attributes as the query head.
+
+use crate::classifiers::{ElementInfo, MultiStrategyClassifier};
+use crate::text::{name_similarity, SynonymTable};
+use revere_query::{parse_query, ConjunctiveQuery};
+use revere_storage::{Catalog, DbSchema};
+use std::collections::BTreeMap;
+
+/// A proposed query with its score and a human-readable rendering.
+#[derive(Debug, Clone)]
+pub struct ProposedQuery {
+    /// The well-formed query over the actual schema.
+    pub query: ConjunctiveQuery,
+    /// Combined keyword-match score.
+    pub score: f64,
+    /// Which element each keyword was mapped to.
+    pub bindings: Vec<(String, (String, String))>,
+}
+
+/// The keyword→query tool.
+#[derive(Debug, Clone)]
+pub struct QueryReformulator {
+    classifier: MultiStrategyClassifier,
+    synonyms: SynonymTable,
+    /// Candidate elements considered per keyword.
+    pub fanout: usize,
+    /// Proposals returned.
+    pub max_proposals: usize,
+}
+
+impl QueryReformulator {
+    /// Build from trained corpus classifiers.
+    pub fn new(classifier: MultiStrategyClassifier) -> Self {
+        QueryReformulator {
+            classifier,
+            synonyms: SynonymTable::default_domain(),
+            fanout: 3,
+            max_proposals: 5,
+        }
+    }
+
+    /// Score how well `keyword` denotes schema element `(rel, attr)`.
+    fn keyword_score(&self, keyword: &str, schema: &DbSchema, data: &Catalog, rel: &str, attr: &str) -> f64 {
+        let direct = 0.8 * name_similarity(keyword, attr, &self.synonyms)
+            + 0.2 * name_similarity(keyword, rel, &self.synonyms);
+        // Corpus-aware component: does the classifier think this element's
+        // concept matches what the keyword suggests? We classify the
+        // keyword as if it were a bare attribute, then compare to the
+        // element's predicted concept.
+        let kw_info = ElementInfo {
+            name: keyword.to_string(),
+            relation: String::new(),
+            siblings: vec![],
+            values: vec![],
+        };
+        let el_info = ElementInfo {
+            name: attr.to_string(),
+            relation: rel.to_string(),
+            siblings: schema
+                .relation(rel)
+                .map(|r| r.attr_names().filter(|a| *a != attr).map(str::to_string).collect())
+                .unwrap_or_default(),
+            values: data.get(rel).map(|r| r.sample_values(attr, 10)).unwrap_or_default(),
+        };
+        let corpus_score = self
+            .classifier
+            .predict(&kw_info)
+            .as_vector()
+            .cosine(&self.classifier.predict(&el_info).as_vector());
+        0.6 * direct + 0.4 * corpus_score
+    }
+
+    /// Propose ranked well-formed queries for the user's keywords.
+    pub fn propose(&self, keywords: &[&str], schema: &DbSchema, data: &Catalog) -> Vec<ProposedQuery> {
+        if keywords.is_empty() {
+            return Vec::new();
+        }
+        // Candidate elements per keyword.
+        let mut candidates: Vec<Vec<((String, String), f64)>> = Vec::new();
+        for kw in keywords {
+            let mut scored: Vec<((String, String), f64)> = schema
+                .elements()
+                .map(|(rel, attr)| {
+                    (
+                        (rel.to_string(), attr.to_string()),
+                        self.keyword_score(kw, schema, data, rel, attr),
+                    )
+                })
+                .collect();
+            scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            scored.truncate(self.fanout);
+            candidates.push(scored);
+        }
+        // Cartesian combination of candidates (bounded by fanout^keywords,
+        // which the small fanout keeps tractable).
+        let mut combos: Vec<(Vec<(String, String)>, f64)> = vec![(Vec::new(), 0.0)];
+        for cands in &candidates {
+            let mut next = Vec::new();
+            for (chosen, score) in &combos {
+                for (el, s) in cands {
+                    let mut c = chosen.clone();
+                    c.push(el.clone());
+                    next.push((c, score + s));
+                }
+            }
+            combos = next;
+        }
+        combos.sort_by(|a, b| b.1.total_cmp(&a.1));
+        combos.truncate(self.max_proposals);
+
+        let mut out = Vec::new();
+        for (elements, score) in combos {
+            if let Some(q) = self.assemble(&elements, schema) {
+                out.push(ProposedQuery {
+                    query: q,
+                    score: score / keywords.len() as f64,
+                    bindings: keywords
+                        .iter()
+                        .map(|k| k.to_string())
+                        .zip(elements.iter().cloned())
+                        .collect(),
+                });
+            }
+        }
+        out
+    }
+
+    /// Build a well-formed CQ touching the chosen elements: one atom per
+    /// distinct relation, variables shared across relations when two
+    /// attributes have similar names (the join heuristic).
+    fn assemble(&self, elements: &[(String, String)], schema: &DbSchema) -> Option<ConjunctiveQuery> {
+        let mut rels: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for (rel, attr) in elements {
+            rels.entry(rel).or_default().push(attr);
+        }
+        let mut body = Vec::new();
+        let mut head_vars = Vec::new();
+        // Variable name per (relation, attribute).
+        let var_of = |rel: &str, attr: &str| format!("V_{}_{}", sanitize(rel), sanitize(attr));
+        let rel_list: Vec<&str> = rels.keys().copied().collect();
+        for rel in &rel_list {
+            let rs = schema.relation(rel)?;
+            let mut terms = Vec::new();
+            for attr in rs.attr_names() {
+                terms.push(var_of(rel, attr));
+            }
+            body.push(format!("{}({})", rel, terms.join(", ")));
+            for attr in &rels[rel] {
+                head_vars.push(var_of(rel, attr));
+            }
+        }
+        // Join heuristic: equate variables of similar-named attributes in
+        // different relations (e.g. ta.course with course.code).
+        let mut joins: Vec<String> = Vec::new();
+        for (i, r1) in rel_list.iter().enumerate() {
+            for r2 in rel_list.iter().skip(i + 1) {
+                let (s1, s2) = (schema.relation(r1)?, schema.relation(r2)?);
+                let mut best: Option<(f64, String, String)> = None;
+                for a1 in s1.attr_names() {
+                    for a2 in s2.attr_names() {
+                        let sim = name_similarity(a1, a2, &self.synonyms)
+                            .max(name_similarity(a1, r2, &self.synonyms))
+                            .max(name_similarity(a2, r1, &self.synonyms));
+                        if sim > 0.65 && best.as_ref().map(|(b, _, _)| sim > *b).unwrap_or(true) {
+                            best = Some((sim, var_of(r1, a1), var_of(r2, a2)));
+                        }
+                    }
+                }
+                if let Some((_, v1, v2)) = best {
+                    joins.push(format!("{v1} = {v2}"));
+                }
+            }
+        }
+        let mut items = body;
+        items.extend(joins);
+        let text = format!("q({}) :- {}", head_vars.join(", "), items.join(", "));
+        parse_query(&text).ok()
+    }
+}
+
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{Corpus, CorpusEntry};
+    use revere_storage::{RelSchema, Relation, Value};
+
+    fn trained() -> QueryReformulator {
+        let mut c = Corpus::new();
+        let schema = DbSchema::new("U0")
+            .with(RelSchema::text("course", &["title", "instructor"]))
+            .with(RelSchema::text("instructor", &["name", "phone"]));
+        let mut e = CorpusEntry::schema_only(schema);
+        for (rel, attrs, canon_rel) in [
+            ("course", vec!["title", "instructor"], "course"),
+            ("instructor", vec!["name", "phone"], "instructor"),
+        ] {
+            let mut r = Relation::new(RelSchema::text(rel, &attrs.to_vec()));
+            for k in 0..4 {
+                r.insert(attrs.iter().map(|a| Value::str(format!("{a} value {k}"))).collect());
+            }
+            e.data.register(r);
+            for a in &attrs {
+                e.labels.insert(
+                    (rel.to_string(), a.to_string()),
+                    (canon_rel.to_string(), a.to_string()),
+                );
+            }
+        }
+        c.add(e);
+        QueryReformulator::new(MultiStrategyClassifier::train(&c))
+    }
+
+    fn unfamiliar_schema() -> (DbSchema, Catalog) {
+        let schema = DbSchema::new("X")
+            .with(RelSchema::text("offering", &["heading", "lecturer"]))
+            .with(RelSchema::text("staff", &["full_name", "telephone"]));
+        (schema, Catalog::new())
+    }
+
+    #[test]
+    fn maps_keywords_to_foreign_vocabulary() {
+        let r = trained();
+        let (schema, data) = unfamiliar_schema();
+        let proposals = r.propose(&["title"], &schema, &data);
+        assert!(!proposals.is_empty());
+        let top = &proposals[0];
+        assert_eq!(top.bindings[0].1, ("offering".to_string(), "heading".to_string()));
+        // Proposed query is well-formed over the actual schema.
+        assert_eq!(top.query.body[0].relation, "offering");
+        assert!(top.query.is_safe());
+    }
+
+    #[test]
+    fn multi_keyword_queries_join_relations() {
+        let r = trained();
+        let (schema, data) = unfamiliar_schema();
+        let proposals = r.propose(&["title", "phone"], &schema, &data);
+        assert!(!proposals.is_empty());
+        let top = &proposals[0];
+        assert_eq!(top.query.body.len(), 2, "{}", top.query);
+        assert_eq!(top.query.head.terms.len(), 2);
+    }
+
+    #[test]
+    fn proposals_are_ranked() {
+        let r = trained();
+        let (schema, data) = unfamiliar_schema();
+        let proposals = r.propose(&["telephone"], &schema, &data);
+        assert!(proposals.len() >= 2);
+        assert!(proposals.windows(2).all(|w| w[0].score >= w[1].score));
+        assert_eq!(proposals[0].bindings[0].1 .1, "telephone");
+    }
+
+    #[test]
+    fn empty_keywords_yield_nothing() {
+        let r = trained();
+        let (schema, data) = unfamiliar_schema();
+        assert!(r.propose(&[], &schema, &data).is_empty());
+    }
+}

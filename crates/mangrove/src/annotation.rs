@@ -1,0 +1,258 @@
+//! The `mg:` in-place annotation language and its extraction semantics.
+//!
+//! §2.1: "The annotations given by the user are embedded in the HTML files
+//! but invisible to the browser ... Our annotation language is syntactic
+//! sugar for basic RDF. The reason we had to use a new language is that RDF
+//! would require us to replicate all the data in the HTML, rather than
+//! supporting in-place annotation."
+//!
+//! Two attributes make up the language:
+//!
+//! * `mg:about="<subject>"` — establishes the subject for the element and
+//!   all its descendants (scoped, overridable by nested `mg:about`).
+//! * `mg:tag="<schema.tag>"` — states that the element's text content is
+//!   the value of `<schema.tag>` for the in-scope subject.
+//!
+//! Extraction walks the tree once and produces RDF-style statements.
+//! [`Annotator`] plays the role of the paper's graphical tool: given raw
+//! HTML and "highlight this text, tag it so" instructions, it inserts the
+//! annotations without duplicating the data.
+
+use crate::html::parse_html;
+use revere_storage::Value;
+use revere_xml::{Document, NodeId, NodeKind};
+
+/// One extracted statement `(subject, predicate, object)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Statement {
+    /// Subject (from the innermost `mg:about` in scope).
+    pub subject: String,
+    /// Predicate (the `mg:tag` value).
+    pub predicate: String,
+    /// Object (the annotated element's text content, trimmed).
+    pub object: Value,
+}
+
+/// Problems found while extracting (non-fatal: extraction is best-effort,
+/// matching MANGROVE's tolerance for imperfect authoring).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnnotationIssue {
+    /// An `mg:tag` with no `mg:about` in scope.
+    TagWithoutSubject {
+        /// The orphaned tag name.
+        tag: String,
+    },
+    /// An `mg:tag` on an element with empty text content.
+    EmptyValue {
+        /// Subject in scope.
+        subject: String,
+        /// The tag.
+        tag: String,
+    },
+}
+
+/// Extract all statements from an annotated document.
+///
+/// Returns the statements plus any issues encountered.
+pub fn extract_from_doc(doc: &Document) -> (Vec<Statement>, Vec<AnnotationIssue>) {
+    let mut statements = Vec::new();
+    let mut issues = Vec::new();
+    walk(doc, doc.root(), None, &mut statements, &mut issues);
+    (statements, issues)
+}
+
+/// Parse HTML and extract its statements in one step.
+pub fn extract_statements(html: &str) -> (Vec<Statement>, Vec<AnnotationIssue>) {
+    extract_from_doc(&parse_html(html))
+}
+
+fn walk(
+    doc: &Document,
+    node: NodeId,
+    subject: Option<&str>,
+    statements: &mut Vec<Statement>,
+    issues: &mut Vec<AnnotationIssue>,
+) {
+    if let NodeKind::Text(_) = doc.node(node).kind {
+        return;
+    }
+    let own_subject = doc.attr(node, "mg:about");
+    let subject = own_subject.or(subject);
+    if let Some(tag) = doc.attr(node, "mg:tag") {
+        match subject {
+            None => issues.push(AnnotationIssue::TagWithoutSubject { tag: tag.to_string() }),
+            Some(s) => {
+                let text = doc.text_content(node);
+                let trimmed = text.trim();
+                if trimmed.is_empty() {
+                    issues.push(AnnotationIssue::EmptyValue {
+                        subject: s.to_string(),
+                        tag: tag.to_string(),
+                    });
+                } else {
+                    statements.push(Statement {
+                        subject: s.to_string(),
+                        predicate: tag.to_string(),
+                        object: Value::parse(trimmed),
+                    });
+                }
+            }
+        }
+    }
+    for &c in doc.children(node) {
+        walk(doc, c, subject, statements, issues);
+    }
+}
+
+/// The programmatic stand-in for MANGROVE's graphical annotation tool.
+///
+/// "Users highlight portions of the HTML document, then annotate by
+/// choosing a corresponding tag name from the schema" (§2.1). Here a
+/// highlight is a literal text snippet; the annotator wraps its first
+/// un-annotated occurrence in a `<span mg:tag=...>` — in place, without
+/// replicating the data.
+#[derive(Debug, Clone)]
+pub struct Annotator {
+    html: String,
+    subject_set: bool,
+}
+
+impl Annotator {
+    /// Start annotating a page.
+    pub fn new(html: impl Into<String>) -> Self {
+        Annotator { html: html.into(), subject_set: false }
+    }
+
+    /// Declare the page-level subject by annotating the `<body>` (or the
+    /// whole document if no body tag exists).
+    pub fn set_subject(&mut self, subject: &str) -> &mut Self {
+        if let Some(pos) = self.html.find("<body") {
+            let insert_at = pos + "<body".len();
+            self.html
+                .insert_str(insert_at, &format!(" mg:about=\"{subject}\""));
+        } else {
+            self.html = format!("<div mg:about=\"{subject}\">{}</div>", self.html);
+        }
+        self.subject_set = true;
+        self
+    }
+
+    /// Highlight the first occurrence of `snippet` and tag it. Returns
+    /// `false` (leaving the page unchanged) if the snippet is not found.
+    pub fn highlight(&mut self, snippet: &str, tag: &str) -> bool {
+        let Some(pos) = self.html.find(snippet) else {
+            return false;
+        };
+        let wrapped = format!("<span mg:tag=\"{tag}\">{snippet}</span>");
+        self.html.replace_range(pos..pos + snippet.len(), &wrapped);
+        true
+    }
+
+    /// The annotated page, ready to publish.
+    pub fn finish(&self) -> String {
+        self.html.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_simple_statement() {
+        let (stmts, issues) = extract_statements(
+            r#"<body mg:about="course/c1"><h1 mg:tag="course.title">Databases</h1></body>"#,
+        );
+        assert!(issues.is_empty());
+        assert_eq!(
+            stmts,
+            vec![Statement {
+                subject: "course/c1".into(),
+                predicate: "course.title".into(),
+                object: Value::str("Databases"),
+            }]
+        );
+    }
+
+    #[test]
+    fn nested_about_overrides_outer() {
+        let (stmts, _) = extract_statements(
+            r#"<body mg:about="page/x">
+                 <div mg:about="person/a"><span mg:tag="person.name">Ada</span></div>
+                 <span mg:tag="page.note">outer</span>
+               </body>"#,
+        );
+        assert_eq!(stmts.len(), 2);
+        assert_eq!(stmts[0].subject, "person/a");
+        assert_eq!(stmts[1].subject, "page/x");
+    }
+
+    #[test]
+    fn tag_without_subject_is_an_issue() {
+        let (stmts, issues) = extract_statements(r#"<p mg:tag="x.y">v</p>"#);
+        assert!(stmts.is_empty());
+        assert_eq!(issues.len(), 1);
+        assert!(matches!(issues[0], AnnotationIssue::TagWithoutSubject { .. }));
+    }
+
+    #[test]
+    fn empty_value_is_an_issue() {
+        let (stmts, issues) = extract_statements(
+            r#"<body mg:about="s"><span mg:tag="t.v"></span></body>"#,
+        );
+        assert!(stmts.is_empty());
+        assert!(matches!(issues[0], AnnotationIssue::EmptyValue { .. }));
+    }
+
+    #[test]
+    fn numeric_values_are_typed() {
+        let (stmts, _) = extract_statements(
+            r#"<body mg:about="course/c1"><span mg:tag="course.enrollment">120</span></body>"#,
+        );
+        assert_eq!(stmts[0].object, Value::Int(120));
+    }
+
+    #[test]
+    fn annotator_wraps_in_place() {
+        let raw = "<html><body><h1>Intro to Databases</h1>\
+                   <p>Taught by Ada Lovelace in Sieg 134.</p></body></html>";
+        let mut a = Annotator::new(raw);
+        a.set_subject("course/cse444");
+        assert!(a.highlight("Intro to Databases", "course.title"));
+        assert!(a.highlight("Ada Lovelace", "course.instructor"));
+        assert!(a.highlight("Sieg 134", "course.room"));
+        assert!(!a.highlight("Not on the page", "course.room"));
+        let html = a.finish();
+        // Original text not duplicated.
+        assert_eq!(html.matches("Ada Lovelace").count(), 1);
+        let (stmts, issues) = extract_statements(&html);
+        assert!(issues.is_empty());
+        assert_eq!(stmts.len(), 3);
+        assert!(stmts.iter().all(|s| s.subject == "course/cse444"));
+    }
+
+    #[test]
+    fn annotator_without_body_wraps_in_div() {
+        let mut a = Annotator::new("<p>Ada</p>");
+        a.set_subject("person/ada");
+        a.highlight("Ada", "person.name");
+        let (stmts, _) = extract_statements(&a.finish());
+        assert_eq!(stmts.len(), 1);
+        assert_eq!(stmts[0].subject, "person/ada");
+    }
+
+    #[test]
+    fn extraction_from_workload_pages() {
+        // The htmlgen pages (revere-workload) must round-trip through
+        // extraction; validated end-to-end in the integration tests, here
+        // with a literal copy of the generator's table layout.
+        let html = "<html><body>\n<div mg:about=\"person/p001\">\n<table>\n\
+                    <tr><td>Name</td><td mg:tag=\"person.name\">Grace Hopper</td></tr>\n\
+                    <tr><td>Tel</td><td mg:tag=\"person.phone\">206-555-0123</td></tr>\n\
+                    </table>\n</div>\n</body></html>";
+        let (stmts, issues) = extract_statements(html);
+        assert!(issues.is_empty());
+        assert_eq!(stmts.len(), 2);
+        assert_eq!(stmts[1].object, Value::str("206-555-0123"));
+    }
+}

@@ -1,0 +1,240 @@
+//! Instant-gratification applications (§2.2).
+//!
+//! "Instant gratification is provided by building a set of applications
+//! over MANGROVE that immediately show the user the value of structuring
+//! her data. For example, an online department schedule is created based
+//! on the annotations department members add to course home pages ...
+//! Other applications ... include a departmental paper database, a 'Who's
+//! Who', and an annotation-enabled search engine."
+//!
+//! Each application is a *view* over the triple store, recomputed on
+//! demand — so a publish is visible on the very next render, which is the
+//! E4 experiment's subject. Each application chooses its own
+//! [`CleaningPolicy`], demonstrating §2.3's point that integrity is an
+//! application decision.
+
+use crate::clean::{resolve, CleaningPolicy};
+use revere_storage::{Attribute, RelSchema, Relation, TripleStore, Value};
+
+/// The departmental course calendar: one row per course with title, time
+/// and room. Uses [`CleaningPolicy::Freshest`] — a schedule should show
+/// the latest published time.
+#[derive(Debug, Clone)]
+pub struct CourseCalendar {
+    /// Conflict policy (freshest by default).
+    pub policy: CleaningPolicy,
+}
+
+impl Default for CourseCalendar {
+    fn default() -> Self {
+        CourseCalendar { policy: CleaningPolicy::Freshest }
+    }
+}
+
+impl CourseCalendar {
+    /// Render the calendar from the store's current contents.
+    pub fn render(&self, store: &TripleStore) -> Relation {
+        let schema = RelSchema::text("calendar", &["course", "title", "time", "room"]);
+        let mut rel = Relation::new(schema);
+        for subject in store.subjects_with("course.title") {
+            let get = |pred: &str| {
+                resolve(store, subject, pred, &self.policy)
+                    .into_iter()
+                    .next()
+                    .unwrap_or(Value::Null)
+            };
+            rel.insert(vec![
+                Value::str(subject),
+                get("course.title"),
+                get("course.time"),
+                get("course.room"),
+            ]);
+        }
+        rel
+    }
+}
+
+/// The "Who's Who": people with name, email and office. Multi-valued
+/// fields tolerated ([`CleaningPolicy::TakeAll`], joined with `;`).
+#[derive(Debug, Clone)]
+pub struct WhosWho {
+    /// Conflict policy (take-all by default).
+    pub policy: CleaningPolicy,
+}
+
+impl Default for WhosWho {
+    fn default() -> Self {
+        WhosWho { policy: CleaningPolicy::TakeAll }
+    }
+}
+
+impl WhosWho {
+    /// Render the listing.
+    pub fn render(&self, store: &TripleStore) -> Relation {
+        let schema = RelSchema::text("whos_who", &["person", "name", "email", "office"]);
+        let mut rel = Relation::new(schema);
+        for subject in store.subjects_with("person.name") {
+            let get = |pred: &str| {
+                let vals = resolve(store, subject, pred, &self.policy);
+                if vals.is_empty() {
+                    Value::Null
+                } else {
+                    Value::Str(
+                        vals.iter().map(Value::to_string).collect::<Vec<_>>().join("; "),
+                    )
+                }
+            };
+            rel.insert(vec![
+                Value::str(subject),
+                get("person.name"),
+                get("person.email"),
+                get("person.office"),
+            ]);
+        }
+        rel
+    }
+}
+
+/// The faculty phone directory — the paper's worked example of
+/// provenance-based cleaning: "the application can be instructed to
+/// extract a phone number from the faculty's web space, rather than
+/// anywhere on the web."
+#[derive(Debug, Clone)]
+pub struct PhoneDirectory {
+    /// Conflict policy (prefer-own-source by default).
+    pub policy: CleaningPolicy,
+}
+
+impl Default for PhoneDirectory {
+    fn default() -> Self {
+        PhoneDirectory { policy: CleaningPolicy::PreferOwnSource }
+    }
+}
+
+impl PhoneDirectory {
+    /// Render the directory: one phone per person under the policy.
+    pub fn render(&self, store: &TripleStore) -> Relation {
+        let schema = RelSchema::new(
+            "phone_directory",
+            vec![Attribute::text("person"), Attribute::text("name"), Attribute::text("phone")],
+        );
+        let mut rel = Relation::new(schema);
+        for subject in store.subjects_with("person.phone") {
+            let phone = resolve(store, subject, "person.phone", &self.policy)
+                .into_iter()
+                .next()
+                .unwrap_or(Value::Null);
+            let name = resolve(store, subject, "person.name", &CleaningPolicy::Freshest)
+                .into_iter()
+                .next()
+                .unwrap_or(Value::Null);
+            rel.insert(vec![Value::str(subject), name, phone]);
+        }
+        rel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::publish::Mangrove;
+    use crate::schema::MangroveSchema;
+
+    fn installation() -> Mangrove {
+        let mut m = Mangrove::new(MangroveSchema::department());
+        m.publish(
+            "http://univ.edu/courses/db.html",
+            r#"<body mg:about="course/db">
+                 <h1 mg:tag="course.title">Databases</h1>
+                 <span mg:tag="course.time">MWF 10:30</span>
+                 <span mg:tag="course.room">Sieg 134</span>
+               </body>"#,
+        );
+        m.publish(
+            "http://univ.edu/~ada/",
+            r#"<body mg:about="person/ada">
+                 <span mg:tag="person.name">Ada Lovelace</span>
+                 <span mg:tag="person.phone">555-0001</span>
+                 <span mg:tag="person.email">ada@univ.edu</span>
+                 <span mg:tag="person.office">Sieg 301</span>
+               </body>"#,
+        );
+        m
+    }
+
+    #[test]
+    fn calendar_lists_courses() {
+        let m = installation();
+        let cal = CourseCalendar::default().render(&m.store);
+        assert_eq!(cal.len(), 1);
+        assert_eq!(cal.rows()[0][1], Value::str("Databases"));
+        assert_eq!(cal.rows()[0][2], Value::str("MWF 10:30"));
+    }
+
+    #[test]
+    fn instant_gratification_publish_to_visible() {
+        let mut m = installation();
+        // A new course page appears...
+        m.publish(
+            "http://univ.edu/courses/os.html",
+            r#"<body mg:about="course/os"><h1 mg:tag="course.title">Operating Systems</h1></body>"#,
+        );
+        // ...and the very next render shows it.
+        let cal = CourseCalendar::default().render(&m.store);
+        assert_eq!(cal.len(), 2);
+    }
+
+    #[test]
+    fn republish_updates_calendar() {
+        let mut m = installation();
+        m.publish(
+            "http://univ.edu/courses/db.html",
+            r#"<body mg:about="course/db">
+                 <h1 mg:tag="course.title">Databases</h1>
+                 <span mg:tag="course.time">TTh 9:00</span>
+               </body>"#,
+        );
+        let cal = CourseCalendar::default().render(&m.store);
+        assert_eq!(cal.rows()[0][2], Value::str("TTh 9:00"));
+        // Room was removed from the page; it disappears from the view.
+        assert_eq!(cal.rows()[0][3], Value::Null);
+    }
+
+    #[test]
+    fn whos_who_joins_multiple_values() {
+        let mut m = installation();
+        m.publish(
+            "http://univ.edu/group.html",
+            r#"<body><div mg:about="person/ada"><span mg:tag="person.email">lovelace@acm.org</span></div></body>"#,
+        );
+        let ww = WhosWho::default().render(&m.store);
+        let email = ww.rows()[0][2].to_string();
+        assert!(email.contains("ada@univ.edu") && email.contains("lovelace@acm.org"));
+    }
+
+    #[test]
+    fn phone_directory_resists_dirty_directories() {
+        let mut m = installation();
+        // Two stale directories disagree with Ada's own page.
+        for d in ["dir1", "dir2"] {
+            m.publish(
+                &format!("http://univ.edu/{d}.html"),
+                r#"<body><div mg:about="person/ada"><span mg:tag="person.phone">555-9999</span></div></body>"#,
+            );
+        }
+        let dir = PhoneDirectory::default().render(&m.store);
+        assert_eq!(dir.len(), 1);
+        assert_eq!(dir.rows()[0][2], Value::str("555-0001"), "own page must win");
+        // A majority-policy directory would have been fooled.
+        let fooled = PhoneDirectory { policy: CleaningPolicy::Majority }.render(&m.store);
+        assert_eq!(fooled.rows()[0][2], Value::str("555-9999"));
+    }
+
+    #[test]
+    fn empty_store_renders_empty_views() {
+        let store = TripleStore::new();
+        assert!(CourseCalendar::default().render(&store).is_empty());
+        assert!(WhosWho::default().render(&store).is_empty());
+        assert!(PhoneDirectory::default().render(&store).is_empty());
+    }
+}

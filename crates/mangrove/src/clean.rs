@@ -1,0 +1,181 @@
+//! Application-side data cleaning (§2.3: deferred integrity constraints).
+//!
+//! "The burden of cleaning up the data is passed to the application using
+//! the data ... different applications will have varying requirements for
+//! data integrity." The policies here are the ones the paper sketches:
+//! take everything; prefer facts published from the subject's own web
+//! space ("extract a phone number from the faculty's web space, rather
+//! than anywhere on the web" — provenance-based); majority vote across
+//! sources; or freshest publish wins.
+
+use revere_storage::{Triple, TripleStore, Value};
+use std::collections::BTreeMap;
+
+/// How an application resolves conflicting values for one
+/// `(subject, predicate)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CleaningPolicy {
+    /// Keep every distinct value (applications whose users "can tell
+    /// easily whether the answers they are receiving are correct").
+    TakeAll,
+    /// Only trust triples whose source URL matches the subject's own web
+    /// space, determined by `subject_source_hint` — the paper's phone
+    /// directory example. Falls back to [`CleaningPolicy::Majority`] when
+    /// the subject has no own-space triples for the predicate.
+    PreferOwnSource,
+    /// The most frequently asserted value wins; ties broken by freshness.
+    Majority,
+    /// The most recently published value wins.
+    Freshest,
+}
+
+/// Does `source` look like `subject`'s own web space? The heuristic the
+/// paper implies: the subject identifier's last path component appears in
+/// the source URL (e.g. subject `person/p003` published from
+/// `http://univ.edu/~p003/index.html`).
+pub fn is_own_source(subject: &str, source: &str) -> bool {
+    match subject.rsplit('/').next() {
+        Some(key) if !key.is_empty() => source.contains(key),
+        _ => false,
+    }
+}
+
+/// Resolve the values of `(subject, predicate)` under a policy.
+///
+/// Single-winner policies return at most one value; [`CleaningPolicy::TakeAll`]
+/// returns every distinct value ordered by first publish time.
+pub fn resolve(
+    store: &TripleStore,
+    subject: &str,
+    predicate: &str,
+    policy: &CleaningPolicy,
+) -> Vec<Value> {
+    let triples = store.query((Some(subject), Some(predicate), None));
+    if triples.is_empty() {
+        return Vec::new();
+    }
+    match policy {
+        CleaningPolicy::TakeAll => {
+            let mut sorted: Vec<&Triple> = triples;
+            sorted.sort_by_key(|t| t.published_at);
+            let mut seen = Vec::new();
+            for t in sorted {
+                if !seen.contains(&t.object) {
+                    seen.push(t.object.clone());
+                }
+            }
+            seen
+        }
+        CleaningPolicy::PreferOwnSource => {
+            let own: Vec<&Triple> = triples
+                .iter()
+                .copied()
+                .filter(|t| is_own_source(subject, &t.source))
+                .collect();
+            if own.is_empty() {
+                resolve(store, subject, predicate, &CleaningPolicy::Majority)
+            } else {
+                // Freshest among own-space assertions.
+                vec![freshest(&own).object.clone()]
+            }
+        }
+        CleaningPolicy::Majority => {
+            let mut counts: BTreeMap<&Value, (usize, u64)> = BTreeMap::new();
+            for t in &triples {
+                let e = counts.entry(&t.object).or_insert((0, 0));
+                e.0 += 1;
+                e.1 = e.1.max(t.published_at);
+            }
+            let winner = counts
+                .into_iter()
+                .max_by_key(|(_, (n, at))| (*n, *at))
+                .map(|(v, _)| v.clone());
+            winner.into_iter().collect()
+        }
+        CleaningPolicy::Freshest => vec![freshest(&triples).object.clone()],
+    }
+}
+
+fn freshest<'a>(triples: &[&'a Triple]) -> &'a Triple {
+    triples
+        .iter()
+        .max_by_key(|t| t.published_at)
+        .expect("non-empty by caller contract")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conflicted_store() -> TripleStore {
+        let mut s = TripleStore::new();
+        // Own page says 0001 (published first).
+        s.insert("person/ada", "person.phone", "555-0001", "http://univ.edu/~ada/");
+        // Two directories agree on a wrong value (published later).
+        s.insert("person/ada", "person.phone", "555-9999", "http://univ.edu/dir1");
+        s.insert("person/ada", "person.phone", "555-9999", "http://univ.edu/dir2");
+        s
+    }
+
+    #[test]
+    fn take_all_returns_distinct_in_publish_order() {
+        let s = conflicted_store();
+        let vals = resolve(&s, "person/ada", "person.phone", &CleaningPolicy::TakeAll);
+        assert_eq!(vals, vec![Value::str("555-0001"), Value::str("555-9999")]);
+    }
+
+    #[test]
+    fn prefer_own_source_trusts_home_page() {
+        let s = conflicted_store();
+        let vals = resolve(&s, "person/ada", "person.phone", &CleaningPolicy::PreferOwnSource);
+        assert_eq!(vals, vec![Value::str("555-0001")]);
+    }
+
+    #[test]
+    fn prefer_own_source_falls_back_to_majority() {
+        let mut s = TripleStore::new();
+        s.insert("person/bob", "person.phone", "555-1111", "http://univ.edu/dir1");
+        s.insert("person/bob", "person.phone", "555-1111", "http://univ.edu/dir2");
+        s.insert("person/bob", "person.phone", "555-2222", "http://univ.edu/dir3");
+        let vals = resolve(&s, "person/bob", "person.phone", &CleaningPolicy::PreferOwnSource);
+        assert_eq!(vals, vec![Value::str("555-1111")]);
+    }
+
+    #[test]
+    fn majority_wins_even_against_own_page() {
+        let s = conflicted_store();
+        let vals = resolve(&s, "person/ada", "person.phone", &CleaningPolicy::Majority);
+        assert_eq!(vals, vec![Value::str("555-9999")]);
+    }
+
+    #[test]
+    fn freshest_takes_latest_publish() {
+        let s = conflicted_store();
+        let vals = resolve(&s, "person/ada", "person.phone", &CleaningPolicy::Freshest);
+        assert_eq!(vals, vec![Value::str("555-9999")]);
+        let mut s2 = conflicted_store();
+        s2.insert("person/ada", "person.phone", "555-0002", "http://univ.edu/~ada/");
+        let vals2 = resolve(&s2, "person/ada", "person.phone", &CleaningPolicy::Freshest);
+        assert_eq!(vals2, vec![Value::str("555-0002")]);
+    }
+
+    #[test]
+    fn empty_for_unknown_subject() {
+        let s = conflicted_store();
+        for p in [
+            CleaningPolicy::TakeAll,
+            CleaningPolicy::PreferOwnSource,
+            CleaningPolicy::Majority,
+            CleaningPolicy::Freshest,
+        ] {
+            assert!(resolve(&s, "person/eve", "person.phone", &p).is_empty());
+        }
+    }
+
+    #[test]
+    fn own_source_heuristic() {
+        assert!(is_own_source("person/p003", "http://univ.edu/~p003/index.html"));
+        assert!(!is_own_source("person/p003", "http://univ.edu/directory.html"));
+        assert!(!is_own_source("", "http://univ.edu/x"));
+    }
+}

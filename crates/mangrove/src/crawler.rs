@@ -1,0 +1,135 @@
+//! The periodic-crawl baseline.
+//!
+//! §2.2: "this tangible result encourages a feedback cycle ... This
+//! feedback cycle would be crippled if changes relied upon periodic web
+//! crawls before they took effect." To measure that claim (experiment E4)
+//! we implement the alternative MANGROVE rejects: a crawler that refreshes
+//! its copy of each page only every `interval` ticks, so a publish becomes
+//! visible only at the next crawl.
+
+use crate::publish::publish_page;
+use crate::schema::MangroveSchema;
+use revere_storage::TripleStore;
+use std::collections::BTreeMap;
+
+/// A crawl-based repository with a logical clock.
+#[derive(Debug)]
+pub struct CrawlBaseline {
+    /// Ticks between crawls.
+    pub interval: u64,
+    schema: MangroveSchema,
+    /// Pending page versions not yet crawled: url → html.
+    pending: BTreeMap<String, String>,
+    /// The crawled repository.
+    pub store: TripleStore,
+    clock: u64,
+}
+
+impl CrawlBaseline {
+    /// Create a baseline crawling every `interval` ticks.
+    pub fn new(schema: MangroveSchema, interval: u64) -> Self {
+        assert!(interval >= 1, "interval must be at least 1 tick");
+        CrawlBaseline {
+            interval,
+            schema,
+            pending: BTreeMap::new(),
+            store: TripleStore::new(),
+            clock: 0,
+        }
+    }
+
+    /// Current logical time.
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// An author edits/publishes a page. Under the crawl model nothing is
+    /// visible yet. Returns the tick at which the change *will* become
+    /// visible.
+    pub fn author_publish(&mut self, url: &str, html: &str) -> u64 {
+        self.pending.insert(url.to_string(), html.to_string());
+        self.next_crawl_at()
+    }
+
+    /// The next tick at which a crawl runs.
+    pub fn next_crawl_at(&self) -> u64 {
+        ((self.clock / self.interval) + 1) * self.interval
+    }
+
+    /// Advance time by one tick; crawls run on multiples of `interval`.
+    /// Returns how many pages were (re)ingested this tick.
+    pub fn tick(&mut self) -> usize {
+        self.clock += 1;
+        if self.clock.is_multiple_of(self.interval) {
+            let batch = std::mem::take(&mut self.pending);
+            let n = batch.len();
+            for (url, html) in batch {
+                publish_page(&mut self.store, &self.schema, &url, &html);
+            }
+            n
+        } else {
+            0
+        }
+    }
+
+    /// Staleness of a publish made *now*: ticks until visible.
+    pub fn staleness_of_publish_now(&self) -> u64 {
+        self.next_crawl_at() - self.clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAGE: &str =
+        r#"<body mg:about="course/db"><h1 mg:tag="course.title">Databases</h1></body>"#;
+
+    #[test]
+    fn publish_invisible_until_crawl() {
+        let mut c = CrawlBaseline::new(MangroveSchema::department(), 10);
+        let visible_at = c.author_publish("http://u/db", PAGE);
+        assert_eq!(visible_at, 10);
+        for _ in 0..9 {
+            assert_eq!(c.tick(), 0);
+            assert!(c.store.is_empty());
+        }
+        assert_eq!(c.tick(), 1);
+        assert_eq!(c.store.len(), 1);
+    }
+
+    #[test]
+    fn multiple_edits_between_crawls_collapse() {
+        let mut c = CrawlBaseline::new(MangroveSchema::department(), 5);
+        c.author_publish("http://u/db", PAGE);
+        c.author_publish(
+            "http://u/db",
+            r#"<body mg:about="course/db"><h1 mg:tag="course.title">Databases II</h1></body>"#,
+        );
+        for _ in 0..5 {
+            c.tick();
+        }
+        let titles = c.store.query((Some("course/db"), Some("course.title"), None));
+        assert_eq!(titles.len(), 1);
+        assert_eq!(titles[0].object.to_string(), "Databases II");
+    }
+
+    #[test]
+    fn staleness_depends_on_phase() {
+        let mut c = CrawlBaseline::new(MangroveSchema::department(), 10);
+        assert_eq!(c.staleness_of_publish_now(), 10);
+        for _ in 0..7 {
+            c.tick();
+        }
+        assert_eq!(c.staleness_of_publish_now(), 3);
+    }
+
+    #[test]
+    fn interval_one_is_nearly_instant() {
+        let mut c = CrawlBaseline::new(MangroveSchema::department(), 1);
+        c.author_publish("http://u/db", PAGE);
+        assert_eq!(c.staleness_of_publish_now(), 1);
+        c.tick();
+        assert_eq!(c.store.len(), 1);
+    }
+}

@@ -1,0 +1,157 @@
+//! Dynamic page generation (§2.3).
+//!
+//! "MANGROVE also enables some web pages that are currently compiled by
+//! hand, such as department-wide course summaries, to be dynamically
+//! generated in the spirit of systems like Strudel \[17\]."
+//!
+//! [`render_course_summary`] and [`render_people_summary`] compile a
+//! department-wide page from the triple store. The generated HTML is
+//! itself annotated with `mg:` attributes, so the output closes the loop:
+//! a generated summary can be published back into (another) MANGROVE
+//! installation and re-extracted losslessly.
+
+use crate::clean::{resolve, CleaningPolicy};
+use revere_storage::TripleStore;
+use revere_xml::writer::escape_text;
+
+/// Render the department-wide course summary page. One section per
+/// course subject, each fact both displayed and annotated.
+pub fn render_course_summary(store: &TripleStore, policy: &CleaningPolicy) -> String {
+    let mut html = String::from(
+        "<html><head><title>Department course summary</title></head><body>\n\
+         <h1>Department course summary</h1>\n\
+         <p>Generated from published annotations.</p>\n",
+    );
+    for subject in store.subjects_with("course.title") {
+        html.push_str(&format!("<div mg:about=\"{subject}\">\n"));
+        let field = |pred: &str, label: &str, html: &mut String| {
+            if let Some(v) = resolve(store, subject, pred, policy).into_iter().next() {
+                html.push_str(&format!(
+                    "  <p>{label}: <span mg:tag=\"{pred}\">{}</span></p>\n",
+                    escape_text(&v.to_string())
+                ));
+            }
+        };
+        field("course.title", "Title", &mut html);
+        field("course.instructor", "Instructor", &mut html);
+        field("course.time", "Time", &mut html);
+        field("course.room", "Room", &mut html);
+        html.push_str("</div>\n");
+    }
+    html.push_str("</body></html>\n");
+    html
+}
+
+/// Render the department "people" page (name / email / office).
+pub fn render_people_summary(store: &TripleStore, policy: &CleaningPolicy) -> String {
+    let mut html = String::from(
+        "<html><head><title>People</title></head><body>\n<h1>People</h1>\n<ul>\n",
+    );
+    for subject in store.subjects_with("person.name") {
+        html.push_str(&format!("<li mg:about=\"{subject}\">"));
+        for (pred, sep) in [
+            ("person.name", ""),
+            ("person.email", " — "),
+            ("person.office", ", "),
+        ] {
+            if let Some(v) = resolve(store, subject, pred, policy).into_iter().next() {
+                html.push_str(&format!(
+                    "{sep}<span mg:tag=\"{pred}\">{}</span>",
+                    escape_text(&v.to_string())
+                ));
+            }
+        }
+        html.push_str("</li>\n");
+    }
+    html.push_str("</ul>\n</body></html>\n");
+    html
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotation::extract_statements;
+    use crate::publish::Mangrove;
+    use crate::schema::MangroveSchema;
+    use revere_storage::Value;
+
+    fn loaded() -> Mangrove {
+        let mut m = Mangrove::new(MangroveSchema::department());
+        m.publish(
+            "http://u/db",
+            r#"<body mg:about="course/db">
+                 <h1 mg:tag="course.title">Databases</h1>
+                 <span mg:tag="course.instructor">Ada Lovelace</span>
+                 <span mg:tag="course.time">MWF 10:30</span>
+               </body>"#,
+        );
+        m.publish(
+            "http://u/~ada",
+            r#"<body mg:about="person/ada">
+                 <span mg:tag="person.name">Ada Lovelace</span>
+                 <span mg:tag="person.email">ada@u.edu</span>
+               </body>"#,
+        );
+        m
+    }
+
+    #[test]
+    fn course_summary_contains_facts_and_annotations() {
+        let m = loaded();
+        let html = render_course_summary(&m.store, &CleaningPolicy::Freshest);
+        assert!(html.contains("Databases"));
+        assert!(html.contains("mg:about=\"course/db\""));
+        assert!(html.contains("mg:tag=\"course.time\""));
+    }
+
+    #[test]
+    fn generated_page_republishes_losslessly() {
+        // The Strudel loop: generate → publish elsewhere → same facts.
+        let m = loaded();
+        let html = render_course_summary(&m.store, &CleaningPolicy::Freshest);
+        let (stmts, issues) = extract_statements(&html);
+        assert!(issues.is_empty(), "{issues:?}");
+        assert!(stmts
+            .iter()
+            .any(|s| s.subject == "course/db"
+                && s.predicate == "course.title"
+                && s.object == Value::str("Databases")));
+        assert!(stmts
+            .iter()
+            .any(|s| s.predicate == "course.instructor"));
+        // Publish into a second installation; the calendar renders there.
+        let mut mirror = Mangrove::new(MangroveSchema::department());
+        mirror.publish("http://mirror/summary", &html);
+        let cal = crate::apps::CourseCalendar::default().render(&mirror.store);
+        assert_eq!(cal.len(), 1);
+    }
+
+    #[test]
+    fn people_summary_lists_everyone() {
+        let m = loaded();
+        let html = render_people_summary(&m.store, &CleaningPolicy::Freshest);
+        assert!(html.contains("ada@u.edu"));
+        let (stmts, issues) = extract_statements(&html);
+        assert!(issues.is_empty());
+        assert_eq!(stmts.iter().filter(|s| s.subject == "person/ada").count(), 2);
+    }
+
+    #[test]
+    fn values_are_escaped() {
+        let mut m = Mangrove::new(MangroveSchema::department());
+        m.store
+            .insert("course/x", "course.title", "Logic <& > Proofs", "src");
+        let html = render_course_summary(&m.store, &CleaningPolicy::Freshest);
+        assert!(html.contains("Logic &lt;&amp; &gt; Proofs"));
+        let (stmts, _) = extract_statements(&html);
+        assert_eq!(stmts[0].object, Value::str("Logic <& > Proofs"));
+    }
+
+    #[test]
+    fn empty_store_renders_empty_summary() {
+        let store = TripleStore::new();
+        let html = render_course_summary(&store, &CleaningPolicy::Freshest);
+        let (stmts, _) = extract_statements(&html);
+        assert!(stmts.is_empty());
+    }
+}

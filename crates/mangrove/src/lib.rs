@@ -1,0 +1,50 @@
+//! MANGROVE: the data-structuring component of REVERE (§2 of the paper).
+//!
+//! MANGROVE turns data already living in HTML pages into structured data
+//! without moving it: authors annotate fragments in place, hit *publish*,
+//! and instant-gratification applications update the moment the publish
+//! lands. Integrity constraints are deferred to the applications.
+//!
+//! * [`html`] — a lenient HTML parser (real pages are not XML: void
+//!   elements, optional end tags, unquoted attributes).
+//! * [`annotation`] — the `mg:` in-place annotation language ("syntactic
+//!   sugar for basic RDF", §2.1): extraction of statements from annotated
+//!   pages, and an [`Annotator`] that plays the role of the paper's
+//!   graphical annotation tool.
+//! * [`schema`] — MANGROVE's lightweight schemas: "a set of standardized
+//!   tag names (and their allowed nesting structure)" with *no* integrity
+//!   constraints.
+//! * [`publish`] — the publish pipeline: parse → extract → check tags →
+//!   republish into the provenance-carrying triple store.
+//! * [`clean`] — §2.3's application-side cleaning policies (take-all,
+//!   prefer-own-source, majority, freshest), which is where deferred
+//!   integrity checking actually happens.
+//! * [`apps`] — instant-gratification applications: the course calendar,
+//!   the "Who's Who", and the phone directory from the paper's examples.
+//! * [`crawler`] — the periodic-crawl baseline MANGROVE's freshness is
+//!   measured against ("this feedback cycle would be crippled if changes
+//!   relied upon periodic web crawls").
+//!
+//! [`Annotator`]: annotation::Annotator
+
+pub mod annotation;
+pub mod apps;
+pub mod clean;
+pub mod consistency;
+pub mod crawler;
+pub mod dynamic;
+pub mod html;
+pub mod publish;
+pub mod schema;
+pub mod search;
+
+pub use annotation::{extract_statements, Annotator, Statement};
+pub use apps::{CourseCalendar, PhoneDirectory, WhosWho};
+pub use clean::CleaningPolicy;
+pub use consistency::{find_inconsistencies, notifications_by_source, Inconsistency};
+pub use crawler::CrawlBaseline;
+pub use dynamic::{render_course_summary, render_people_summary};
+pub use html::parse_html;
+pub use publish::{publish_page, Mangrove, PublishReport};
+pub use schema::MangroveSchema;
+pub use search::{PaperDatabase, SearchEngine, SearchHit};

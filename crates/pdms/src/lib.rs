@@ -1,0 +1,42 @@
+//! Piazza: the peer data management system of REVERE (§3 of the paper).
+//!
+//! "Semantic mappings between disparate schemas are given locally between
+//! two (or a small set of) peers. Using these semantic mappings
+//! transitively, peers can make use of relevant data anywhere in the
+//! system. Consequently, queries in a PDMS can be posed using the local
+//! schema of the peer, without having to learn the schema of other peers."
+//!
+//! * [`peer`] — peers: a name, a peer schema, stored relations.
+//! * [`reformulate`] — query answering over the transitive closure of GLAV
+//!   mappings: rule-goal expansion mixing GAV unfolding with MiniCon view
+//!   rewriting, with the pruning heuristics §3.1.1 mentions.
+//! * [`network`] — the simulated overlay: message/hop accounting, query
+//!   routing, optional multi-threaded disjunct execution.
+//! * [`xmlmap`] — the Figure 4 mapping-template language for XML peers:
+//!   a target-schema template annotated with binding queries, applied to
+//!   source documents.
+//! * [`views`] — materialized views with derivation counts.
+//! * [`placement`] — greedy view placement under per-peer storage budgets
+//!   and plan-aware query routing.
+//! * [`updategram`] — updategrams \[36\] and counting-based incremental view
+//!   maintenance with a cost-based choice against full recomputation.
+//! * [`propagation`] — translating base-data updategrams through mappings
+//!   into virtual-relation updategrams for remote caches.
+
+pub mod network;
+pub mod peer;
+pub mod placement;
+pub mod propagation;
+pub mod reformulate;
+pub mod updategram;
+pub mod views;
+pub mod xmlmap;
+
+pub use network::{PdmsNetwork, QueryOutcome};
+pub use peer::Peer;
+pub use placement::{answer_with_plan, plan_placement, PlacementPlan, WorkloadEntry};
+pub use propagation::{propagate_through_mapping, MappingPropagator};
+pub use reformulate::{ReformulateOptions, ReformulationResult, Reformulator};
+pub use updategram::{maintain, MaintenanceChoice, Updategram};
+pub use views::MaterializedView;
+pub use xmlmap::XmlMapping;

@@ -1,0 +1,403 @@
+//! The simulated peer network.
+//!
+//! §3.1: "Piazza consists of an overlay network of peers connected via the
+//! Internet ... each peer can receive and process requests." The real
+//! Internet is replaced (DESIGN.md §3) by an in-process overlay that
+//! tracks exactly what the distributed system would pay: messages sent,
+//! tuples shipped, peers contacted. Disjuncts of a reformulated query can
+//! be evaluated on worker threads (crossbeam scoped threads over the
+//! peers' lock-protected catalogs), standing in for §3.1.2's peer-local
+//! query processing.
+
+use crate::peer::{split_qualified, Peer};
+use crate::reformulate::{ReformulateOptions, ReformulationResult, Reformulator};
+use revere_query::glav::GlavMapping;
+use revere_query::{parse_query, ConjunctiveQuery, Source};
+use revere_storage::{Catalog, Relation};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The PDMS: peers plus the shared mapping graph.
+#[derive(Debug, Default)]
+pub struct PdmsNetwork {
+    peers: BTreeMap<String, Peer>,
+    mappings: Vec<GlavMapping>,
+    /// Reformulation configuration used for queries.
+    pub options: ReformulateOptions,
+}
+
+/// The result of asking one peer a question.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// The answers, in the querying peer's vocabulary.
+    pub answers: Relation,
+    /// Reformulation statistics.
+    pub reformulation: ReformulationResult,
+    /// Peers whose data actually contributed (had the needed relations).
+    pub peers_contacted: BTreeSet<String>,
+    /// Messages exchanged: one request + one response per contacted remote
+    /// peer, per relation fetched.
+    pub messages: usize,
+    /// Tuples shipped from remote peers to the querying peer.
+    pub tuples_shipped: usize,
+}
+
+impl PdmsNetwork {
+    /// An empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a peer. Replaces any existing peer of the same name.
+    pub fn add_peer(&mut self, peer: Peer) {
+        self.peers.insert(peer.name.clone(), peer);
+    }
+
+    /// Add a mapping between two member peers.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is unknown — a mapping to a non-member is
+    /// always a bug in test/bench setup.
+    pub fn add_mapping(&mut self, mapping: GlavMapping) {
+        assert!(
+            self.peers.contains_key(&mapping.source_peer),
+            "unknown source peer {}",
+            mapping.source_peer
+        );
+        assert!(
+            self.peers.contains_key(&mapping.target_peer),
+            "unknown target peer {}",
+            mapping.target_peer
+        );
+        self.mappings.push(mapping);
+    }
+
+    /// Borrow a peer.
+    pub fn peer(&self, name: &str) -> Option<&Peer> {
+        self.peers.get(name)
+    }
+
+    /// Mutably borrow a peer.
+    pub fn peer_mut(&mut self, name: &str) -> Option<&mut Peer> {
+        self.peers.get_mut(name)
+    }
+
+    /// Peer names.
+    pub fn peer_names(&self) -> impl Iterator<Item = &str> {
+        self.peers.keys().map(String::as_str)
+    }
+
+    /// Number of peers.
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// True when the network has no peers.
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+
+    /// Number of mappings.
+    pub fn mapping_count(&self) -> usize {
+        self.mappings.len()
+    }
+
+    /// Pose a textual query at a peer. The query must use relations
+    /// qualified with peer names (usually the local peer's).
+    pub fn query_str(&self, at_peer: &str, query: &str) -> Result<QueryOutcome, String> {
+        let q = parse_query(query).map_err(|e| e.to_string())?;
+        self.query(at_peer, &q)
+    }
+
+    /// Pose a parsed query at a peer: reformulate over the mapping graph,
+    /// fetch the needed relations, evaluate the union.
+    pub fn query(&self, at_peer: &str, q: &ConjunctiveQuery) -> Result<QueryOutcome, String> {
+        if !self.peers.contains_key(at_peer) {
+            return Err(format!("unknown peer {at_peer:?}"));
+        }
+        let reformulator = Reformulator::new(self.mappings.clone(), self.options.clone());
+        let reformulation = reformulator.reformulate(q);
+
+        // Fetch phase: snapshot every referenced relation that exists.
+        let mut staging = Catalog::new();
+        let mut peers_contacted = BTreeSet::new();
+        let mut messages = 0usize;
+        let mut tuples_shipped = 0usize;
+        let mut fetched: BTreeSet<String> = BTreeSet::new();
+        for d in &reformulation.union.disjuncts {
+            for a in &d.body {
+                if !fetched.insert(a.relation.clone()) {
+                    continue;
+                }
+                let Some((owner, _)) = split_qualified(&a.relation) else {
+                    continue;
+                };
+                let Some(peer) = self.peers.get(owner) else {
+                    continue;
+                };
+                if let Some(rel) = peer.storage.snapshot(&a.relation) {
+                    peers_contacted.insert(owner.to_string());
+                    if owner != at_peer {
+                        messages += 2; // request + response
+                        tuples_shipped += rel.len();
+                    }
+                    staging.register(rel);
+                }
+            }
+        }
+
+        // Evaluate disjuncts (those whose relations are all present).
+        let answers = revere_query::eval_union(&reformulation.union, &staging)
+            .map_err(|e| e.to_string())?;
+        Ok(QueryOutcome {
+            answers,
+            reformulation,
+            peers_contacted,
+            messages,
+            tuples_shipped,
+        })
+    }
+
+    /// Parallel variant: evaluate each disjunct on its own scoped thread.
+    /// Same answers as [`PdmsNetwork::query`]; used by the benches to
+    /// exercise the multi-threaded execution path.
+    pub fn query_parallel(&self, at_peer: &str, q: &ConjunctiveQuery) -> Result<QueryOutcome, String> {
+        let mut outcome = self.query(at_peer, q)?; // fetch + stats (cheap relative to eval)
+        // Re-evaluate disjuncts in parallel against per-thread snapshots.
+        let union = &outcome.reformulation.union;
+        let mut staging = Catalog::new();
+        for d in &union.disjuncts {
+            for a in &d.body {
+                if staging.get(&a.relation).is_none() {
+                    if let Some((owner, _)) = split_qualified(&a.relation) {
+                        if let Some(peer) = self.peers.get(owner) {
+                            if let Some(rel) = peer.storage.snapshot(&a.relation) {
+                                staging.register(rel);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let staging = &staging;
+        let results: Vec<Option<Relation>> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = union
+                .disjuncts
+                .iter()
+                .map(|d| s.spawn(move |_| revere_query::eval_cq(d, staging).ok()))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("disjunct worker panicked")).collect()
+        })
+        .expect("crossbeam scope");
+        let mut merged: Option<Relation> = None;
+        for r in results.into_iter().flatten() {
+            merged = Some(match merged {
+                None => r,
+                Some(m) => {
+                    let schema = m.schema.clone();
+                    let mut rows = m.into_rows();
+                    rows.extend(r.into_rows());
+                    Relation::with_rows(schema, rows)
+                }
+            });
+        }
+        if let Some(m) = merged {
+            outcome.answers = m.distinct();
+        }
+        Ok(outcome)
+    }
+
+    /// Expose the whole network as a query [`Source`] (used by tests and
+    /// by view refresh, which conceptually runs "at" a peer with access to
+    /// fetched snapshots).
+    pub fn snapshot_all(&self) -> Catalog {
+        let mut c = Catalog::new();
+        for p in self.peers.values() {
+            p.storage.read(|cat| {
+                for name in cat.names() {
+                    if let Some(r) = cat.get(name) {
+                        c.register(r.clone());
+                    }
+                }
+            });
+        }
+        c
+    }
+}
+
+impl Source for PdmsNetwork {
+    /// Direct lookup of a qualified relation (no snapshotting): only valid
+    /// for single-threaded use. Returns `None` for relations of unknown
+    /// peers.
+    fn relation(&self, _name: &str) -> Option<&Relation> {
+        // SharedCatalog hands out guards, not references; the Source trait
+        // cannot express that lifetime, so network-wide evaluation goes
+        // through `snapshot_all` instead.
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revere_storage::{RelSchema, Value};
+
+    /// The Figure 2 network in miniature: three universities, chain
+    /// mappings, course data everywhere.
+    fn university_network() -> PdmsNetwork {
+        let mut net = PdmsNetwork::new();
+        for (peer, rel, rows) in [
+            ("MIT", "subject", vec![("Databases", 120i64)]),
+            ("Berkeley", "course", vec![("Ancient Greece", 40), ("Databases", 95)]),
+            ("Tsinghua", "kecheng", vec![("Roman Law", 25)]),
+        ] {
+            let mut p = Peer::new(peer);
+            let mut r = Relation::new(RelSchema::new(
+                rel,
+                vec![
+                    revere_storage::Attribute::text("title"),
+                    revere_storage::Attribute::int("enrollment"),
+                ],
+            ));
+            for (t, e) in rows {
+                r.insert(vec![Value::str(t), Value::Int(e)]);
+            }
+            p.add_relation(r);
+            net.add_peer(p);
+        }
+        net.add_mapping(
+            GlavMapping::parse(
+                "m_bm",
+                "Berkeley",
+                "MIT",
+                "m(T, E) :- Berkeley.course(T, E) ==> m(T, E) :- MIT.subject(T, E)",
+            )
+            .unwrap(),
+        );
+        net.add_mapping(
+            GlavMapping::parse(
+                "m_tb",
+                "Tsinghua",
+                "Berkeley",
+                "m(T, E) :- Tsinghua.kecheng(T, E) ==> m(T, E) :- Berkeley.course(T, E)",
+            )
+            .unwrap(),
+        );
+        net
+    }
+
+    #[test]
+    fn query_reaches_all_peers_transitively() {
+        let net = university_network();
+        let out = net.query_str("MIT", "q(T, E) :- MIT.subject(T, E)").unwrap();
+        // All four (title, enrollment) pairs from all three peers.
+        assert_eq!(out.answers.len(), 4, "{}", out.answers);
+        assert_eq!(out.peers_contacted.len(), 3);
+        assert!(out.messages >= 4); // two remote peers, ≥1 relation each
+        assert!(out.tuples_shipped >= 3);
+    }
+
+    #[test]
+    fn query_in_any_peers_vocabulary() {
+        let net = university_network();
+        // Same information need, posed at Tsinghua in its own vocabulary.
+        let out = net.query_str("Tsinghua", "q(T, E) :- Tsinghua.kecheng(T, E)").unwrap();
+        assert_eq!(out.answers.len(), 4);
+    }
+
+    #[test]
+    fn local_only_when_no_mappings() {
+        let mut net = PdmsNetwork::new();
+        let mut p = Peer::new("Lonely");
+        let mut r = Relation::new(RelSchema::text("course", &["title"]));
+        r.insert(vec![Value::str("Solipsism 101")]);
+        p.add_relation(r);
+        net.add_peer(p);
+        let out = net.query_str("Lonely", "q(T) :- Lonely.course(T)").unwrap();
+        assert_eq!(out.answers.len(), 1);
+        assert_eq!(out.messages, 0);
+        assert_eq!(out.tuples_shipped, 0);
+    }
+
+    #[test]
+    fn selections_are_pushed_through_mappings() {
+        let net = university_network();
+        let out = net
+            .query_str("MIT", "q(T, E) :- MIT.subject(T, E), E > 50")
+            .unwrap();
+        // Databases@MIT (120) and Databases@Berkeley (95).
+        assert_eq!(out.answers.len(), 2, "{}", out.answers);
+    }
+
+    #[test]
+    fn unknown_peer_is_an_error() {
+        let net = university_network();
+        assert!(net.query_str("Oxford", "q(T) :- Oxford.course(T)").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown source peer")]
+    fn mapping_to_unknown_peer_panics() {
+        let mut net = PdmsNetwork::new();
+        net.add_peer(Peer::new("A"));
+        net.add_mapping(
+            GlavMapping::parse("m", "Ghost", "A", "m(X) :- Ghost.r(X) ==> m(X) :- A.r(X)").unwrap(),
+        );
+    }
+
+    #[test]
+    fn parallel_execution_matches_sequential() {
+        let net = university_network();
+        let q = parse_query("q(T) :- MIT.subject(T, E)").unwrap();
+        let seq = net.query("MIT", &q).unwrap();
+        let par = net.query_parallel("MIT", &q).unwrap();
+        let mut a: Vec<_> = seq.answers.rows().to_vec();
+        let mut b: Vec<_> = par.answers.rows().to_vec();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn peer_departure_degrades_gracefully() {
+        // "every member can join or leave at will": drop Berkeley's data;
+        // MIT still gets its local answers plus whatever remains reachable.
+        let mut net = university_network();
+        net.peer_mut("Berkeley").unwrap().storage =
+            revere_storage::SharedCatalog::new(Catalog::new());
+        let out = net.query_str("MIT", "q(T) :- MIT.subject(T, E)").unwrap();
+        // MIT local (1) + Tsinghua via the two-hop translation (1).
+        assert_eq!(out.answers.len(), 2, "{}", out.answers);
+    }
+
+    #[test]
+    fn new_peer_joining_is_one_mapping_away() {
+        // Example 3.1's Trento: join by mapping to the most similar peer.
+        let mut net = university_network();
+        let mut trento = Peer::new("Trento");
+        let mut r = Relation::new(RelSchema::new(
+            "corso",
+            vec![
+                revere_storage::Attribute::text("titolo"),
+                revere_storage::Attribute::int("iscritti"),
+            ],
+        ));
+        r.insert(vec![Value::str("Etruscan Art"), Value::Int(15)]);
+        trento.add_relation(r);
+        net.add_peer(trento);
+        net.add_mapping(
+            GlavMapping::parse(
+                "m_tt",
+                "Trento",
+                "Tsinghua",
+                "m(T, E) :- Trento.corso(T, E) ==> m(T, E) :- Tsinghua.kecheng(T, E)",
+            )
+            .unwrap(),
+        );
+        let out = net.query_str("MIT", "q(T, E) :- MIT.subject(T, E)").unwrap();
+        assert_eq!(out.answers.len(), 5);
+        assert!(out
+            .answers
+            .iter()
+            .any(|r| r[0] == Value::str("Etruscan Art")));
+    }
+}

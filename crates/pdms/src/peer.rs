@@ -1,0 +1,121 @@
+//! Peers.
+//!
+//! §3.1: "A peer can provide any or all of three different types of
+//! content: (1) new XML data (which we refer to as *stored relations* ...),
+//! (2) a new logical schema that others can query or map to (... a *peer
+//! schema*), and (3) new mappings." A [`Peer`] holds the first two; the
+//! mappings live in the network's shared mapping graph.
+//!
+//! Relation names are peer-qualified throughout the PDMS: peer `Berkeley`'s
+//! relation `course` is addressed as `Berkeley.course`.
+
+use revere_storage::{Catalog, DbSchema, RelSchema, Relation, SharedCatalog, Value};
+
+/// One Piazza peer.
+#[derive(Debug, Clone)]
+pub struct Peer {
+    /// Peer name (`Berkeley`).
+    pub name: String,
+    /// Stored relations, registered under *qualified* names.
+    pub storage: SharedCatalog,
+    /// The peer's logical schema (unqualified relation names).
+    pub schema: DbSchema,
+}
+
+/// Qualify a relation name with its peer: `qualified("Berkeley", "course")
+/// == "Berkeley.course"`.
+pub fn qualified(peer: &str, relation: &str) -> String {
+    format!("{peer}.{relation}")
+}
+
+/// Split a qualified name into `(peer, relation)`; `None` when unqualified.
+pub fn split_qualified(name: &str) -> Option<(&str, &str)> {
+    name.split_once('.')
+}
+
+impl Peer {
+    /// Create a peer with no relations.
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        Peer {
+            schema: DbSchema::new(name.clone()),
+            name,
+            storage: SharedCatalog::new(Catalog::new()),
+        }
+    }
+
+    /// Add a stored relation. The relation's schema name may be given
+    /// unqualified; it is stored qualified.
+    pub fn add_relation(&mut self, rel: Relation) {
+        let mut rel = rel;
+        let unqualified = rel.schema.name.clone();
+        if split_qualified(&unqualified).is_none() {
+            rel.schema.name = qualified(&self.name, &unqualified);
+        }
+        self.schema.relations.push(RelSchema {
+            name: unqualified,
+            attrs: rel.schema.attrs.clone(),
+        });
+        self.storage.write(|c| c.register(rel));
+    }
+
+    /// Declare a purely logical relation (peer schema only — a "logical
+    /// mediator" peer serving queries without storing data).
+    pub fn declare_relation(&mut self, schema: RelSchema) {
+        self.schema.relations.push(schema);
+    }
+
+    /// Insert a row into a stored relation (unqualified name).
+    pub fn insert(&mut self, relation: &str, row: Vec<Value>) -> bool {
+        let q = qualified(&self.name, relation);
+        self.storage.write(|c| c.insert(&q, row))
+    }
+
+    /// Qualified names of all stored relations.
+    pub fn stored_relations(&self) -> Vec<String> {
+        self.storage
+            .read(|c| c.names().map(str::to_string).collect())
+    }
+
+    /// Total stored tuples.
+    pub fn stored_rows(&self) -> usize {
+        self.storage.read(Catalog::total_rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qualification_round_trips() {
+        assert_eq!(qualified("Berkeley", "course"), "Berkeley.course");
+        assert_eq!(split_qualified("Berkeley.course"), Some(("Berkeley", "course")));
+        assert_eq!(split_qualified("unqualified"), None);
+    }
+
+    #[test]
+    fn add_relation_qualifies_storage_keeps_schema_unqualified() {
+        let mut p = Peer::new("MIT");
+        p.add_relation(Relation::new(RelSchema::text("subject", &["title", "enrollment"])));
+        assert_eq!(p.stored_relations(), vec!["MIT.subject".to_string()]);
+        assert!(p.schema.relation("subject").is_some());
+    }
+
+    #[test]
+    fn insert_goes_to_qualified_relation() {
+        let mut p = Peer::new("MIT");
+        p.add_relation(Relation::new(RelSchema::text("subject", &["title"])));
+        assert!(p.insert("subject", vec![Value::str("DB")]));
+        assert!(!p.insert("nope", vec![Value::str("x")]));
+        assert_eq!(p.stored_rows(), 1);
+    }
+
+    #[test]
+    fn logical_peer_has_schema_but_no_storage() {
+        let mut p = Peer::new("Mediator");
+        p.declare_relation(RelSchema::text("course", &["title"]));
+        assert!(p.stored_relations().is_empty());
+        assert!(p.schema.relation("course").is_some());
+    }
+}

@@ -1,0 +1,215 @@
+//! Updategram propagation across peer mappings (§3.1.2, \[36\]).
+//!
+//! "Propagation of updates is also a major challenge in a PDMS: we would
+//! prefer to make incremental updates versus simply invalidating views and
+//! re-reading data. Piazza treats updates as first-class citizens ... in
+//! the form of 'updategrams' \[36\]. Updategrams on base data can be
+//! combined to create updategrams for views."
+//!
+//! [`propagate_through_mapping`] takes an updategram on a *source* peer's
+//! base relation and translates it — through the mapping's GAV rule — into
+//! an updategram on the mapping's virtual relation `m`, suitable for
+//! shipping to the target side to maintain any cache of the translated
+//! data there. The source catalog is updated in the process (the deltas
+//! are computed incrementally, not by diffing recomputations).
+
+use crate::updategram::{derivation_deltas, Updategram};
+use crate::views::MaterializedView;
+use revere_query::eval::EvalError;
+use revere_query::glav::GlavMapping;
+use revere_query::ConjunctiveQuery;
+use revere_storage::Catalog;
+
+/// Stateful propagator for one mapping edge: owns the materialized state
+/// of the mapping's virtual relation on the source side, so successive
+/// base updategrams yield *minimal* set-level updategrams for `m`.
+#[derive(Debug)]
+pub struct MappingPropagator {
+    /// The mapping this propagator serves.
+    pub mapping: GlavMapping,
+    /// Materialized extension of the virtual relation (with counts).
+    state: MaterializedView,
+}
+
+impl MappingPropagator {
+    /// Initialize from the source peer's current data.
+    pub fn new(mapping: GlavMapping, source_catalog: &Catalog) -> Result<Self, EvalError> {
+        let gav = mapping.gav_rule();
+        let definition = ConjunctiveQuery::new(gav.head.clone(), gav.body.clone());
+        let mut state = MaterializedView::new(mapping.name.clone(), definition);
+        state.refresh_full(source_catalog)?;
+        Ok(MappingPropagator { mapping, state })
+    }
+
+    /// The virtual relation's current extension.
+    pub fn current(&self) -> revere_storage::Relation {
+        self.state.as_relation()
+    }
+
+    /// Apply a base-data updategram at the source peer and return the
+    /// induced updategram on the mapping's virtual relation (empty if the
+    /// change is invisible through the mapping). `source_catalog` is
+    /// mutated (the gram is applied).
+    pub fn propagate(
+        &mut self,
+        source_catalog: &mut Catalog,
+        gram: &Updategram,
+    ) -> Result<Updategram, EvalError> {
+        let deltas = derivation_deltas(
+            source_catalog,
+            &self.state.definition.clone(),
+            std::slice::from_ref(gram),
+        )?;
+        let (inserts, deletes) = self.state.apply_derivation_delta_diff(deltas);
+        Ok(Updategram {
+            relation: self.mapping.name.clone(),
+            insert: inserts,
+            delete: deletes,
+        })
+    }
+}
+
+/// One-shot convenience: propagate `gram` through `mapping` given the
+/// source peer's catalog, returning the updategram on the virtual
+/// relation. Builds a fresh propagator (O(source data)); use
+/// [`MappingPropagator`] for repeated propagation.
+pub fn propagate_through_mapping(
+    mapping: &GlavMapping,
+    source_catalog: &mut Catalog,
+    gram: &Updategram,
+) -> Result<Updategram, EvalError> {
+    let mut p = MappingPropagator::new(mapping.clone(), source_catalog)?;
+    p.propagate(source_catalog, gram)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::updategram::maintain;
+    use revere_query::parse_query;
+    use revere_storage::{RelSchema, Relation, Value};
+
+    /// Berkeley's course data: the GAV rule joins course and teaches.
+    fn source() -> Catalog {
+        let mut course = Relation::new(RelSchema::text("B.course", &["id", "title"]));
+        course.insert(vec!["c1".into(), "Databases".into()]);
+        course.insert(vec!["c2".into(), "Rome".into()]);
+        let mut teaches = Relation::new(RelSchema::text("B.teaches", &["prof", "id"]));
+        teaches.insert(vec!["ada".into(), "c1".into()]);
+        teaches.insert(vec!["bob".into(), "c2".into()]);
+        let mut cat = Catalog::new();
+        cat.register(course);
+        cat.register(teaches);
+        cat
+    }
+
+    fn mapping() -> GlavMapping {
+        GlavMapping::parse(
+            "m_bm",
+            "B",
+            "M",
+            "m(T, P) :- B.course(C, T), B.teaches(P, C) ==> m(T, P) :- M.offering(T, P)",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_propagates_as_virtual_insert() {
+        let mut cat = source();
+        let mut p = MappingPropagator::new(mapping(), &cat).unwrap();
+        assert_eq!(p.current().len(), 2);
+        // A new course + its teacher arrive at Berkeley.
+        let grams = [
+            Updategram::inserts("B.course", vec![vec!["c3".into(), "Greece".into()]]),
+            Updategram::inserts("B.teaches", vec![vec!["eve".into(), "c3".into()]]),
+        ];
+        let out1 = p.propagate(&mut cat, &grams[0]).unwrap();
+        // Course without teacher: nothing visible through the join yet.
+        assert!(out1.insert.is_empty() && out1.delete.is_empty());
+        let out2 = p.propagate(&mut cat, &grams[1]).unwrap();
+        assert_eq!(out2.relation, "m_bm");
+        assert_eq!(out2.insert, vec![vec![Value::str("Greece"), Value::str("eve")]]);
+        assert!(out2.delete.is_empty());
+        assert_eq!(p.current().len(), 3);
+    }
+
+    #[test]
+    fn delete_propagates_as_virtual_delete() {
+        let mut cat = source();
+        let mut p = MappingPropagator::new(mapping(), &cat).unwrap();
+        let gram = Updategram::deletes("B.teaches", vec![vec!["bob".into(), "c2".into()]]);
+        let out = p.propagate(&mut cat, &gram).unwrap();
+        assert_eq!(out.delete, vec![vec![Value::str("Rome"), Value::str("bob")]]);
+        assert!(out.insert.is_empty());
+        assert_eq!(p.current().len(), 1);
+    }
+
+    #[test]
+    fn redundant_derivations_do_not_leak() {
+        // Two teachers for one course: deleting one keeps the (title, prof)
+        // pair for the other but only removes that teacher's pair.
+        let mut cat = source();
+        cat.get_mut("B.teaches")
+            .unwrap()
+            .insert(vec!["carol".into(), "c1".into()]);
+        let mut p = MappingPropagator::new(mapping(), &cat).unwrap();
+        assert_eq!(p.current().len(), 3);
+        let gram = Updategram::deletes("B.teaches", vec![vec!["carol".into(), "c1".into()]]);
+        let out = p.propagate(&mut cat, &gram).unwrap();
+        assert_eq!(out.delete, vec![vec![Value::str("Databases"), Value::str("carol")]]);
+        // Ada's pair survives.
+        assert!(p
+            .current()
+            .contains(&vec![Value::str("Databases"), Value::str("ada")]));
+    }
+
+    #[test]
+    fn propagated_gram_maintains_a_remote_cache() {
+        // The full [36] pipeline: source update → virtual updategram →
+        // incremental maintenance of a remote cached copy.
+        let mut source_cat = source();
+        let mut p = MappingPropagator::new(mapping(), &source_cat).unwrap();
+
+        // Remote (target-side) cache of the virtual relation.
+        let mut remote_cat = Catalog::new();
+        remote_cat.register(p.current());
+        let mut remote_view =
+            MaterializedView::new("cache", parse_query("cache(T) :- m_bm(T, P)").unwrap());
+        remote_view.refresh_full(&remote_cat).unwrap();
+        assert_eq!(remote_view.len(), 2);
+
+        // Source-side change.
+        let gram = Updategram {
+            relation: "B.course".into(),
+            insert: vec![],
+            delete: vec![vec!["c1".into(), "Databases".into()]],
+        };
+        let virtual_gram = p.propagate(&mut source_cat, &gram).unwrap();
+        assert_eq!(virtual_gram.delete.len(), 1);
+
+        // Ship it and maintain the remote cache incrementally.
+        maintain(
+            &mut remote_cat,
+            &mut remote_view,
+            std::slice::from_ref(&virtual_gram),
+            Some(crate::updategram::MaintenanceChoice::Incremental),
+        )
+        .unwrap();
+        assert_eq!(remote_view.len(), 1);
+        assert!(remote_view
+            .as_relation()
+            .contains(&vec![Value::str("Rome")]));
+    }
+
+    #[test]
+    fn one_shot_helper_matches_stateful() {
+        let mut c1 = source();
+        let mut c2 = source();
+        let gram = Updategram::deletes("B.teaches", vec![vec!["bob".into(), "c2".into()]]);
+        let a = propagate_through_mapping(&mapping(), &mut c1, &gram).unwrap();
+        let mut p = MappingPropagator::new(mapping(), &c2).unwrap();
+        let b = p.propagate(&mut c2, &gram).unwrap();
+        assert_eq!(a.insert, b.insert);
+        assert_eq!(a.delete, b.delete);
+    }
+}

@@ -1,0 +1,462 @@
+//! Updategrams and incremental view maintenance.
+//!
+//! §3.1.2: "Piazza treats updates as first-class citizens, as any other
+//! data source, in the form of 'updategrams' \[36\]. Updategrams on base
+//! data can be combined to create updategrams for views. When a view is
+//! recomputed on a Piazza node, the query optimizer decides which
+//! updategrams to use in a cost-based fashion."
+//!
+//! An [`Updategram`] is a signed delta on one base relation. [`maintain`]
+//! applies a batch of updategrams to a catalog and brings a
+//! [`MaterializedView`] up to date, choosing **incrementally** (delta
+//! rules + counting) or by **full recomputation** with a simple cost model
+//! — exactly the decision the paper assigns to the optimizer. Experiment
+//! E8 validates the crossover.
+//!
+//! The delta rules use the standard progressive decomposition: process the
+//! view's atoms left to right; the contribution of atom *i*'s delta is the
+//! body evaluated with atoms `< i` in their *new* state, atom *i* replaced
+//! by the delta, and atoms `> i` in their *old* state. We apply each
+//! relation's delta to the catalog right after its contribution is
+//! computed, so "new prefix / old suffix" falls out of evaluation order and
+//! only self-joined changed relations need an old-state snapshot.
+
+use crate::views::MaterializedView;
+use revere_query::eval::{eval_cq_bag, EvalError, Source};
+use revere_storage::{Catalog, Relation, Tuple};
+use std::collections::HashMap;
+
+/// A signed delta on one base relation.
+#[derive(Debug, Clone, Default)]
+pub struct Updategram {
+    /// The (qualified) base relation name.
+    pub relation: String,
+    /// Tuples to insert.
+    pub insert: Vec<Tuple>,
+    /// Tuples to delete (every occurrence is removed).
+    pub delete: Vec<Tuple>,
+}
+
+impl Updategram {
+    /// An insert-only updategram.
+    pub fn inserts(relation: impl Into<String>, rows: Vec<Tuple>) -> Self {
+        Updategram { relation: relation.into(), insert: rows, delete: Vec::new() }
+    }
+
+    /// A delete-only updategram.
+    pub fn deletes(relation: impl Into<String>, rows: Vec<Tuple>) -> Self {
+        Updategram { relation: relation.into(), insert: Vec::new(), delete: rows }
+    }
+
+    /// Total changed tuples.
+    pub fn size(&self) -> usize {
+        self.insert.len() + self.delete.len()
+    }
+}
+
+/// How the optimizer decided to bring the view up to date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaintenanceChoice {
+    /// Delta rules + counting.
+    Incremental,
+    /// Invalidate and recompute.
+    Recompute,
+}
+
+/// Outcome of one maintenance round.
+#[derive(Debug, Clone)]
+pub struct MaintenanceReport {
+    /// The path taken.
+    pub choice: MaintenanceChoice,
+    /// Estimated incremental cost (tuples touched).
+    pub est_incremental: usize,
+    /// Estimated recompute cost (tuples touched).
+    pub est_recompute: usize,
+    /// Derivation rows produced by delta evaluation (0 for recompute).
+    pub delta_derivations: usize,
+}
+
+/// Cost model: both paths approximated by tuples read.
+///
+/// * Incremental: for each changed atom occurrence, the delta joins with
+///   the rest of the body — approximated by `|Δ| × (body_len − 1)` index
+///   probes plus the delta itself, per occurrence of the changed relation.
+/// * Recompute: reads every base relation in the body once.
+fn estimate(
+    view: &MaterializedView,
+    catalog: &Catalog,
+    grams: &[Updategram],
+) -> (usize, usize) {
+    let body = &view.definition.body;
+    let recompute: usize = body
+        .iter()
+        .map(|a| catalog.get(&a.relation).map(Relation::len).unwrap_or(0))
+        .sum();
+    let mut incremental = 0usize;
+    for g in grams {
+        let occurrences = body.iter().filter(|a| a.relation == g.relation).count();
+        incremental += g.size() * body.len().max(1) * occurrences.max(1);
+    }
+    (incremental, recompute)
+}
+
+/// Apply `grams` to `catalog` and bring `view` up to date.
+///
+/// `force` overrides the cost-based choice (used by the E8 ablation).
+pub fn maintain(
+    catalog: &mut Catalog,
+    view: &mut MaterializedView,
+    grams: &[Updategram],
+    force: Option<MaintenanceChoice>,
+) -> Result<MaintenanceReport, EvalError> {
+    let (est_incremental, est_recompute) = estimate(view, catalog, grams);
+    let choice = force.unwrap_or(if est_incremental < est_recompute {
+        MaintenanceChoice::Incremental
+    } else {
+        MaintenanceChoice::Recompute
+    });
+    match choice {
+        MaintenanceChoice::Recompute => {
+            apply_grams(catalog, grams);
+            view.refresh_full(catalog)?;
+            Ok(MaintenanceReport { choice, est_incremental, est_recompute, delta_derivations: 0 })
+        }
+        MaintenanceChoice::Incremental => {
+            let derivations = incremental_maintain(catalog, view, grams)?;
+            Ok(MaintenanceReport {
+                choice,
+                est_incremental,
+                est_recompute,
+                delta_derivations: derivations,
+            })
+        }
+    }
+}
+
+fn apply_grams(catalog: &mut Catalog, grams: &[Updategram]) {
+    for g in grams {
+        if let Some(rel) = catalog.get_mut(&g.relation) {
+            for row in &g.delete {
+                rel.delete(row);
+            }
+            for row in &g.insert {
+                rel.insert(row.clone());
+            }
+        }
+    }
+}
+
+/// A catalog with a few extra named relations layered on top.
+struct Overlay<'a> {
+    base: &'a Catalog,
+    extra: HashMap<&'a str, &'a Relation>,
+}
+
+impl Source for Overlay<'_> {
+    fn relation(&self, name: &str) -> Option<&Relation> {
+        self.extra.get(name).copied().or_else(|| self.base.get(name))
+    }
+}
+
+/// The delta-rule pass. Returns the number of derivation rows produced.
+///
+/// Grams are processed in order; each gram is applied to the catalog right
+/// after its contributions are computed, so atoms over relations with
+/// earlier grams naturally read the new state and atoms over relations
+/// with later grams the old state. Within one gram, occurrence `i` of the
+/// changed relation reads the signed delta, occurrences `< i` read the
+/// relation's *new* state and occurrences `> i` its old state — the exact
+/// decomposition `ΔQ = Σᵢ new₁..newᵢ₋₁ · Δᵢ · oldᵢ₊₁..oldₙ`, which is what
+/// makes Δ⋈Δ derivations (self-joins) come out right.
+fn incremental_maintain(
+    catalog: &mut Catalog,
+    view: &mut MaterializedView,
+    grams: &[Updategram],
+) -> Result<usize, EvalError> {
+    let deltas = derivation_deltas(catalog, &view.definition.clone(), grams)?;
+    let total = deltas.len();
+    view.apply_derivation_delta(deltas);
+    Ok(total)
+}
+
+/// Compute the signed derivation deltas of `definition` under `grams`,
+/// applying the grams to `catalog` in the process. This is the shared core
+/// of incremental maintenance and of updategram *propagation* ("updategrams
+/// on base data can be combined to create updategrams for views").
+pub fn derivation_deltas(
+    catalog: &mut Catalog,
+    definition: &revere_query::ConjunctiveQuery,
+    grams: &[Updategram],
+) -> Result<Vec<(Tuple, i64)>, EvalError> {
+    let mut deltas: Vec<(Tuple, i64)> = Vec::new();
+
+    for g in grams {
+        let Some(base_rel) = catalog.get(&g.relation) else {
+            continue;
+        };
+        let schema = base_rel.schema.clone();
+        let ins = Relation::with_rows(schema.clone(), g.insert.clone());
+        let del = Relation::with_rows(schema.clone(), g.delete.clone());
+
+        let body = definition.body.clone();
+        let occurrences: Vec<usize> = body
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.relation == g.relation)
+            .map(|(i, _)| i)
+            .collect();
+        if occurrences.is_empty() {
+            apply_grams(catalog, std::slice::from_ref(g));
+            continue;
+        }
+        // The relation's new state, needed only when it occurs more than
+        // once in the body (self-join).
+        let new_rel = if occurrences.len() > 1 {
+            let mut nr = base_rel.clone();
+            for row in &g.delete {
+                nr.delete(row);
+            }
+            for row in &g.insert {
+                nr.insert(row.clone());
+            }
+            Some(nr)
+        } else {
+            None
+        };
+
+        for (k, &i) in occurrences.iter().enumerate() {
+            let mut q = definition.clone();
+            q.body[i].relation = "__delta__".to_string();
+            // Earlier occurrences of the same relation read the new state.
+            for &j in &occurrences[..k] {
+                q.body[j].relation = "__new__".to_string();
+            }
+            for (rel, sign) in [(&ins, 1i64), (&del, -1i64)] {
+                if rel.is_empty() {
+                    continue;
+                }
+                let mut extra: HashMap<&str, &Relation> = HashMap::new();
+                extra.insert("__delta__", rel);
+                if let Some(nr) = &new_rel {
+                    extra.insert("__new__", nr);
+                }
+                let overlay = Overlay { base: catalog, extra };
+                let bag = eval_cq_bag(&q, &overlay)?;
+                for row in bag.into_rows() {
+                    deltas.push((row, sign));
+                }
+            }
+        }
+        apply_grams(catalog, std::slice::from_ref(g));
+    }
+    Ok(deltas)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revere_query::parse_query;
+    use revere_storage::{RelSchema, Value};
+
+    fn base() -> Catalog {
+        let mut c = Catalog::new();
+        let mut r = Relation::new(RelSchema::text("r", &["a", "b"]));
+        let mut s = Relation::new(RelSchema::text("s", &["b", "c"]));
+        for (a, b) in [("1", "x"), ("2", "x"), ("3", "y")] {
+            r.insert(vec![a.into(), b.into()]);
+        }
+        for (b, c) in [("x", "p"), ("y", "q"), ("z", "r")] {
+            s.insert(vec![b.into(), c.into()]);
+        }
+        c.register(r);
+        c.register(s);
+        c
+    }
+
+    fn view() -> MaterializedView {
+        MaterializedView::new("v", parse_query("v(A, C) :- r(A, B), s(B, C)").unwrap())
+    }
+
+    /// Invariant: after maintenance the view equals a fresh recompute.
+    fn assert_consistent(catalog: &Catalog, view: &MaterializedView) {
+        let mut fresh = MaterializedView::new("chk", view.definition.clone());
+        fresh.refresh_full(catalog).unwrap();
+        assert_eq!(
+            view.as_relation().rows(),
+            fresh.as_relation().rows(),
+            "view diverged from recompute"
+        );
+        // Derivation counts must match too.
+        for row in fresh.as_relation().rows() {
+            assert_eq!(view.derivations(row), fresh.derivations(row), "counts for {row:?}");
+        }
+    }
+
+    #[test]
+    fn insert_maintenance() {
+        let mut c = base();
+        let mut v = view();
+        v.refresh_full(&c).unwrap();
+        let g = Updategram::inserts("r", vec![vec!["4".into(), "y".into()]]);
+        let rep = maintain(&mut c, &mut v, &[g], Some(MaintenanceChoice::Incremental)).unwrap();
+        assert_eq!(rep.choice, MaintenanceChoice::Incremental);
+        assert!(v.as_relation().contains(&vec![Value::str("4"), Value::str("q")]));
+        assert_consistent(&c, &v);
+    }
+
+    #[test]
+    fn delete_maintenance() {
+        let mut c = base();
+        let mut v = view();
+        v.refresh_full(&c).unwrap();
+        let g = Updategram::deletes("r", vec![vec!["1".into(), "x".into()]]);
+        maintain(&mut c, &mut v, &[g], Some(MaintenanceChoice::Incremental)).unwrap();
+        assert!(!v.as_relation().contains(&vec![Value::str("1"), Value::str("p")]));
+        assert_consistent(&c, &v);
+    }
+
+    #[test]
+    fn mixed_batch_over_both_relations() {
+        let mut c = base();
+        let mut v = view();
+        v.refresh_full(&c).unwrap();
+        let grams = vec![
+            Updategram {
+                relation: "r".into(),
+                insert: vec![vec!["5".into(), "z".into()]],
+                delete: vec![vec!["2".into(), "x".into()]],
+            },
+            Updategram {
+                relation: "s".into(),
+                insert: vec![vec!["y".into(), "q2".into()]],
+                delete: vec![vec!["x".into(), "p".into()]],
+            },
+        ];
+        maintain(&mut c, &mut v, &grams, Some(MaintenanceChoice::Incremental)).unwrap();
+        assert_consistent(&c, &v);
+        assert!(v.as_relation().contains(&vec![Value::str("5"), Value::str("r")]));
+        assert!(v.as_relation().contains(&vec![Value::str("3"), Value::str("q2")]));
+    }
+
+    #[test]
+    fn duplicate_supporting_derivations_survive_partial_delete() {
+        // v(C) :- r(A, B), s(B, C): tuple "p" derived via A=1 and A=2.
+        let mut c = base();
+        let mut v = MaterializedView::new("v", parse_query("v(C) :- r(A, B), s(B, C)").unwrap());
+        v.refresh_full(&c).unwrap();
+        assert_eq!(v.derivations(&vec![Value::str("p")]), 2);
+        let g = Updategram::deletes("r", vec![vec!["1".into(), "x".into()]]);
+        maintain(&mut c, &mut v, &[g], Some(MaintenanceChoice::Incremental)).unwrap();
+        // Still derivable via A=2.
+        assert_eq!(v.derivations(&vec![Value::str("p")]), 1);
+        assert_consistent(&c, &v);
+    }
+
+    #[test]
+    fn self_join_maintenance() {
+        let mut c = Catalog::new();
+        let mut e = Relation::new(RelSchema::text("e", &["a", "b"]));
+        for (a, b) in [("1", "2"), ("2", "3")] {
+            e.insert(vec![a.into(), b.into()]);
+        }
+        c.register(e);
+        let mut v = MaterializedView::new("v", parse_query("v(X, Z) :- e(X, Y), e(Y, Z)").unwrap());
+        v.refresh_full(&c).unwrap();
+        assert_eq!(v.len(), 1);
+        // Insert an edge that creates paths through BOTH atom positions.
+        let g = Updategram::inserts("e", vec![vec!["3".into(), "1".into()]]);
+        maintain(&mut c, &mut v, &[g], Some(MaintenanceChoice::Incremental)).unwrap();
+        assert_consistent(&c, &v);
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn self_join_delta_join_delta() {
+        // Inserting a self-loop creates a derivation using the delta in
+        // BOTH atom positions — the Δ⋈Δ term naive per-occurrence rules miss.
+        let mut c = Catalog::new();
+        let mut e = Relation::new(RelSchema::text("e", &["a", "b"]));
+        e.insert(vec!["1".into(), "2".into()]);
+        c.register(e);
+        let mut v = MaterializedView::new("v", parse_query("v(X, Z) :- e(X, Y), e(Y, Z)").unwrap());
+        v.refresh_full(&c).unwrap();
+        let g = Updategram::inserts("e", vec![vec!["9".into(), "9".into()]]);
+        maintain(&mut c, &mut v, &[g], Some(MaintenanceChoice::Incremental)).unwrap();
+        assert!(v.as_relation().contains(&vec![Value::str("9"), Value::str("9")]));
+        assert_consistent(&c, &v);
+    }
+
+    #[test]
+    fn self_join_delete() {
+        let mut c = Catalog::new();
+        let mut e = Relation::new(RelSchema::text("e", &["a", "b"]));
+        for (a, b) in [("1", "2"), ("2", "3"), ("3", "1")] {
+            e.insert(vec![a.into(), b.into()]);
+        }
+        c.register(e);
+        let mut v = MaterializedView::new("v", parse_query("v(X, Z) :- e(X, Y), e(Y, Z)").unwrap());
+        v.refresh_full(&c).unwrap();
+        let g = Updategram::deletes("e", vec![vec!["2".into(), "3".into()]]);
+        maintain(&mut c, &mut v, &[g], Some(MaintenanceChoice::Incremental)).unwrap();
+        assert_consistent(&c, &v);
+    }
+
+    #[test]
+    fn cost_model_prefers_incremental_for_small_deltas() {
+        let mut c = Catalog::new();
+        let mut r = Relation::new(RelSchema::text("r", &["a", "b"]));
+        for i in 0..10_000 {
+            r.insert(vec![Value::Int(i), Value::Int(i % 100)]);
+        }
+        c.register(r);
+        let mut v = MaterializedView::new("v", parse_query("v(B) :- r(A, B)").unwrap());
+        v.refresh_full(&c).unwrap();
+        let g = Updategram::inserts("r", vec![vec![Value::Int(10_000), Value::Int(5)]]);
+        let rep = maintain(&mut c, &mut v, &[g], None).unwrap();
+        assert_eq!(rep.choice, MaintenanceChoice::Incremental);
+        assert_consistent(&c, &v);
+    }
+
+    #[test]
+    fn cost_model_prefers_recompute_for_huge_deltas() {
+        let mut c = Catalog::new();
+        let mut r = Relation::new(RelSchema::text("r", &["a", "b"]));
+        r.insert(vec![Value::Int(0), Value::Int(0)]);
+        c.register(r);
+        let mut v = MaterializedView::new("v", parse_query("v(B) :- r(A, B)").unwrap());
+        v.refresh_full(&c).unwrap();
+        let big: Vec<Tuple> = (1..500).map(|i| vec![Value::Int(i), Value::Int(i)]).collect();
+        let rep = maintain(&mut c, &mut v, &[Updategram::inserts("r", big)], None).unwrap();
+        assert_eq!(rep.choice, MaintenanceChoice::Recompute);
+        assert_consistent(&c, &v);
+    }
+
+    #[test]
+    fn forced_recompute_matches_incremental_result() {
+        let grams = vec![Updategram {
+            relation: "r".into(),
+            insert: vec![vec!["9".into(), "x".into()]],
+            delete: vec![vec!["3".into(), "y".into()]],
+        }];
+        let (mut c1, mut c2) = (base(), base());
+        let (mut v1, mut v2) = (view(), view());
+        v1.refresh_full(&c1).unwrap();
+        v2.refresh_full(&c2).unwrap();
+        maintain(&mut c1, &mut v1, &grams, Some(MaintenanceChoice::Incremental)).unwrap();
+        maintain(&mut c2, &mut v2, &grams, Some(MaintenanceChoice::Recompute)).unwrap();
+        assert_eq!(v1.as_relation().rows(), v2.as_relation().rows());
+    }
+
+    #[test]
+    fn updategram_on_unrelated_relation_is_noop_for_view() {
+        let mut c = base();
+        c.create(RelSchema::text("t", &["z"]));
+        let mut v = view();
+        v.refresh_full(&c).unwrap();
+        let before = v.as_relation();
+        let g = Updategram::inserts("t", vec![vec!["new".into()]]);
+        maintain(&mut c, &mut v, &[g], Some(MaintenanceChoice::Incremental)).unwrap();
+        assert_eq!(v.as_relation().rows(), before.rows());
+        assert_eq!(c.get("t").unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,208 @@
+//! Materialized views at peers (data placement).
+//!
+//! §3.1.2: "Our ultimate goal is to materialize the best views at each peer
+//! to allow answering queries most efficiently ... in an environment where
+//! the data sources are subject to update at any point, and hence view
+//! updates can become expensive." A [`MaterializedView`] keeps derivation
+//! *counts* per tuple (the counting algorithm for non-recursive views) so
+//! the updategram machinery can maintain it incrementally under both
+//! inserts and deletes.
+
+use revere_query::eval::{eval_cq_bag, EvalError, Source};
+use revere_query::ConjunctiveQuery;
+use revere_storage::{RelSchema, Relation, Tuple};
+use std::collections::HashMap;
+
+/// A materialized conjunctive view with derivation counts.
+#[derive(Debug, Clone)]
+pub struct MaterializedView {
+    /// View name (also the relation name of [`MaterializedView::as_relation`]).
+    pub name: String,
+    /// Defining query.
+    pub definition: ConjunctiveQuery,
+    counts: HashMap<Tuple, i64>,
+    schema: RelSchema,
+    /// Full refreshes performed.
+    pub refresh_count: usize,
+    /// Incremental maintenance rounds applied.
+    pub incremental_count: usize,
+}
+
+impl MaterializedView {
+    /// Create an empty (unrefreshed) view.
+    pub fn new(name: impl Into<String>, definition: ConjunctiveQuery) -> Self {
+        let name = name.into();
+        let attr_names: Vec<String> = definition
+            .head
+            .terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| match t {
+                revere_query::Term::Var(v) => v.clone(),
+                revere_query::Term::Const(_) => format!("c{i}"),
+            })
+            .collect();
+        let schema = RelSchema::text(
+            name.clone(),
+            &attr_names.iter().map(String::as_str).collect::<Vec<_>>(),
+        );
+        MaterializedView {
+            name,
+            definition,
+            counts: HashMap::new(),
+            schema,
+            refresh_count: 0,
+            incremental_count: 0,
+        }
+    }
+
+    /// Recompute from scratch ("simply invalidating views and re-reading
+    /// data" — the baseline the paper wants to avoid).
+    pub fn refresh_full<S: Source>(&mut self, source: &S) -> Result<(), EvalError> {
+        let bag = eval_cq_bag(&self.definition, source)?;
+        self.counts.clear();
+        for row in bag.into_rows() {
+            *self.counts.entry(row).or_insert(0) += 1;
+        }
+        self.refresh_count += 1;
+        Ok(())
+    }
+
+    /// Apply a signed delta of derivations (from the updategram machinery).
+    /// Tuples whose count reaches zero vanish; negative counts indicate a
+    /// maintenance bug and are clamped with a debug assertion.
+    pub fn apply_derivation_delta(&mut self, rows: impl IntoIterator<Item = (Tuple, i64)>) {
+        let _ = self.apply_derivation_delta_diff(rows);
+    }
+
+    /// Like [`MaterializedView::apply_derivation_delta`], but also report
+    /// the *set-level* change: tuples that newly appeared and tuples that
+    /// vanished. This is the view-side half of updategram propagation —
+    /// the returned pair is exactly the updategram the view's consumers
+    /// need.
+    pub fn apply_derivation_delta_diff(
+        &mut self,
+        rows: impl IntoIterator<Item = (Tuple, i64)>,
+    ) -> (Vec<Tuple>, Vec<Tuple>) {
+        let mut appeared = Vec::new();
+        let mut vanished = Vec::new();
+        for (row, sign) in rows {
+            let entry = self.counts.entry(row.clone()).or_insert(0);
+            let before = *entry;
+            *entry += sign;
+            debug_assert!(*entry >= 0, "negative derivation count in view {}", self.name);
+            if before <= 0 && *entry > 0 {
+                appeared.push(row);
+            } else if before > 0 && *entry <= 0 {
+                vanished.push(row);
+            }
+        }
+        self.counts.retain(|_, c| *c > 0);
+        self.incremental_count += 1;
+        // A tuple may transiently vanish then reappear within one batch;
+        // cancel such pairs.
+        appeared.sort();
+        vanished.sort();
+        let mut final_appeared = Vec::new();
+        for a in appeared {
+            if let Ok(pos) = vanished.binary_search(&a) {
+                vanished.remove(pos);
+            } else {
+                final_appeared.push(a);
+            }
+        }
+        (final_appeared, vanished)
+    }
+
+    /// The view's current contents (set semantics, sorted for determinism).
+    pub fn as_relation(&self) -> Relation {
+        let mut rows: Vec<Tuple> = self.counts.keys().cloned().collect();
+        rows.sort();
+        Relation::with_rows(self.schema.clone(), rows)
+    }
+
+    /// Number of distinct tuples.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when the view holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Derivation count of one tuple (0 if absent).
+    pub fn derivations(&self, row: &Tuple) -> i64 {
+        self.counts.get(row).copied().unwrap_or(0)
+    }
+
+    /// Total derivations across tuples.
+    pub fn total_derivations(&self) -> i64 {
+        self.counts.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revere_query::parse_query;
+    use revere_storage::{Catalog, Value};
+
+    fn base() -> Catalog {
+        let mut c = Catalog::new();
+        let mut r = Relation::new(RelSchema::text("r", &["a", "b"]));
+        r.insert(vec!["1".into(), "x".into()]);
+        r.insert(vec!["2".into(), "x".into()]);
+        r.insert(vec!["3".into(), "y".into()]);
+        c.register(r);
+        c
+    }
+
+    #[test]
+    fn full_refresh_counts_derivations() {
+        let def = parse_query("v(B) :- r(A, B)").unwrap();
+        let mut v = MaterializedView::new("v", def);
+        v.refresh_full(&base()).unwrap();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.derivations(&vec![Value::str("x")]), 2);
+        assert_eq!(v.derivations(&vec![Value::str("y")]), 1);
+        assert_eq!(v.total_derivations(), 3);
+        assert_eq!(v.refresh_count, 1);
+    }
+
+    #[test]
+    fn derivation_delta_add_and_remove() {
+        let def = parse_query("v(B) :- r(A, B)").unwrap();
+        let mut v = MaterializedView::new("v", def);
+        v.refresh_full(&base()).unwrap();
+        // One derivation of "y" removed: tuple vanishes.
+        v.apply_derivation_delta(vec![(vec![Value::str("y")], -1)]);
+        assert_eq!(v.len(), 1);
+        // One derivation of "x" removed: tuple survives (count 2 -> 1).
+        v.apply_derivation_delta(vec![(vec![Value::str("x")], -1)]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.derivations(&vec![Value::str("x")]), 1);
+        // New tuple appears.
+        v.apply_derivation_delta(vec![(vec![Value::str("z")], 1)]);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.incremental_count, 3);
+    }
+
+    #[test]
+    fn as_relation_is_sorted_and_deduped() {
+        let def = parse_query("v(B) :- r(A, B)").unwrap();
+        let mut v = MaterializedView::new("v", def);
+        v.refresh_full(&base()).unwrap();
+        let rel = v.as_relation();
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.rows()[0], vec![Value::str("x")]);
+        assert_eq!(rel.schema.name, "v");
+    }
+
+    #[test]
+    fn empty_before_refresh() {
+        let def = parse_query("v(B) :- r(A, B)").unwrap();
+        let v = MaterializedView::new("v", def);
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,439 @@
+//! The Figure 4 XML mapping-template language.
+//!
+//! §3.1.1: "Our mapping language begins with a 'template' defined from a
+//! peer's schema; the peer's database administrator will annotate portions
+//! of this template with query information defining how to extract the
+//! required data from source relations or other peer schemas ... we
+//! actually use a subset of XQuery to define the mappings from XML data to
+//! an XML schema ... supports hierarchical XML construction and limited
+//! path expressions, but avoids most of the complex ... features of
+//! XQuery."
+//!
+//! A template is an XML document shaped like the *target* schema. Two
+//! annotation forms appear as text content, exactly as in Figure 4:
+//!
+//! * **binding** — `{$c = document("Berkeley.xml")/schedule/college/dept}`
+//!   as the first text of an element: the element is instantiated once per
+//!   node the expression matches; `$c` is bound in its subtree. The
+//!   expression may also be rooted at an outer variable: `{$s = $c/course}`.
+//! * **value** — `$c/name/text()`: replaced by the text of the first node
+//!   the path matches under the binding of `$c` (or `$c/text()` for the
+//!   bound node's own text).
+
+use revere_xml::{parse, Document, NodeId, NodeKind, Path, XmlError};
+use std::collections::HashMap;
+
+/// A parsed mapping template.
+#[derive(Debug, Clone)]
+pub struct XmlMapping {
+    template: Document,
+}
+
+/// Errors applying a mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlMapError {
+    /// The template itself is not well-formed XML.
+    BadTemplate(XmlError),
+    /// A binding/value annotation could not be parsed.
+    BadAnnotation {
+        /// The offending annotation text.
+        text: String,
+        /// Why it is bad.
+        reason: String,
+    },
+    /// A value expression refers to a variable with no enclosing binding.
+    UnboundVariable {
+        /// The variable name (without `$`).
+        var: String,
+    },
+    /// A binding references a source document not supplied to `apply`.
+    UnknownDocument {
+        /// The document name as written in the template.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for XmlMapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            XmlMapError::BadTemplate(e) => write!(f, "bad template: {e}"),
+            XmlMapError::BadAnnotation { text, reason } => {
+                write!(f, "bad annotation {text:?}: {reason}")
+            }
+            XmlMapError::UnboundVariable { var } => write!(f, "unbound variable ${var}"),
+            XmlMapError::UnknownDocument { name } => {
+                write!(f, "mapping references unknown document {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XmlMapError {}
+
+/// A binding annotation `$var = <root>/<path>`.
+#[derive(Debug, Clone)]
+struct Binding {
+    var: String,
+    root: BindingRoot,
+    path: Option<Path>,
+}
+
+#[derive(Debug, Clone)]
+enum BindingRoot {
+    /// `document("name")`
+    Doc(String),
+    /// `$outer`
+    Var(String),
+}
+
+impl XmlMapping {
+    /// Parse a template.
+    pub fn parse(template: &str) -> Result<XmlMapping, XmlMapError> {
+        let template = parse(template).map_err(XmlMapError::BadTemplate)?;
+        Ok(XmlMapping { template })
+    }
+
+    /// Apply the mapping to the given source documents (name → document,
+    /// where names match the template's `document("...")` references).
+    pub fn apply(&self, docs: &HashMap<String, Document>) -> Result<Document, XmlMapError> {
+        let troot = self.template.root();
+        let root_name = self.template.name(troot).unwrap_or("result").to_string();
+        let mut out = Document::new(root_name);
+        let out_root = out.root();
+        // Copy root attributes.
+        if let NodeKind::Element { attrs, .. } = &self.template.node(troot).kind {
+            for (k, v) in attrs {
+                out.set_attr(out_root, k.clone(), v.clone());
+            }
+        }
+        let env: HashMap<String, (String, NodeId)> = HashMap::new();
+        self.instantiate_children(troot, &mut out, out_root, docs, &env)?;
+        Ok(out)
+    }
+
+    /// Instantiate the template children of `tnode` under `onode`.
+    fn instantiate_children(
+        &self,
+        tnode: NodeId,
+        out: &mut Document,
+        onode: NodeId,
+        docs: &HashMap<String, Document>,
+        env: &HashMap<String, (String, NodeId)>,
+    ) -> Result<(), XmlMapError> {
+        for &child in self.template.children(tnode) {
+            match &self.template.node(child).kind {
+                NodeKind::Text(t) => {
+                    let mut text = t.trim();
+                    if text.starts_with('{') {
+                        // The binding part was consumed by the parent pass;
+                        // anything after the closing brace is real content.
+                        match text.find('}') {
+                            Some(close) => text = text[close + 1..].trim(),
+                            None => continue,
+                        }
+                    }
+                    if text.is_empty() {
+                        continue;
+                    }
+                    if let Some(expr) = parse_value_expr(text) {
+                        let (var, path) = expr?;
+                        let Some((doc_name, node)) = env.get(&var) else {
+                            return Err(XmlMapError::UnboundVariable { var });
+                        };
+                        let doc = &docs[doc_name];
+                        let value = match path {
+                            None => doc.text_content(*node),
+                            Some(p) => p
+                                .eval(doc, *node)
+                                .first()
+                                .map(|&n| doc.text_content(n))
+                                .unwrap_or_default(),
+                        };
+                        out.add_text(onode, value);
+                    } else {
+                        out.add_text(onode, text.to_string());
+                    }
+                }
+                NodeKind::Element { name, attrs } => {
+                    // A leading `{...}` text child is this element's binding.
+                    let binding = self.leading_binding(child)?;
+                    match binding {
+                        None => {
+                            let el = out.add_element(onode, name.clone());
+                            for (k, v) in attrs {
+                                out.set_attr(el, k.clone(), v.clone());
+                            }
+                            self.instantiate_children(child, out, el, docs, env)?;
+                        }
+                        Some(b) => {
+                            // Resolve the node sequence the binding ranges over.
+                            let (doc_name, ctx): (String, NodeId) = match &b.root {
+                                BindingRoot::Doc(d) => {
+                                    let doc = docs.get(d).ok_or_else(|| {
+                                        XmlMapError::UnknownDocument { name: d.clone() }
+                                    })?;
+                                    (d.clone(), doc.root())
+                                }
+                                BindingRoot::Var(v) => env
+                                    .get(v)
+                                    .cloned()
+                                    .ok_or(XmlMapError::UnboundVariable { var: v.clone() })?,
+                            };
+                            let doc = &docs[&doc_name];
+                            let nodes: Vec<NodeId> = match &b.path {
+                                Some(p) => p.eval(doc, ctx),
+                                None => vec![ctx],
+                            };
+                            for n in nodes {
+                                let el = out.add_element(onode, name.clone());
+                                for (k, v) in attrs {
+                                    out.set_attr(el, k.clone(), v.clone());
+                                }
+                                let mut inner = env.clone();
+                                inner.insert(b.var.clone(), (doc_name.clone(), n));
+                                self.instantiate_children(child, out, el, docs, &inner)?;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The `{...}` binding written as the first text child of an element.
+    fn leading_binding(&self, el: NodeId) -> Result<Option<Binding>, XmlMapError> {
+        for &c in self.template.children(el) {
+            match &self.template.node(c).kind {
+                NodeKind::Text(t) => {
+                    let t = t.trim();
+                    if t.is_empty() {
+                        continue;
+                    }
+                    if let Some(body) = t.strip_prefix('{') {
+                        // The annotation ends at the first '}'; trailing
+                        // content (e.g. a value expression) is handled by
+                        // the instantiation pass.
+                        let close = body.find('}').ok_or_else(|| XmlMapError::BadAnnotation {
+                            text: t.to_string(),
+                            reason: "missing closing '}'".into(),
+                        })?;
+                        return parse_binding(body[..close].trim()).map(Some);
+                    }
+                    return Ok(None);
+                }
+                NodeKind::Element { .. } => return Ok(None),
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Parse `$var = document("name")/path` or `$var = $outer/path`.
+fn parse_binding(src: &str) -> Result<Binding, XmlMapError> {
+    let bad = |reason: &str| XmlMapError::BadAnnotation {
+        text: src.to_string(),
+        reason: reason.to_string(),
+    };
+    let (lhs, rhs) = src.split_once('=').ok_or_else(|| bad("missing '='"))?;
+    let var = lhs
+        .trim()
+        .strip_prefix('$')
+        .ok_or_else(|| bad("binding variable must start with '$'"))?
+        .to_string();
+    let rhs = rhs.trim();
+    if let Some(rest) = rhs.strip_prefix("document(") {
+        let close = rest.find(')').ok_or_else(|| bad("unclosed document("))?;
+        let name = rest[..close].trim().trim_matches('"').trim_matches('\'').to_string();
+        let path_src = rest[close + 1..].trim();
+        let path = if path_src.is_empty() {
+            None
+        } else {
+            Some(
+                Path::parse(path_src)
+                    .map_err(|e| bad(&format!("bad path {path_src:?}: {e}")))?,
+            )
+        };
+        Ok(Binding { var, root: BindingRoot::Doc(name), path })
+    } else if let Some(rest) = rhs.strip_prefix('$') {
+        let (outer, path_src) = match rest.find('/') {
+            Some(i) => (&rest[..i], &rest[i + 1..]),
+            None => (rest, ""),
+        };
+        let path = if path_src.is_empty() {
+            None
+        } else {
+            Some(
+                Path::parse(path_src)
+                    .map_err(|e| bad(&format!("bad path {path_src:?}: {e}")))?,
+            )
+        };
+        Ok(Binding { var, root: BindingRoot::Var(outer.trim().to_string()), path })
+    } else {
+        Err(bad("expected document(...) or $variable on the right-hand side"))
+    }
+}
+
+/// Parse a value expression `$var/path/text()` (or `$var/text()`).
+/// Returns `None` if the text is not a value expression at all.
+#[allow(clippy::type_complexity)]
+fn parse_value_expr(src: &str) -> Option<Result<(String, Option<Path>), XmlMapError>> {
+    let rest = src.strip_prefix('$')?;
+    let (var, path_src) = match rest.find('/') {
+        Some(i) => (&rest[..i], &rest[i + 1..]),
+        None => (rest, ""),
+    };
+    if !var.chars().all(|c| c.is_alphanumeric() || c == '_') || var.is_empty() {
+        return None;
+    }
+    if path_src.is_empty() || path_src == "text()" {
+        return Some(Ok((var.to_string(), None)));
+    }
+    match Path::parse(path_src) {
+        Ok(p) => Some(Ok((var.to_string(), Some(p)))),
+        Err(e) => Some(Err(XmlMapError::BadAnnotation {
+            text: src.to_string(),
+            reason: e.to_string(),
+        })),
+    }
+}
+
+/// The Berkeley→MIT mapping of Figure 4, verbatim modulo whitespace.
+pub fn figure4_mapping() -> XmlMapping {
+    XmlMapping::parse(
+        r#"<catalog>
+  <course> {$c = document("Berkeley.xml")/schedule/college/dept}
+    <name> $c/name/text() </name>
+    <subject> {$s = $c/course}
+      <title> $s/title/text() </title>
+      <enrollment> $s/size/text() </enrollment>
+    </subject>
+  </course>
+</catalog>"#,
+    )
+    .expect("the paper's own mapping parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn berkeley_doc() -> Document {
+        parse(
+            "<schedule><college><name>Berkeley</name>\
+               <dept><name>History</name>\
+                 <course><title>Ancient Greece</title><size>40</size></course>\
+                 <course><title>Rome</title><size>25</size></course>\
+               </dept>\
+               <dept><name>CS</name>\
+                 <course><title>Databases</title><size>120</size></course>\
+               </dept>\
+             </college></schedule>",
+        )
+        .unwrap()
+    }
+
+    fn docs() -> HashMap<String, Document> {
+        HashMap::from([("Berkeley.xml".to_string(), berkeley_doc())])
+    }
+
+    #[test]
+    fn figure4_reproduces_mit_catalog() {
+        let mapping = figure4_mapping();
+        let out = mapping.apply(&docs()).unwrap();
+        // Root is MIT's catalog.
+        assert_eq!(out.name(out.root()), Some("catalog"));
+        // One <course> per Berkeley dept.
+        let courses = Path::parse("/catalog/course").unwrap().eval(&out, out.root());
+        assert_eq!(courses.len(), 2);
+        // Dept names became course names.
+        let names = Path::parse("/catalog/course/name").unwrap().eval_text(&out, out.root());
+        assert_eq!(names, vec!["History", "CS"]);
+        // Berkeley courses became subjects with title + enrollment.
+        let titles =
+            Path::parse("/catalog/course/subject/title").unwrap().eval_text(&out, out.root());
+        assert_eq!(titles, vec!["Ancient Greece", "Rome", "Databases"]);
+        let enrollments = Path::parse("/catalog/course/subject/enrollment")
+            .unwrap()
+            .eval_text(&out, out.root());
+        assert_eq!(enrollments, vec!["40", "25", "120"]);
+        // The result validates against MIT's Figure 3 schema.
+        revere_xml::dtd::mit_schema().validate(&out).unwrap();
+    }
+
+    #[test]
+    fn empty_source_yields_empty_catalog() {
+        let mapping = figure4_mapping();
+        let empty = parse("<schedule/>").unwrap();
+        let out = mapping
+            .apply(&HashMap::from([("Berkeley.xml".to_string(), empty)]))
+            .unwrap();
+        assert!(Path::parse("//course").unwrap().eval(&out, out.root()).is_empty());
+    }
+
+    #[test]
+    fn missing_document_is_an_error() {
+        let mapping = figure4_mapping();
+        let err = mapping.apply(&HashMap::new()).unwrap_err();
+        assert!(matches!(err, XmlMapError::UnknownDocument { .. }));
+    }
+
+    #[test]
+    fn unbound_variable_is_an_error() {
+        let m = XmlMapping::parse("<out><v> $nope/x/text() </v></out>").unwrap();
+        let err = m.apply(&docs()).unwrap_err();
+        assert!(matches!(err, XmlMapError::UnboundVariable { .. }));
+    }
+
+    #[test]
+    fn bad_annotation_reported() {
+        let m = XmlMapping::parse(r#"<out><a> {no dollar = here} </a></out>"#).unwrap();
+        assert!(matches!(
+            m.apply(&docs()).unwrap_err(),
+            XmlMapError::BadAnnotation { .. }
+        ));
+    }
+
+    #[test]
+    fn literal_text_passes_through() {
+        let m = XmlMapping::parse("<out><label>static text</label></out>").unwrap();
+        let out = m.apply(&HashMap::new()).unwrap();
+        let label = Path::parse("/out/label").unwrap().eval(&out, out.root());
+        assert_eq!(out.text_content(label[0]), "static text");
+    }
+
+    #[test]
+    fn attributes_copied_to_output() {
+        let m = XmlMapping::parse(r#"<out version="1"><item kind="x">hi</item></out>"#).unwrap();
+        let out = m.apply(&HashMap::new()).unwrap();
+        assert_eq!(out.attr(out.root(), "version"), Some("1"));
+        let item = Path::parse("/out/item").unwrap().eval(&out, out.root());
+        assert_eq!(out.attr(item[0], "kind"), Some("x"));
+    }
+
+    #[test]
+    fn variable_without_path_takes_node_text() {
+        let m = XmlMapping::parse(
+            r#"<names><n> {$x = document("d")/schedule/college/name} $x/text() </n></names>"#,
+        )
+        .unwrap();
+        let out = m
+            .apply(&HashMap::from([("d".to_string(), berkeley_doc())]))
+            .unwrap();
+        let n = Path::parse("/names/n").unwrap().eval(&out, out.root());
+        assert_eq!(out.text_content(n[0]).trim(), "Berkeley");
+    }
+
+    #[test]
+    fn descendant_paths_in_bindings() {
+        let m = XmlMapping::parse(
+            r#"<all><t> {$c = document("d")//course} $c/title/text() </t></all>"#,
+        )
+        .unwrap();
+        let out = m
+            .apply(&HashMap::from([("d".to_string(), berkeley_doc())]))
+            .unwrap();
+        let ts = Path::parse("/all/t").unwrap().eval(&out, out.root());
+        assert_eq!(ts.len(), 3);
+    }
+}

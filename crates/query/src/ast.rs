@@ -1,0 +1,410 @@
+//! Conjunctive queries and unions of conjunctive queries.
+
+use revere_storage::Value;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A term: a variable or a constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A variable, conventionally capitalized (`X`, `Title`).
+    Var(String),
+    /// A constant value.
+    Const(Value),
+}
+
+impl Term {
+    /// Convenience constructor for a variable.
+    pub fn var(name: impl Into<String>) -> Term {
+        Term::Var(name.into())
+    }
+
+    /// The variable name, if this is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// True if this term is a constant.
+    pub fn is_const(&self) -> bool {
+        matches!(self, Term::Const(_))
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(Value::Str(s)) => write!(f, "'{s}'"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A relational atom `relation(t1, ..., tn)`.
+///
+/// In the PDMS, relation names are qualified with their peer
+/// (`Berkeley.course`); this crate treats names as opaque strings.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// Relation name.
+    pub relation: String,
+    /// Argument terms.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Shorthand constructor.
+    pub fn new(relation: impl Into<String>, terms: Vec<Term>) -> Self {
+        Atom { relation: relation.into(), terms }
+    }
+
+    /// The variables occurring in this atom, in first-occurrence order.
+    pub fn vars(&self) -> Vec<&str> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for t in &self.terms {
+            if let Term::Var(v) = t {
+                if seen.insert(v.as_str()) {
+                    out.push(v.as_str());
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Comparison operators for filter predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Apply to two values.
+    pub fn apply(self, a: &Value, b: &Value) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A comparison `left op right` in a query body.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Comparison {
+    /// Left operand.
+    pub left: Term,
+    /// Operator.
+    pub op: CmpOp,
+    /// Right operand.
+    pub right: Term,
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.left, self.op, self.right)
+    }
+}
+
+/// A conjunctive query `head :- body, comparisons`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ConjunctiveQuery {
+    /// Head atom (the answer relation).
+    pub head: Atom,
+    /// Relational subgoals.
+    pub body: Vec<Atom>,
+    /// Filter comparisons.
+    pub comparisons: Vec<Comparison>,
+}
+
+impl ConjunctiveQuery {
+    /// Build a comparison-free query.
+    pub fn new(head: Atom, body: Vec<Atom>) -> Self {
+        ConjunctiveQuery { head, body, comparisons: Vec::new() }
+    }
+
+    /// Head (distinguished) variables, in head order with duplicates kept.
+    pub fn head_vars(&self) -> Vec<&str> {
+        self.head.terms.iter().filter_map(Term::as_var).collect()
+    }
+
+    /// All variables occurring in the body, in first-occurrence order.
+    pub fn body_vars(&self) -> Vec<&str> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for a in &self.body {
+            for v in a.vars() {
+                if seen.insert(v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Variables that occur in the body but not the head (existential).
+    pub fn existential_vars(&self) -> Vec<&str> {
+        let head: BTreeSet<&str> = self.head_vars().into_iter().collect();
+        self.body_vars().into_iter().filter(|v| !head.contains(v)).collect()
+    }
+
+    /// Safety: every head variable and every comparison variable occurs in
+    /// some relational subgoal.
+    pub fn is_safe(&self) -> bool {
+        let body: BTreeSet<&str> = self.body_vars().into_iter().collect();
+        let head_ok = self.head_vars().iter().all(|v| body.contains(v));
+        let cmp_ok = self.comparisons.iter().all(|c| {
+            [&c.left, &c.right]
+                .iter()
+                .filter_map(|t| t.as_var())
+                .all(|v| body.contains(v))
+        });
+        head_ok && cmp_ok
+    }
+
+    /// Consistently rename every variable with the given prefix; used to
+    /// freshen view/mapping definitions before unification.
+    pub fn rename_vars(&self, prefix: &str) -> ConjunctiveQuery {
+        let ren = |t: &Term| match t {
+            Term::Var(v) => Term::Var(format!("{prefix}{v}")),
+            c @ Term::Const(_) => c.clone(),
+        };
+        ConjunctiveQuery {
+            head: Atom::new(
+                self.head.relation.clone(),
+                self.head.terms.iter().map(ren).collect(),
+            ),
+            body: self
+                .body
+                .iter()
+                .map(|a| Atom::new(a.relation.clone(), a.terms.iter().map(ren).collect()))
+                .collect(),
+            comparisons: self
+                .comparisons
+                .iter()
+                .map(|c| Comparison { left: ren(&c.left), op: c.op, right: ren(&c.right) })
+                .collect(),
+        }
+    }
+
+    /// A canonical textual form invariant under variable renaming and body
+    /// reordering — used by the reformulator's visited-set pruning.
+    pub fn canonical_key(&self) -> String {
+        // Sort body atoms by (relation, shape), then rename variables in
+        // order of first appearance across head-then-sorted-body.
+        let mut body: Vec<&Atom> = self.body.iter().collect();
+        body.sort_by(|a, b| {
+            a.relation
+                .cmp(&b.relation)
+                .then_with(|| format!("{a}").cmp(&format!("{b}")))
+        });
+        let mut names: std::collections::HashMap<String, String> = Default::default();
+        let mut next = 0usize;
+        let mut key = String::new();
+        let mut emit = |t: &Term,
+                        names: &mut std::collections::HashMap<String, String>,
+                        key: &mut String| match t {
+            Term::Var(v) => {
+                let n = names.entry(v.clone()).or_insert_with(|| {
+                    next += 1;
+                    format!("v{next}")
+                });
+                key.push_str(n);
+            }
+            Term::Const(c) => key.push_str(&format!("#{c}")),
+        };
+        key.push_str(&self.head.relation);
+        key.push('(');
+        for t in &self.head.terms {
+            emit(t, &mut names, &mut key);
+            key.push(',');
+        }
+        key.push_str("):-");
+        for a in body {
+            key.push_str(&a.relation);
+            key.push('(');
+            for t in &a.terms {
+                emit(t, &mut names, &mut key);
+                key.push(',');
+            }
+            key.push(')');
+        }
+        let mut cmps: Vec<String> = self.comparisons.iter().map(|c| c.to_string()).collect();
+        cmps.sort();
+        for c in cmps {
+            key.push('|');
+            key.push_str(&c);
+        }
+        key
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} :- ", self.head)?;
+        let mut first = true;
+        for a in &self.body {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+            first = false;
+        }
+        for c in &self.comparisons {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// A union of conjunctive queries with compatible heads — the shape a PDMS
+/// reformulation takes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UnionQuery {
+    /// The disjuncts.
+    pub disjuncts: Vec<ConjunctiveQuery>,
+}
+
+impl UnionQuery {
+    /// Wrap a single query.
+    pub fn single(q: ConjunctiveQuery) -> Self {
+        UnionQuery { disjuncts: vec![q] }
+    }
+
+    /// Add a disjunct unless an equivalent one (up to renaming/reordering)
+    /// is already present.
+    pub fn push_dedup(&mut self, q: ConjunctiveQuery) {
+        let key = q.canonical_key();
+        if !self.disjuncts.iter().any(|d| d.canonical_key() == key) {
+            self.disjuncts.push(q);
+        }
+    }
+
+    /// Number of disjuncts.
+    pub fn len(&self) -> usize {
+        self.disjuncts.len()
+    }
+
+    /// True when there are no disjuncts (the empty query).
+    pub fn is_empty(&self) -> bool {
+        self.disjuncts.is_empty()
+    }
+}
+
+impl fmt::Display for UnionQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.disjuncts.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_query;
+
+    #[test]
+    fn safety() {
+        let q = parse_query("q(X) :- r(X, Y)").unwrap();
+        assert!(q.is_safe());
+        let bad = ConjunctiveQuery::new(
+            Atom::new("q", vec![Term::var("Z")]),
+            vec![Atom::new("r", vec![Term::var("X")])],
+        );
+        assert!(!bad.is_safe());
+    }
+
+    #[test]
+    fn existential_vars() {
+        let q = parse_query("q(X) :- r(X, Y), s(Y, Z)").unwrap();
+        assert_eq!(q.existential_vars(), vec!["Y", "Z"]);
+    }
+
+    #[test]
+    fn canonical_key_invariant_under_renaming_and_reordering() {
+        let a = parse_query("q(X) :- r(X, Y), s(Y)").unwrap();
+        let b = parse_query("q(A) :- s(B), r(A, B)").unwrap();
+        assert_eq!(a.canonical_key(), b.canonical_key());
+        let c = parse_query("q(A) :- s(A), r(A, B)").unwrap();
+        assert_ne!(a.canonical_key(), c.canonical_key());
+    }
+
+    #[test]
+    fn union_dedups_renamed_duplicates() {
+        let mut u = UnionQuery::default();
+        u.push_dedup(parse_query("q(X) :- r(X, Y)").unwrap());
+        u.push_dedup(parse_query("q(A) :- r(A, B)").unwrap());
+        assert_eq!(u.len(), 1);
+        u.push_dedup(parse_query("q(A) :- r(A, A)").unwrap());
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn rename_vars_leaves_constants() {
+        let q = parse_query("q(X) :- r(X, 'fixed')").unwrap();
+        let r = q.rename_vars("p_");
+        assert_eq!(r.to_string(), "q(p_X) :- r(p_X, 'fixed')");
+    }
+
+    #[test]
+    fn display_roundtrips_through_parser() {
+        let src = "q(X, Y) :- course(X, T), teaches(Y, X), T = 'db', X != Y";
+        let q = parse_query(src).unwrap();
+        let again = parse_query(&q.to_string()).unwrap();
+        assert_eq!(q, again);
+    }
+}

@@ -1,0 +1,405 @@
+//! Evaluation of conjunctive queries over a storage catalog.
+//!
+//! The evaluator is the execution layer behind every peer's "query
+//! answering ... with respect to its peer schema" service (§3.1) and behind
+//! MANGROVE's RDF-style queries. It performs a greedy-ordered series of
+//! hash joins over variable bindings: at each step it picks the atom
+//! sharing the most variables with those already bound (breaking ties by
+//! smaller relation), builds a hash index on the shared columns, and
+//! extends the binding set.
+
+use crate::ast::{Atom, ConjunctiveQuery, Term, UnionQuery};
+use revere_storage::{Catalog, Relation, RelSchema, Tuple, Value};
+use std::collections::HashMap;
+
+/// Anything the evaluator can read relations from.
+///
+/// [`Catalog`] is the usual source; the PDMS implements this for overlay
+/// structures (base catalog + delta relations) so incremental view
+/// maintenance can swap one atom's relation without copying base data.
+pub trait Source {
+    /// Borrow the named relation, if present.
+    fn relation(&self, name: &str) -> Option<&Relation>;
+}
+
+impl Source for Catalog {
+    fn relation(&self, name: &str) -> Option<&Relation> {
+        self.get(name)
+    }
+}
+
+/// Error raised when a query references a relation the catalog lacks or
+/// uses it at the wrong arity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError {
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "eval error: {}", self.message)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Evaluate a conjunctive query, returning a relation named after the
+/// query head whose columns are the head terms in order (set semantics).
+pub fn eval_cq<S: Source>(q: &ConjunctiveQuery, catalog: &S) -> Result<Relation, EvalError> {
+    Ok(eval_cq_bag(q, catalog)?.distinct())
+}
+
+/// Evaluate under *bag* semantics: one output row per derivation (binding
+/// of the body). The counting-based incremental view maintenance in the
+/// PDMS needs derivation multiplicities, not just the answer set.
+pub fn eval_cq_bag<S: Source>(q: &ConjunctiveQuery, catalog: &S) -> Result<Relation, EvalError> {
+    // Binding table: column per variable, row per partial assignment.
+    let mut var_cols: Vec<String> = Vec::new();
+    let mut rows: Vec<Tuple> = vec![Vec::new()]; // one empty binding
+    let mut remaining: Vec<&Atom> = q.body.iter().collect();
+
+    while !remaining.is_empty() {
+        // Greedy choice: most shared variables, then smallest relation.
+        let (pos, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let shared = a
+                    .vars()
+                    .iter()
+                    .filter(|v| var_cols.iter().any(|c| c == **v))
+                    .count();
+                let size = catalog.relation(&a.relation).map(Relation::len).unwrap_or(usize::MAX);
+                (i, (std::cmp::Reverse(shared), size))
+            })
+            .min_by_key(|(_, k)| *k)
+            .expect("remaining non-empty");
+        let atom = remaining.remove(pos);
+        let rel = catalog.relation(&atom.relation).ok_or_else(|| EvalError {
+            message: format!("unknown relation {:?}", atom.relation),
+        })?;
+        if rel.schema.arity() != atom.terms.len() {
+            return Err(EvalError {
+                message: format!(
+                    "relation {} has arity {}, atom uses {}",
+                    atom.relation,
+                    rel.schema.arity(),
+                    atom.terms.len()
+                ),
+            });
+        }
+
+        // Split the atom's columns into: constants (filter), join vars
+        // (already bound), new vars (extend).
+        let mut const_checks: Vec<(usize, &Value)> = Vec::new();
+        let mut join_cols: Vec<(usize, usize)> = Vec::new(); // (atom col, binding col)
+        let mut new_vars: Vec<(usize, String)> = Vec::new();
+        let mut self_joins: Vec<(usize, usize)> = Vec::new(); // repeated var inside atom
+        let mut seen_in_atom: HashMap<&str, usize> = HashMap::new();
+        for (i, t) in atom.terms.iter().enumerate() {
+            match t {
+                Term::Const(c) => const_checks.push((i, c)),
+                Term::Var(v) => {
+                    if let Some(&first) = seen_in_atom.get(v.as_str()) {
+                        self_joins.push((i, first));
+                    } else {
+                        seen_in_atom.insert(v, i);
+                        if let Some(bcol) = var_cols.iter().position(|c| c == v) {
+                            join_cols.push((i, bcol));
+                        } else {
+                            new_vars.push((i, v.clone()));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Pre-filter the relation's rows by constants and self-joins, and
+        // build a hash index keyed by the join columns.
+        let mut index: HashMap<Vec<&Value>, Vec<&Tuple>> = HashMap::new();
+        for row in rel.iter() {
+            if const_checks.iter().any(|(i, c)| &row[*i] != *c) {
+                continue;
+            }
+            if self_joins.iter().any(|(i, j)| row[*i] != row[*j]) {
+                continue;
+            }
+            let key: Vec<&Value> = join_cols.iter().map(|(i, _)| &row[*i]).collect();
+            index.entry(key).or_default().push(row);
+        }
+
+        // Probe with every current binding.
+        let mut next_rows: Vec<Tuple> = Vec::new();
+        for binding in &rows {
+            let key: Vec<&Value> = join_cols.iter().map(|(_, b)| &binding[*b]).collect();
+            if let Some(matches) = index.get(&key) {
+                for m in matches {
+                    let mut extended = binding.clone();
+                    for (i, _) in &new_vars {
+                        extended.push(m[*i].clone());
+                    }
+                    next_rows.push(extended);
+                }
+            }
+        }
+        for (_, v) in new_vars {
+            var_cols.push(v);
+        }
+        rows = next_rows;
+        if rows.is_empty() {
+            break;
+        }
+    }
+
+    // Apply comparisons.
+    let resolve = |t: &Term, binding: &Tuple| -> Option<Value> {
+        match t {
+            Term::Const(c) => Some(c.clone()),
+            Term::Var(v) => var_cols
+                .iter()
+                .position(|c| c == v)
+                .map(|i| binding[i].clone()),
+        }
+    };
+    for c in &q.comparisons {
+        rows.retain(|b| {
+            match (resolve(&c.left, b), resolve(&c.right, b)) {
+                (Some(l), Some(r)) => c.op.apply(&l, &r),
+                _ => false, // unsafe comparisons never pass (parser rejects them anyway)
+            }
+        });
+    }
+
+    // Project the head.
+    let schema = RelSchema::text(
+        q.head.relation.clone(),
+        &q.head
+            .terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| match t {
+                Term::Var(v) => v.clone(),
+                Term::Const(_) => format!("c{i}"),
+            })
+            .collect::<Vec<_>>()
+            .iter()
+            .map(String::as_str)
+            .collect::<Vec<_>>(),
+    );
+    let mut out = Relation::new(schema);
+    'row: for b in &rows {
+        let mut tuple = Vec::with_capacity(q.head.terms.len());
+        for t in &q.head.terms {
+            match resolve(t, b) {
+                Some(v) => tuple.push(v),
+                None => continue 'row,
+            }
+        }
+        out.insert(tuple);
+    }
+    Ok(out)
+}
+
+/// Evaluate a union of conjunctive queries (set semantics across
+/// disjuncts). Disjuncts referencing unknown relations contribute nothing
+/// rather than failing the whole union — in a PDMS a rewriting may mention
+/// a peer whose data is unavailable, and "the system should make use of
+/// relevant data anywhere" that *is* reachable.
+pub fn eval_union<S: Source>(u: &UnionQuery, catalog: &S) -> Result<Relation, EvalError> {
+    let Some(first) = u.disjuncts.first() else {
+        return Err(EvalError { message: "empty union".into() });
+    };
+    let mut acc: Option<Relation> = None;
+    for d in &u.disjuncts {
+        if d.head.terms.len() != first.head.terms.len() {
+            return Err(EvalError { message: "union disjuncts have different head arity".into() });
+        }
+        match eval_cq(d, catalog) {
+            Ok(r) => {
+                acc = Some(match acc {
+                    None => r,
+                    Some(a) => {
+                        let schema = a.schema.clone();
+                        let mut rows = a.into_rows();
+                        rows.extend(r.into_rows());
+                        Relation::with_rows(schema, rows)
+                    }
+                });
+            }
+            Err(_) => continue,
+        }
+    }
+    match acc {
+        Some(r) => Ok(r.distinct()),
+        None => {
+            // Every disjunct failed; return an empty relation of the right shape.
+            Ok(Relation::new(a_schema(first)))
+        }
+    }
+}
+
+fn a_schema(q: &ConjunctiveQuery) -> RelSchema {
+    RelSchema::text(
+        q.head.relation.clone(),
+        &q.head
+            .terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| match t {
+                Term::Var(v) => v.clone(),
+                Term::Const(_) => format!("c{i}"),
+            })
+            .collect::<Vec<_>>()
+            .iter()
+            .map(String::as_str)
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_query;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let mut course = Relation::new(RelSchema::text("course", &["id", "title", "dept"]));
+        course.insert(vec!["c1".into(), "Databases".into(), "cs".into()]);
+        course.insert(vec!["c2".into(), "Ancient Greece".into(), "hist".into()]);
+        course.insert(vec!["c3".into(), "Compilers".into(), "cs".into()]);
+        c.register(course);
+        let mut teaches = Relation::new(RelSchema::text("teaches", &["prof", "cid"]));
+        teaches.insert(vec!["ada".into(), "c1".into()]);
+        teaches.insert(vec!["bob".into(), "c2".into()]);
+        teaches.insert(vec!["ada".into(), "c3".into()]);
+        c.register(teaches);
+        let mut size = Relation::new(RelSchema::new(
+            "enrollment",
+            vec![
+                revere_storage::Attribute::text("cid"),
+                revere_storage::Attribute::int("n"),
+            ],
+        ));
+        size.insert(vec!["c1".into(), Value::Int(120)]);
+        size.insert(vec!["c2".into(), Value::Int(35)]);
+        size.insert(vec!["c3".into(), Value::Int(60)]);
+        c.register(size);
+        c
+    }
+
+    #[test]
+    fn single_atom_scan() {
+        let q = parse_query("q(T) :- course(I, T, D)").unwrap();
+        let r = eval_cq(&q, &catalog()).unwrap();
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn join_two_atoms() {
+        let q = parse_query("q(P, T) :- teaches(P, I), course(I, T, D)").unwrap();
+        let r = eval_cq(&q, &catalog()).unwrap();
+        assert_eq!(r.len(), 3);
+        assert!(r.contains(&vec!["ada".into(), "Databases".into()]));
+    }
+
+    #[test]
+    fn constants_filter() {
+        let q = parse_query("q(T) :- course(I, T, 'cs')").unwrap();
+        let r = eval_cq(&q, &catalog()).unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn comparisons_filter() {
+        let q = parse_query("q(T) :- course(I, T, D), enrollment(I, N), N > 50").unwrap();
+        let r = eval_cq(&q, &catalog()).unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(!r.contains(&vec!["Ancient Greece".into()]));
+    }
+
+    #[test]
+    fn repeated_variable_in_atom() {
+        let mut c = Catalog::new();
+        let mut e = Relation::new(RelSchema::text("e", &["a", "b"]));
+        e.insert(vec!["x".into(), "x".into()]);
+        e.insert(vec!["x".into(), "y".into()]);
+        c.register(e);
+        let q = parse_query("q(X) :- e(X, X)").unwrap();
+        assert_eq!(eval_cq(&q, &c).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn three_way_join_chain() {
+        let q = parse_query(
+            "q(P, N) :- teaches(P, I), course(I, T, 'cs'), enrollment(I, N)",
+        )
+        .unwrap();
+        let r = eval_cq(&q, &catalog()).unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn constant_in_head() {
+        let q = parse_query("q(P, 'fixed') :- teaches(P, I)").unwrap();
+        let r = eval_cq(&q, &catalog()).unwrap();
+        assert!(r.iter().all(|t| t[1] == Value::str("fixed")));
+        assert_eq!(r.len(), 2); // distinct over (ada, bob)
+    }
+
+    #[test]
+    fn set_semantics() {
+        let q = parse_query("q(P) :- teaches(P, I)").unwrap();
+        assert_eq!(eval_cq(&q, &catalog()).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn unknown_relation_errors() {
+        let q = parse_query("q(X) :- nothere(X)").unwrap();
+        assert!(eval_cq(&q, &catalog()).is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_errors() {
+        let q = parse_query("q(X) :- course(X)").unwrap();
+        assert!(eval_cq(&q, &catalog()).is_err());
+    }
+
+    #[test]
+    fn cartesian_when_disconnected() {
+        let q = parse_query("q(P, N) :- teaches(P, 'c1'), enrollment('c2', N)").unwrap();
+        let r = eval_cq(&q, &catalog()).unwrap();
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&vec!["ada".into(), Value::Int(35)]));
+    }
+
+    #[test]
+    fn union_merges_and_dedups() {
+        let u = UnionQuery {
+            disjuncts: vec![
+                parse_query("q(T) :- course(I, T, 'cs')").unwrap(),
+                parse_query("q(T) :- course(I, T, D)").unwrap(),
+            ],
+        };
+        assert_eq!(eval_union(&u, &catalog()).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn union_skips_unavailable_disjunct() {
+        let u = UnionQuery {
+            disjuncts: vec![
+                parse_query("q(T) :- gone.course(I, T)").unwrap(),
+                parse_query("q(T) :- course(I, T, 'hist')").unwrap(),
+            ],
+        };
+        assert_eq!(eval_union(&u, &catalog()).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn empty_result_has_head_shape() {
+        let q = parse_query("q(T, D) :- course(I, T, D), D = 'none'").unwrap();
+        let r = eval_cq(&q, &catalog()).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(r.schema.arity(), 2);
+    }
+}

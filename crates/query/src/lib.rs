@@ -1,0 +1,41 @@
+//! Query substrate for the REVERE reproduction.
+//!
+//! Piazza's query answering "performs query unfolding and query
+//! reformulation using views" over GLAV mappings \[19\] (§3.1.1 of the
+//! paper). This crate implements the machinery that sentence depends on,
+//! from scratch:
+//!
+//! * [`ast`] — conjunctive queries ([`ConjunctiveQuery`]) and unions of
+//!   them ([`UnionQuery`]), with safety checking.
+//! * [`parse`] — a datalog-style concrete syntax,
+//!   `q(X, T) :- course(X, T, S), S > 100`.
+//! * [`unify`] — substitutions and homomorphism search between atom sets.
+//! * [`containment`] — query containment and equivalence via containment
+//!   mappings (the canonical-database test), plus query [`minimize`].
+//! * [`eval`] — evaluation of (unions of) conjunctive queries over a
+//!   [`revere_storage::Catalog`], with greedy join ordering.
+//! * [`unfold`] — global-as-view unfolding of defined relations.
+//! * [`minicon`] — the MiniCon algorithm for answering queries using views
+//!   (local-as-view rewriting).
+//! * [`glav`] — GLAV mappings normalized into a GAV rule plus a LAV view
+//!   over a shared virtual relation, the form the PDMS reformulator
+//!   consumes.
+//!
+//! [`minimize`]: containment::minimize
+
+pub mod ast;
+pub mod containment;
+pub mod eval;
+pub mod glav;
+pub mod minicon;
+pub mod parse;
+pub mod unfold;
+pub mod unify;
+
+pub use ast::{Atom, CmpOp, Comparison, ConjunctiveQuery, Term, UnionQuery};
+pub use containment::{contained_in, equivalent, minimize};
+pub use eval::{eval_cq, eval_cq_bag, eval_union, Source};
+pub use glav::GlavMapping;
+pub use minicon::rewrite_using_views;
+pub use parse::parse_query;
+pub use unfold::{unfold_once, unfold_with, ViewDef};

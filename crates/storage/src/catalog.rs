@@ -1,0 +1,159 @@
+//! Named collections of relations.
+//!
+//! A [`Catalog`] is the local database of one Piazza peer (its "stored
+//! relations", §3.1) or of one MANGROVE installation. [`SharedCatalog`]
+//! wraps it for concurrent access from the simulated peer network.
+
+use crate::relation::Relation;
+use crate::schema::{DbSchema, RelSchema};
+use crate::value::Value;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A named collection of relations.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Catalog {
+    /// Create an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a relation under its schema name.
+    pub fn register(&mut self, rel: Relation) {
+        self.relations.insert(rel.schema.name.clone(), rel);
+    }
+
+    /// Create an empty relation under the given schema.
+    pub fn create(&mut self, schema: RelSchema) {
+        self.register(Relation::new(schema));
+    }
+
+    /// Borrow a relation.
+    pub fn get(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// Mutably borrow a relation.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Relation> {
+        self.relations.get_mut(name)
+    }
+
+    /// Insert a row into a named relation. Returns `false` if the relation
+    /// does not exist.
+    pub fn insert(&mut self, rel: &str, row: Vec<Value>) -> bool {
+        match self.relations.get_mut(rel) {
+            Some(r) => {
+                r.insert(row);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Relation names in sorted order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(String::as_str)
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True when no relation is registered.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// The database schema implied by the registered relations.
+    pub fn schema(&self, name: impl Into<String>) -> DbSchema {
+        DbSchema {
+            name: name.into(),
+            relations: self.relations.values().map(|r| r.schema.clone()).collect(),
+        }
+    }
+
+    /// Total tuple count across all relations.
+    pub fn total_rows(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+}
+
+/// A thread-safe, shareable catalog handle.
+#[derive(Debug, Default, Clone)]
+pub struct SharedCatalog {
+    inner: Arc<RwLock<Catalog>>,
+}
+
+impl SharedCatalog {
+    /// Wrap a catalog for sharing.
+    pub fn new(catalog: Catalog) -> Self {
+        SharedCatalog { inner: Arc::new(RwLock::new(catalog)) }
+    }
+
+    /// Run a closure with read access.
+    pub fn read<T>(&self, f: impl FnOnce(&Catalog) -> T) -> T {
+        f(&self.inner.read())
+    }
+
+    /// Run a closure with write access.
+    pub fn write<T>(&self, f: impl FnOnce(&mut Catalog) -> T) -> T {
+        f(&mut self.inner.write())
+    }
+
+    /// Clone out a relation by name.
+    pub fn snapshot(&self, rel: &str) -> Option<Relation> {
+        self.inner.read().get(rel).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelSchema;
+
+    #[test]
+    fn register_and_insert() {
+        let mut c = Catalog::new();
+        c.create(RelSchema::text("course", &["title"]));
+        assert!(c.insert("course", vec![Value::str("db")]));
+        assert!(!c.insert("nope", vec![Value::str("x")]));
+        assert_eq!(c.get("course").unwrap().len(), 1);
+        assert_eq!(c.total_rows(), 1);
+    }
+
+    #[test]
+    fn schema_reflects_contents() {
+        let mut c = Catalog::new();
+        c.create(RelSchema::text("a", &["x"]));
+        c.create(RelSchema::text("b", &["y", "z"]));
+        let s = c.schema("peer1");
+        assert_eq!(s.relations.len(), 2);
+        assert_eq!(s.element_count(), 5);
+    }
+
+    #[test]
+    fn shared_catalog_concurrent_access() {
+        let shared = SharedCatalog::new(Catalog::new());
+        shared.write(|c| c.create(RelSchema::text("t", &["v"])));
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let s = shared.clone();
+                std::thread::spawn(move || {
+                    s.write(|c| c.insert("t", vec![Value::Int(i)]));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(shared.read(|c| c.get("t").unwrap().len()), 8);
+        assert_eq!(shared.snapshot("t").unwrap().len(), 8);
+        assert!(shared.snapshot("missing").is_none());
+    }
+}

@@ -1,0 +1,337 @@
+//! Relational operators over [`Relation`]s.
+//!
+//! These are the physical operators the conjunctive-query evaluator
+//! (`revere-query`) and the instant-gratification applications
+//! (`revere-mangrove`) execute: selection, projection, hash join, union,
+//! distinct, sort, and grouped aggregation.
+
+use crate::index::HashIndex;
+use crate::relation::{Relation, Tuple};
+use crate::schema::{AttrType, Attribute, RelSchema};
+use crate::value::Value;
+
+/// A selection predicate over a single tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Column equals a constant.
+    Eq(usize, Value),
+    /// Column does not equal a constant.
+    Ne(usize, Value),
+    /// Column less-than a constant.
+    Lt(usize, Value),
+    /// Column greater-than a constant.
+    Gt(usize, Value),
+    /// Two columns are equal (e.g. a self-join condition after a cross
+    /// product, or a repeated variable in a conjunctive query).
+    ColEq(usize, usize),
+    /// Conjunction.
+    And(Vec<Predicate>),
+}
+
+impl Predicate {
+    /// Evaluate against one row.
+    pub fn matches(&self, row: &Tuple) -> bool {
+        match self {
+            Predicate::Eq(c, v) => &row[*c] == v,
+            Predicate::Ne(c, v) => &row[*c] != v,
+            Predicate::Lt(c, v) => row[*c] < *v,
+            Predicate::Gt(c, v) => row[*c] > *v,
+            Predicate::ColEq(a, b) => row[*a] == row[*b],
+            Predicate::And(ps) => ps.iter().all(|p| p.matches(row)),
+        }
+    }
+}
+
+/// σ — keep the rows satisfying `pred`.
+pub fn select(rel: &Relation, pred: &Predicate) -> Relation {
+    let rows = rel.iter().filter(|r| pred.matches(r)).cloned().collect();
+    Relation::with_rows(rel.schema.clone(), rows)
+}
+
+/// π — keep the given columns, in the given order. Bag semantics (no
+/// implicit dedup).
+pub fn project(rel: &Relation, cols: &[usize]) -> Relation {
+    let schema = RelSchema::new(
+        rel.schema.name.clone(),
+        cols.iter().map(|&c| rel.schema.attrs[c].clone()).collect(),
+    );
+    let rows = rel
+        .iter()
+        .map(|r| cols.iter().map(|&c| r[c].clone()).collect())
+        .collect();
+    Relation::with_rows(schema, rows)
+}
+
+/// ⋈ — hash join on `left.cols == right.cols`; output is the concatenation
+/// of the left and right tuples (all columns of both, left first).
+pub fn hash_join(
+    left: &Relation,
+    right: &Relation,
+    left_cols: &[usize],
+    right_cols: &[usize],
+) -> Relation {
+    assert_eq!(left_cols.len(), right_cols.len(), "join key arity mismatch");
+    // Build on the smaller side.
+    let (build, probe, build_cols, probe_cols, build_is_left) = if left.len() <= right.len() {
+        (left, right, left_cols, right_cols, true)
+    } else {
+        (right, left, right_cols, left_cols, false)
+    };
+    let idx = HashIndex::build(build, build_cols);
+    let mut attrs =
+        Vec::with_capacity(left.schema.arity() + right.schema.arity());
+    attrs.extend(left.schema.attrs.iter().cloned());
+    attrs.extend(right.schema.attrs.iter().cloned());
+    let schema = RelSchema::new(format!("{}_{}", left.schema.name, right.schema.name), attrs);
+    let mut out = Relation::new(schema);
+    for probe_row in probe.iter() {
+        for &pos in idx.probe(probe_row, probe_cols) {
+            let build_row = &build.rows()[pos];
+            let mut joined = Vec::with_capacity(probe_row.len() + build_row.len());
+            if build_is_left {
+                joined.extend(build_row.iter().cloned());
+                joined.extend(probe_row.iter().cloned());
+            } else {
+                joined.extend(probe_row.iter().cloned());
+                joined.extend(build_row.iter().cloned());
+            }
+            out.insert(joined);
+        }
+    }
+    out
+}
+
+/// × — cross product (used when a conjunctive query has disconnected
+/// atoms).
+pub fn cross(left: &Relation, right: &Relation) -> Relation {
+    hash_join(left, right, &[], &[])
+}
+
+/// ∪ — bag union of two union-compatible relations.
+///
+/// # Panics
+/// Panics if arities differ.
+pub fn union(a: &Relation, b: &Relation) -> Relation {
+    assert_eq!(a.schema.arity(), b.schema.arity(), "union arity mismatch");
+    let mut rows = Vec::with_capacity(a.len() + b.len());
+    rows.extend(a.iter().cloned());
+    rows.extend(b.iter().cloned());
+    Relation::with_rows(a.schema.clone(), rows)
+}
+
+/// δ — duplicate elimination.
+pub fn distinct(rel: &Relation) -> Relation {
+    rel.distinct()
+}
+
+/// Sort rows by the given columns ascending.
+pub fn sort_by(rel: &Relation, cols: &[usize]) -> Relation {
+    let mut rows: Vec<Tuple> = rel.rows().to_vec();
+    rows.sort_by(|a, b| {
+        for &c in cols {
+            let ord = a[c].cmp(&b[c]);
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Relation::with_rows(rel.schema.clone(), rows)
+}
+
+/// An aggregate function for [`aggregate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFn {
+    /// Row count.
+    Count,
+    /// Minimum value.
+    Min,
+    /// Maximum value.
+    Max,
+    /// Numeric sum (nulls and non-numerics ignored).
+    Sum,
+    /// Numeric average (nulls and non-numerics ignored).
+    Avg,
+}
+
+/// γ — grouped aggregation: group by `group_cols`, apply `(agg, col)` per
+/// aggregate. Output schema is the group columns followed by one column per
+/// aggregate. Groups appear in order of first occurrence.
+pub fn aggregate(rel: &Relation, group_cols: &[usize], aggs: &[(AggFn, usize)]) -> Relation {
+    let mut attrs: Vec<Attribute> = group_cols
+        .iter()
+        .map(|&c| rel.schema.attrs[c].clone())
+        .collect();
+    for (f, c) in aggs {
+        let base = &rel.schema.attrs[*c].name;
+        let (name, ty) = match f {
+            AggFn::Count => (format!("count_{base}"), AttrType::Int),
+            AggFn::Min => (format!("min_{base}"), rel.schema.attrs[*c].ty),
+            AggFn::Max => (format!("max_{base}"), rel.schema.attrs[*c].ty),
+            AggFn::Sum => (format!("sum_{base}"), AttrType::Float),
+            AggFn::Avg => (format!("avg_{base}"), AttrType::Float),
+        };
+        attrs.push(Attribute::new(name, ty));
+    }
+    let schema = RelSchema::new(format!("agg_{}", rel.schema.name), attrs);
+
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut groups: std::collections::HashMap<Vec<Value>, Vec<&Tuple>> =
+        std::collections::HashMap::new();
+    for row in rel.iter() {
+        let key: Vec<Value> = group_cols.iter().map(|&c| row[c].clone()).collect();
+        let entry = groups.entry(key.clone()).or_default();
+        if entry.is_empty() {
+            order.push(key);
+        }
+        entry.push(row);
+    }
+
+    let mut out = Relation::new(schema);
+    for key in order {
+        let members = &groups[&key];
+        let mut row = key.clone();
+        for (f, c) in aggs {
+            let vals = members.iter().map(|t| &t[*c]);
+            let v = match f {
+                AggFn::Count => Value::Int(members.len() as i64),
+                AggFn::Min => vals.min().cloned().unwrap_or(Value::Null),
+                AggFn::Max => vals.max().cloned().unwrap_or(Value::Null),
+                AggFn::Sum => {
+                    Value::Float(vals.filter_map(|v| v.as_f64()).sum::<f64>())
+                }
+                AggFn::Avg => {
+                    let nums: Vec<f64> = vals.filter_map(|v| v.as_f64()).collect();
+                    if nums.is_empty() {
+                        Value::Null
+                    } else {
+                        Value::Float(nums.iter().sum::<f64>() / nums.len() as f64)
+                    }
+                }
+            };
+            row.push(v);
+        }
+        out.insert(row);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn courses() -> Relation {
+        let mut r = Relation::new(RelSchema::new(
+            "course",
+            vec![
+                Attribute::text("title"),
+                Attribute::text("dept"),
+                Attribute::int("size"),
+            ],
+        ));
+        r.insert(vec![Value::str("db"), Value::str("cs"), Value::Int(120)]);
+        r.insert(vec![Value::str("os"), Value::str("cs"), Value::Int(80)]);
+        r.insert(vec![Value::str("greece"), Value::str("hist"), Value::Int(40)]);
+        r
+    }
+
+    fn depts() -> Relation {
+        let mut r = Relation::new(RelSchema::text("dept", &["code", "college"]));
+        r.insert(vec![Value::str("cs"), Value::str("engineering")]);
+        r.insert(vec![Value::str("hist"), Value::str("arts")]);
+        r
+    }
+
+    #[test]
+    fn select_and_project() {
+        let big = select(&courses(), &Predicate::Gt(2, Value::Int(50)));
+        assert_eq!(big.len(), 2);
+        let titles = project(&big, &[0]);
+        assert_eq!(titles.schema.arity(), 1);
+        assert_eq!(titles.rows()[0][0], Value::str("db"));
+    }
+
+    #[test]
+    fn hash_join_matches_on_key() {
+        let j = hash_join(&courses(), &depts(), &[1], &[0]);
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.schema.arity(), 5);
+        // Every joined row has dept == code.
+        for row in j.iter() {
+            assert_eq!(row[1], row[3]);
+        }
+    }
+
+    #[test]
+    fn join_preserves_left_right_column_order_regardless_of_build_side() {
+        // courses (3 rows) joins depts (2 rows): build side is depts.
+        let j = hash_join(&courses(), &depts(), &[1], &[0]);
+        assert_eq!(j.schema.attrs[0].name, "title");
+        assert_eq!(j.schema.attrs[4].name, "college");
+        // Swap so the build side is the left.
+        let j2 = hash_join(&depts(), &courses(), &[0], &[1]);
+        assert_eq!(j2.schema.attrs[0].name, "code");
+        assert_eq!(j2.schema.attrs[2].name, "title");
+        assert_eq!(j2.len(), 3);
+    }
+
+    #[test]
+    fn cross_product() {
+        let c = cross(&courses(), &depts());
+        assert_eq!(c.len(), 6);
+    }
+
+    #[test]
+    fn union_and_distinct() {
+        let u = union(&courses(), &courses());
+        assert_eq!(u.len(), 6);
+        assert_eq!(distinct(&u).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn union_incompatible_panics() {
+        union(&courses(), &depts());
+    }
+
+    #[test]
+    fn sort_orders_rows() {
+        let s = sort_by(&courses(), &[2]);
+        let sizes: Vec<i64> = s.iter().map(|r| r[2].as_int().unwrap()).collect();
+        assert_eq!(sizes, vec![40, 80, 120]);
+    }
+
+    #[test]
+    fn grouped_aggregation() {
+        let g = aggregate(&courses(), &[1], &[(AggFn::Count, 0), (AggFn::Avg, 2)]);
+        assert_eq!(g.len(), 2);
+        let cs = g.iter().find(|r| r[0] == Value::str("cs")).unwrap();
+        assert_eq!(cs[1], Value::Int(2));
+        assert_eq!(cs[2], Value::Float(100.0));
+    }
+
+    #[test]
+    fn aggregate_without_groups_is_single_row() {
+        let g = aggregate(&courses(), &[], &[(AggFn::Sum, 2), (AggFn::Min, 2), (AggFn::Max, 2)]);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.rows()[0][0], Value::Float(240.0));
+        assert_eq!(g.rows()[0][1], Value::Int(40));
+        assert_eq!(g.rows()[0][2], Value::Int(120));
+    }
+
+    #[test]
+    fn col_eq_predicate() {
+        let c = cross(&courses(), &depts());
+        let matched = select(&c, &Predicate::ColEq(1, 3));
+        assert_eq!(matched.len(), 3);
+    }
+
+    #[test]
+    fn and_predicate() {
+        let p = Predicate::And(vec![
+            Predicate::Eq(1, Value::str("cs")),
+            Predicate::Gt(2, Value::Int(100)),
+        ]);
+        assert_eq!(select(&courses(), &p).len(), 1);
+    }
+}

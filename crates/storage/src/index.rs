@@ -1,0 +1,106 @@
+//! Hash indexes over relation columns.
+//!
+//! The cost model that chooses between incremental updategram maintenance
+//! and full view recomputation (§3.1.2) depends on index availability;
+//! [`HashIndex`] is the structure the engine and the PDMS views build.
+
+use crate::relation::{Relation, Tuple};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A hash index mapping a key (the values of one or more columns) to the
+/// positions of matching rows in the indexed relation.
+#[derive(Debug, Clone)]
+pub struct HashIndex {
+    /// The indexed column positions, in key order.
+    pub key_cols: Vec<usize>,
+    map: HashMap<Vec<Value>, Vec<usize>>,
+}
+
+impl HashIndex {
+    /// Build an index over `key_cols` of `rel`.
+    pub fn build(rel: &Relation, key_cols: &[usize]) -> Self {
+        let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(rel.len());
+        for (pos, row) in rel.iter().enumerate() {
+            let key: Vec<Value> = key_cols.iter().map(|&c| row[c].clone()).collect();
+            map.entry(key).or_default().push(pos);
+        }
+        HashIndex { key_cols: key_cols.to_vec(), map }
+    }
+
+    /// Build an index over named attributes.
+    ///
+    /// Returns `None` if any attribute is not in the schema.
+    pub fn build_on(rel: &Relation, attrs: &[&str]) -> Option<Self> {
+        let cols: Option<Vec<usize>> = attrs.iter().map(|a| rel.schema.position(a)).collect();
+        Some(Self::build(rel, &cols?))
+    }
+
+    /// Row positions whose key columns equal `key`.
+    pub fn lookup(&self, key: &[Value]) -> &[usize] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Probe with a full row from another relation, extracting the key from
+    /// the given columns of that row.
+    pub fn probe(&self, row: &Tuple, probe_cols: &[usize]) -> &[usize] {
+        let key: Vec<Value> = probe_cols.iter().map(|&c| row[c].clone()).collect();
+        self.map.get(&key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Register a newly appended row (at position `pos`) without rebuilding.
+    pub fn insert(&mut self, row: &Tuple, pos: usize) {
+        let key: Vec<Value> = self.key_cols.iter().map(|&c| row[c].clone()).collect();
+        self.map.entry(key).or_default().push(pos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelSchema;
+
+    fn rel() -> Relation {
+        let mut r = Relation::new(RelSchema::text("teaches", &["prof", "course"]));
+        r.insert(vec![Value::str("ada"), Value::str("db")]);
+        r.insert(vec![Value::str("bob"), Value::str("os")]);
+        r.insert(vec![Value::str("ada"), Value::str("ir")]);
+        r
+    }
+
+    #[test]
+    fn lookup_finds_all_matches() {
+        let r = rel();
+        let idx = HashIndex::build_on(&r, &["prof"]).unwrap();
+        assert_eq!(idx.lookup(&[Value::str("ada")]), &[0, 2]);
+        assert_eq!(idx.lookup(&[Value::str("eve")]), &[] as &[usize]);
+        assert_eq!(idx.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn composite_keys() {
+        let r = rel();
+        let idx = HashIndex::build_on(&r, &["prof", "course"]).unwrap();
+        assert_eq!(idx.lookup(&[Value::str("ada"), Value::str("ir")]), &[2]);
+    }
+
+    #[test]
+    fn incremental_insert() {
+        let mut r = rel();
+        let mut idx = HashIndex::build_on(&r, &["prof"]).unwrap();
+        let row = vec![Value::str("eve"), Value::str("ml")];
+        r.insert(row.clone());
+        idx.insert(&row, 3);
+        assert_eq!(idx.lookup(&[Value::str("eve")]), &[3]);
+    }
+
+    #[test]
+    fn unknown_attr_yields_none() {
+        assert!(HashIndex::build_on(&rel(), &["nope"]).is_none());
+    }
+}

@@ -1,0 +1,34 @@
+//! Storage substrate for the REVERE reproduction.
+//!
+//! MANGROVE "stores the data in a relational database using a simple graph
+//! representation" and queries it with an RDF-style engine (§2.2 of the
+//! paper); Piazza peers hold "stored relations" (§3.1). This crate provides
+//! both storage shapes, built from scratch:
+//!
+//! * [`value`] — the dynamically-typed [`Value`] cell type.
+//! * [`schema`] — relation schemas ([`RelSchema`]) and database schemas
+//!   ([`DbSchema`]): the unit that corpus tools and peer mappings operate on.
+//! * [`relation`] — in-memory [`Relation`]s (bags of tuples).
+//! * [`index`] — hash indexes over one or more columns.
+//! * [`engine`] — iterator-style operators: scan, filter, project, hash
+//!   join, union, distinct, sort, grouped aggregation.
+//! * [`triples`] — the provenance-carrying triple store MANGROVE publishes
+//!   annotations into, with SPO/POS/OSP indexes (our stand-in for Jena \[33\]).
+//! * [`catalog`] — a named collection of relations, plus a thread-safe
+//!   shared wrapper used by the PDMS peers.
+
+pub mod catalog;
+pub mod engine;
+pub mod index;
+pub mod relation;
+pub mod schema;
+pub mod triples;
+pub mod value;
+
+pub use catalog::{Catalog, SharedCatalog};
+pub use engine::{AggFn, Predicate};
+pub use index::HashIndex;
+pub use relation::{Relation, Tuple};
+pub use schema::{AttrType, Attribute, DbSchema, RelSchema};
+pub use triples::{Triple, TripleStore};
+pub use value::Value;

@@ -1,0 +1,217 @@
+//! In-memory relations: bags of tuples under a [`RelSchema`].
+
+use crate::schema::RelSchema;
+use crate::value::Value;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One row of a relation.
+pub type Tuple = Vec<Value>;
+
+/// A bag of tuples conforming to a schema.
+///
+/// Relations are bags, not sets — MANGROVE explicitly admits "partial,
+/// redundant, or conflicting information" (§2.1), so duplicates are
+/// preserved unless [`Relation::distinct`] is called.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    /// The schema this relation conforms to.
+    pub schema: RelSchema,
+    rows: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Create an empty relation.
+    pub fn new(schema: RelSchema) -> Self {
+        Relation { schema, rows: Vec::new() }
+    }
+
+    /// Create a relation pre-filled with rows.
+    ///
+    /// # Panics
+    /// Panics if any row's arity differs from the schema's.
+    pub fn with_rows(schema: RelSchema, rows: Vec<Tuple>) -> Self {
+        for row in &rows {
+            assert_eq!(
+                row.len(),
+                schema.arity(),
+                "row arity {} != schema arity {} for {}",
+                row.len(),
+                schema.arity(),
+                schema.name
+            );
+        }
+        Relation { schema, rows }
+    }
+
+    /// Append a tuple.
+    ///
+    /// # Panics
+    /// Panics if the tuple's arity differs from the schema's.
+    pub fn insert(&mut self, row: Tuple) {
+        assert_eq!(
+            row.len(),
+            self.schema.arity(),
+            "row arity {} != schema arity {} for {}",
+            row.len(),
+            self.schema.arity(),
+            self.schema.name
+        );
+        self.rows.push(row);
+    }
+
+    /// Remove every occurrence of `row`; returns how many were removed.
+    pub fn delete(&mut self, row: &Tuple) -> usize {
+        let before = self.rows.len();
+        self.rows.retain(|r| r != row);
+        before - self.rows.len()
+    }
+
+    /// Number of tuples (bag cardinality).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Borrow the rows.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Iterate over rows.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.rows.iter()
+    }
+
+    /// Consume into rows.
+    pub fn into_rows(self) -> Vec<Tuple> {
+        self.rows
+    }
+
+    /// True if `row` occurs at least once.
+    pub fn contains(&self, row: &Tuple) -> bool {
+        self.rows.iter().any(|r| r == row)
+    }
+
+    /// Set-semantics copy: duplicates removed, rows sorted.
+    pub fn distinct(&self) -> Relation {
+        let set: BTreeSet<&Tuple> = self.rows.iter().collect();
+        Relation {
+            schema: self.schema.clone(),
+            rows: set.into_iter().cloned().collect(),
+        }
+    }
+
+    /// The column at attribute position `idx` as a vector.
+    pub fn column(&self, idx: usize) -> Vec<&Value> {
+        self.rows.iter().map(|r| &r[idx]).collect()
+    }
+
+    /// Sample up to `n` distinct values of the named attribute — the
+    /// "sets of data instances" the corpus keeps composite statistics on
+    /// (§4.2.2).
+    pub fn sample_values(&self, attr: &str, n: usize) -> Vec<Value> {
+        let Some(idx) = self.schema.position(attr) else {
+            return Vec::new();
+        };
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for row in &self.rows {
+            if seen.insert(row[idx].clone()) {
+                out.push(row[idx].clone());
+                if out.len() >= n {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Relation {
+    /// Prints an ASCII table; used by examples and the `report` binary.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let headers: Vec<&str> = self.schema.attr_names().collect();
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(Value::to_string).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, " {:width$} |", c, width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        writeln!(f, "{} ({} rows)", self.schema.name, self.rows.len())?;
+        line(f, &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>())?;
+        for row in &rendered {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelSchema;
+
+    fn rel() -> Relation {
+        let mut r = Relation::new(RelSchema::text("course", &["title", "dept"]));
+        r.insert(vec![Value::str("Databases"), Value::str("CS")]);
+        r.insert(vec![Value::str("Ancient Greece"), Value::str("History")]);
+        r.insert(vec![Value::str("Databases"), Value::str("CS")]);
+        r
+    }
+
+    #[test]
+    fn bag_semantics_preserve_duplicates() {
+        let r = rel();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.distinct().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut r = rel();
+        r.insert(vec![Value::str("only one")]);
+    }
+
+    #[test]
+    fn delete_removes_all_occurrences() {
+        let mut r = rel();
+        let n = r.delete(&vec![Value::str("Databases"), Value::str("CS")]);
+        assert_eq!(n, 2);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn sample_values_dedups_in_order() {
+        let r = rel();
+        let vals = r.sample_values("title", 10);
+        assert_eq!(vals, vec![Value::str("Databases"), Value::str("Ancient Greece")]);
+        assert_eq!(r.sample_values("title", 1).len(), 1);
+        assert!(r.sample_values("nonexistent", 5).is_empty());
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let s = rel().to_string();
+        assert!(s.contains("| title"));
+        assert!(s.contains("Ancient Greece"));
+        assert!(s.starts_with("course (3 rows)"));
+    }
+}

@@ -1,0 +1,205 @@
+//! Relation and database schemas.
+//!
+//! These types are the unit of discourse for most of the paper: peer
+//! schemas (§3), the corpus of schemas (§4.1), the matchers (§4.3.2) and the
+//! DesignAdvisor (§4.3.1) all consume and produce [`RelSchema`]s and
+//! [`DbSchema`]s.
+
+use std::fmt;
+
+/// Declared type of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AttrType {
+    /// Free text.
+    Text,
+    /// Integer.
+    Int,
+    /// Floating point.
+    Float,
+    /// Boolean.
+    Bool,
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AttrType::Text => "text",
+            AttrType::Int => "int",
+            AttrType::Float => "float",
+            AttrType::Bool => "bool",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A named, typed attribute of a relation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Attribute {
+    /// Attribute name, e.g. `course_title`.
+    pub name: String,
+    /// Declared type.
+    pub ty: AttrType,
+}
+
+impl Attribute {
+    /// Shorthand constructor.
+    pub fn new(name: impl Into<String>, ty: AttrType) -> Self {
+        Attribute { name: name.into(), ty }
+    }
+
+    /// Shorthand for a text attribute (by far the most common in the
+    /// paper's web-data domains).
+    pub fn text(name: impl Into<String>) -> Self {
+        Attribute::new(name, AttrType::Text)
+    }
+
+    /// Shorthand for an integer attribute.
+    pub fn int(name: impl Into<String>) -> Self {
+        Attribute::new(name, AttrType::Int)
+    }
+}
+
+/// Schema of one relation: a name plus ordered attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RelSchema {
+    /// Relation name, e.g. `course`.
+    pub name: String,
+    /// Attributes in declaration order.
+    pub attrs: Vec<Attribute>,
+}
+
+impl RelSchema {
+    /// Build a schema from `(name, type)` pairs.
+    pub fn new(name: impl Into<String>, attrs: Vec<Attribute>) -> Self {
+        RelSchema { name: name.into(), attrs }
+    }
+
+    /// Build an all-text schema from attribute names — the common case for
+    /// web-extracted data.
+    pub fn text(name: impl Into<String>, attrs: &[&str]) -> Self {
+        RelSchema {
+            name: name.into(),
+            attrs: attrs.iter().map(|a| Attribute::text(*a)).collect(),
+        }
+    }
+
+    /// Number of attributes (the relation's arity).
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Position of an attribute by name.
+    pub fn position(&self, attr: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.name == attr)
+    }
+
+    /// Attribute names in order.
+    pub fn attr_names(&self) -> impl Iterator<Item = &str> {
+        self.attrs.iter().map(|a| a.name.as_str())
+    }
+}
+
+impl fmt::Display for RelSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", a.name, a.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Schema of a whole database / peer: a set of relation schemas.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DbSchema {
+    /// Owning peer / database name (e.g. `Berkeley`).
+    pub name: String,
+    /// Relation schemas in declaration order.
+    pub relations: Vec<RelSchema>,
+}
+
+impl DbSchema {
+    /// Create an empty database schema.
+    pub fn new(name: impl Into<String>) -> Self {
+        DbSchema { name: name.into(), relations: Vec::new() }
+    }
+
+    /// Add a relation schema (builder style).
+    pub fn with(mut self, rel: RelSchema) -> Self {
+        self.relations.push(rel);
+        self
+    }
+
+    /// Look up a relation schema by name.
+    pub fn relation(&self, name: &str) -> Option<&RelSchema> {
+        self.relations.iter().find(|r| r.name == name)
+    }
+
+    /// Total number of elements (relations + attributes): the denominator
+    /// in DesignAdvisor's `fit` measure (§4.3.1).
+    pub fn element_count(&self) -> usize {
+        self.relations.len() + self.relations.iter().map(RelSchema::arity).sum::<usize>()
+    }
+
+    /// Every `(relation, attribute)` pair, flattened — the elements the
+    /// matchers classify.
+    pub fn elements(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.relations
+            .iter()
+            .flat_map(|r| r.attrs.iter().map(move |a| (r.name.as_str(), a.name.as_str())))
+    }
+}
+
+impl fmt::Display for DbSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "schema {} {{", self.name)?;
+        for r in &self.relations {
+            writeln!(f, "  {r}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn course() -> RelSchema {
+        RelSchema::new(
+            "course",
+            vec![
+                Attribute::text("title"),
+                Attribute::text("instructor"),
+                Attribute::int("size"),
+            ],
+        )
+    }
+
+    #[test]
+    fn positions_and_arity() {
+        let c = course();
+        assert_eq!(c.arity(), 3);
+        assert_eq!(c.position("instructor"), Some(1));
+        assert_eq!(c.position("nope"), None);
+    }
+
+    #[test]
+    fn db_schema_lookup_and_count() {
+        let db = DbSchema::new("Berkeley")
+            .with(course())
+            .with(RelSchema::text("dept", &["name", "college"]));
+        assert!(db.relation("dept").is_some());
+        // 2 relations + 3 attrs + 2 attrs
+        assert_eq!(db.element_count(), 7);
+        assert_eq!(db.elements().count(), 5);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = course().to_string();
+        assert_eq!(s, "course(title: text, instructor: text, size: int)");
+    }
+}

@@ -1,0 +1,338 @@
+//! The provenance-carrying triple store MANGROVE publishes into.
+//!
+//! §2.2: "the annotations on web pages are stored in a repository for
+//! querying and access by applications ... we currently store the data in a
+//! relational database using a simple graph representation"; §2.3: "The
+//! source URL of the data is stored in the database and can serve as an
+//! important resource for cleaning up the data."
+//!
+//! A [`Triple`] is `(subject, predicate, object)` plus its provenance: the
+//! source URL it was published from and the logical publish time. The store
+//! maintains SP/PO/OS hash indexes so any single- or double-bound pattern is
+//! answered without a scan, and supports *republish* semantics — publishing
+//! a page replaces all triples previously published from that URL, which is
+//! what makes MANGROVE's instant-gratification loop work.
+
+use crate::relation::Relation;
+use crate::schema::RelSchema;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// One edge of the annotation graph, with provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Triple {
+    /// Subject: the entity the statement is about (e.g. a course URL).
+    pub subject: String,
+    /// Predicate: the schema tag (e.g. `course.title`).
+    pub predicate: String,
+    /// Object: the value.
+    pub object: Value,
+    /// Source URL the triple was extracted from.
+    pub source: String,
+    /// Logical publish time (monotonically increasing per store).
+    pub published_at: u64,
+}
+
+/// A query pattern: each position either bound or free.
+pub type Pattern<'a> = (Option<&'a str>, Option<&'a str>, Option<&'a Value>);
+
+/// The annotation repository.
+#[derive(Debug, Default, Clone)]
+pub struct TripleStore {
+    triples: Vec<Option<Triple>>, // tombstoned on delete
+    live: usize,
+    clock: u64,
+    by_subject: HashMap<String, Vec<usize>>,
+    by_predicate: HashMap<String, Vec<usize>>,
+    by_object: HashMap<Value, Vec<usize>>,
+    by_source: HashMap<String, Vec<usize>>,
+}
+
+impl TripleStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live triples.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when the store holds no live triples.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Current logical clock (advances on every publish).
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Insert one triple from `source`. Returns its publish time.
+    pub fn insert(
+        &mut self,
+        subject: impl Into<String>,
+        predicate: impl Into<String>,
+        object: impl Into<Value>,
+        source: impl Into<String>,
+    ) -> u64 {
+        self.clock += 1;
+        let t = Triple {
+            subject: subject.into(),
+            predicate: predicate.into(),
+            object: object.into(),
+            source: source.into(),
+            published_at: self.clock,
+        };
+        let idx = self.triples.len();
+        self.by_subject.entry(t.subject.clone()).or_default().push(idx);
+        self.by_predicate.entry(t.predicate.clone()).or_default().push(idx);
+        self.by_object.entry(t.object.clone()).or_default().push(idx);
+        self.by_source.entry(t.source.clone()).or_default().push(idx);
+        self.triples.push(Some(t));
+        self.live += 1;
+        self.clock
+    }
+
+    /// Replace everything previously published from `source` with the given
+    /// `(subject, predicate, object)` statements — the semantics of a user
+    /// hitting "publish" in the MANGROVE annotation tool.
+    pub fn republish(
+        &mut self,
+        source: &str,
+        statements: impl IntoIterator<Item = (String, String, Value)>,
+    ) {
+        self.retract_source(source);
+        for (s, p, o) in statements {
+            self.insert(s, p, o, source);
+        }
+    }
+
+    /// Remove all triples from a source (page deleted). Returns the count.
+    pub fn retract_source(&mut self, source: &str) -> usize {
+        let Some(idxs) = self.by_source.get(source) else {
+            return 0;
+        };
+        let mut removed = 0;
+        for &i in idxs.clone().iter() {
+            if self.triples[i].is_some() {
+                self.triples[i] = None;
+                self.live -= 1;
+                removed += 1;
+            }
+        }
+        self.by_source.remove(source);
+        removed
+    }
+
+    /// All live triples matching a pattern. Uses whichever bound position
+    /// has an index; a fully-free pattern scans.
+    pub fn query(&self, pattern: Pattern<'_>) -> Vec<&Triple> {
+        let (s, p, o) = pattern;
+        let candidates: Box<dyn Iterator<Item = usize> + '_> = if let Some(s) = s {
+            match self.by_subject.get(s) {
+                Some(v) => Box::new(v.iter().copied()),
+                None => return Vec::new(),
+            }
+        } else if let Some(p) = p {
+            match self.by_predicate.get(p) {
+                Some(v) => Box::new(v.iter().copied()),
+                None => return Vec::new(),
+            }
+        } else if let Some(o) = o {
+            match self.by_object.get(o) {
+                Some(v) => Box::new(v.iter().copied()),
+                None => return Vec::new(),
+            }
+        } else {
+            Box::new(0..self.triples.len())
+        };
+        candidates
+            .filter_map(|i| self.triples[i].as_ref())
+            .filter(|t| {
+                s.is_none_or(|s| t.subject == s)
+                    && p.is_none_or(|p| t.predicate == p)
+                    && o.is_none_or(|o| &t.object == o)
+            })
+            .collect()
+    }
+
+    /// Distinct subjects having the given predicate.
+    pub fn subjects_with(&self, predicate: &str) -> Vec<&str> {
+        let mut out: Vec<&str> = self
+            .query((None, Some(predicate), None))
+            .into_iter()
+            .map(|t| t.subject.as_str())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// All live triples published from `source`.
+    pub fn from_source(&self, source: &str) -> Vec<&Triple> {
+        self.by_source
+            .get(source)
+            .into_iter()
+            .flatten()
+            .filter_map(|&i| self.triples[i].as_ref())
+            .collect()
+    }
+
+    /// Iterate over all live triples.
+    pub fn iter(&self) -> impl Iterator<Item = &Triple> {
+        self.triples.iter().filter_map(Option::as_ref)
+    }
+
+    /// Expose the graph as a 5-column relation
+    /// `triple(subject, predicate, object, source, published_at)` so the
+    /// conjunctive-query engine can join over it — the "RDF-style queries"
+    /// of §2.2.
+    pub fn as_relation(&self) -> Relation {
+        let schema = RelSchema::new(
+            "triple",
+            vec![
+                crate::schema::Attribute::text("subject"),
+                crate::schema::Attribute::text("predicate"),
+                crate::schema::Attribute::text("object"),
+                crate::schema::Attribute::text("source"),
+                crate::schema::Attribute::int("published_at"),
+            ],
+        );
+        let rows = self
+            .iter()
+            .map(|t| {
+                vec![
+                    Value::str(&t.subject),
+                    Value::str(&t.predicate),
+                    t.object.clone(),
+                    Value::str(&t.source),
+                    Value::Int(t.published_at as i64),
+                ]
+            })
+            .collect();
+        Relation::with_rows(schema, rows)
+    }
+
+    /// Rebuild index vectors, dropping tombstones. Called by long-running
+    /// apps after heavy republish churn.
+    pub fn compact(&mut self) {
+        let live: Vec<Triple> = self.triples.drain(..).flatten().collect();
+        self.by_subject.clear();
+        self.by_predicate.clear();
+        self.by_object.clear();
+        self.by_source.clear();
+        self.live = 0;
+        for t in live {
+            let idx = self.triples.len();
+            self.by_subject.entry(t.subject.clone()).or_default().push(idx);
+            self.by_predicate.entry(t.predicate.clone()).or_default().push(idx);
+            self.by_object.entry(t.object.clone()).or_default().push(idx);
+            self.by_source.entry(t.source.clone()).or_default().push(idx);
+            self.triples.push(Some(t));
+            self.live += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> TripleStore {
+        let mut s = TripleStore::new();
+        s.insert("course/db", "course.title", "Databases", "http://uw.edu/db");
+        s.insert("course/db", "course.size", Value::Int(120), "http://uw.edu/db");
+        s.insert("alice", "person.phone", "555-1234", "http://uw.edu/alice");
+        s.insert("alice", "person.phone", "555-9999", "http://other.org/alice");
+        s
+    }
+
+    #[test]
+    fn pattern_queries_use_each_bound_position() {
+        let s = store();
+        assert_eq!(s.query((Some("alice"), None, None)).len(), 2);
+        assert_eq!(s.query((None, Some("course.title"), None)).len(), 1);
+        let v = Value::str("555-1234");
+        assert_eq!(s.query((None, None, Some(&v))).len(), 1);
+        assert_eq!(s.query((None, None, None)).len(), 4);
+        assert_eq!(
+            s.query((Some("alice"), Some("person.phone"), Some(&v))).len(),
+            1
+        );
+        assert!(s.query((Some("nobody"), None, None)).is_empty());
+    }
+
+    #[test]
+    fn republish_replaces_source_triples_only() {
+        let mut s = store();
+        s.republish(
+            "http://uw.edu/alice",
+            vec![("alice".into(), "person.phone".into(), Value::str("555-0000"))],
+        );
+        let phones: Vec<String> = s
+            .query((Some("alice"), Some("person.phone"), None))
+            .iter()
+            .map(|t| t.object.to_string())
+            .collect();
+        assert_eq!(phones.len(), 2);
+        assert!(phones.contains(&"555-0000".to_string()));
+        assert!(phones.contains(&"555-9999".to_string())); // other source kept
+        assert!(!phones.contains(&"555-1234".to_string()));
+    }
+
+    #[test]
+    fn provenance_is_recorded() {
+        let s = store();
+        let t = s.query((Some("course/db"), Some("course.title"), None))[0];
+        assert_eq!(t.source, "http://uw.edu/db");
+        assert!(t.published_at >= 1);
+    }
+
+    #[test]
+    fn retract_source_removes_everything_from_it() {
+        let mut s = store();
+        assert_eq!(s.retract_source("http://uw.edu/db"), 2);
+        assert_eq!(s.len(), 2);
+        assert!(s.query((Some("course/db"), None, None)).is_empty());
+        assert_eq!(s.retract_source("http://uw.edu/db"), 0);
+    }
+
+    #[test]
+    fn subjects_with_dedups() {
+        let s = store();
+        assert_eq!(s.subjects_with("person.phone"), vec!["alice"]);
+    }
+
+    #[test]
+    fn as_relation_exposes_graph() {
+        let rel = store().as_relation();
+        assert_eq!(rel.len(), 4);
+        assert_eq!(rel.schema.arity(), 5);
+        assert_eq!(rel.schema.position("predicate"), Some(1));
+    }
+
+    #[test]
+    fn compact_preserves_live_triples() {
+        let mut s = store();
+        s.retract_source("http://uw.edu/db");
+        s.compact();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.query((Some("alice"), None, None)).len(), 2);
+        // Clock keeps advancing after compaction.
+        let before = s.now();
+        s.insert("x", "y", "z", "src");
+        assert!(s.now() > before);
+    }
+
+    #[test]
+    fn publish_times_are_monotonic() {
+        let s = store();
+        let times: Vec<u64> = s.iter().map(|t| t.published_at).collect();
+        let mut sorted = times.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), times.len());
+    }
+}

@@ -1,0 +1,277 @@
+//! Generator of annotated HTML pages for the MANGROVE experiments.
+//!
+//! The paper's MANGROVE data — UW course and personal home pages, annotated
+//! by their authors — is not available, so this generator produces the
+//! closest synthetic equivalent (DESIGN.md §3): pages in several layouts
+//! whose fact-bearing fragments carry MANGROVE annotations (`mg:` HTML
+//! attributes, the "syntactic sugar for basic RDF" of §2.1), plus
+//! unannotated noise, plus *controlled dirty data* — §2.3's "inconsistent
+//! ... multiple values, where there should be only one ... even wrong data"
+//! — so the cleaning-policy experiment (E5) has a known ground truth.
+
+use crate::ontology::{generate_value, ValueKind};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use revere_storage::Value;
+
+/// How much dirt to inject.
+#[derive(Debug, Clone, Copy)]
+pub struct DirtSpec {
+    /// Probability that a secondary page re-states a fact with a *wrong*
+    /// value (a stale directory entry, a malicious edit).
+    pub conflict_prob: f64,
+    /// Number of secondary pages (directories, group pages) that re-state
+    /// facts about people.
+    pub secondary_pages: usize,
+}
+
+impl Default for DirtSpec {
+    fn default() -> Self {
+        DirtSpec { conflict_prob: 0.15, secondary_pages: 2 }
+    }
+}
+
+/// One generated page plus its ground truth.
+#[derive(Debug, Clone)]
+pub struct GeneratedPage {
+    /// Source URL.
+    pub url: String,
+    /// Annotated HTML text.
+    pub html: String,
+    /// The *correct* facts this page is authoritative for
+    /// (subject, predicate, value).
+    pub truth: Vec<(String, String, Value)>,
+    /// Facts this page states that are wrong (injected dirt).
+    pub lies: Vec<(String, String, Value)>,
+}
+
+/// Page generator configuration.
+#[derive(Debug, Clone)]
+pub struct PageGenerator {
+    /// RNG seed.
+    pub seed: u64,
+    /// How many course pages.
+    pub courses: usize,
+    /// How many personal home pages.
+    pub people: usize,
+    /// Dirt injection.
+    pub dirt: DirtSpec,
+}
+
+impl Default for PageGenerator {
+    fn default() -> Self {
+        PageGenerator { seed: 7, courses: 10, people: 10, dirt: DirtSpec::default() }
+    }
+}
+
+struct Person {
+    id: String,
+    name: String,
+    phone: Value,
+    email: Value,
+    office: Value,
+}
+
+impl PageGenerator {
+    /// Generate the whole site: personal pages, course pages, and
+    /// secondary (directory/group) pages that may contain stale facts.
+    pub fn generate(&self) -> Vec<GeneratedPage> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut pages = Vec::new();
+
+        // People first (their facts are re-stated by secondary pages).
+        let people: Vec<Person> = (0..self.people)
+            .map(|i| {
+                let name = generate_value(ValueKind::PersonName, &mut rng).to_string();
+                Person {
+                    id: format!("person/p{i:03}"),
+                    name,
+                    phone: generate_value(ValueKind::Phone, &mut rng),
+                    email: generate_value(ValueKind::Email, &mut rng),
+                    office: generate_value(ValueKind::Room, &mut rng),
+                }
+            })
+            .collect();
+
+        for (i, p) in people.iter().enumerate() {
+            pages.push(self.person_page(i, p, &mut rng));
+        }
+        for i in 0..self.courses {
+            let instructor = &people[i % people.len()];
+            pages.push(self.course_page(i, instructor, &mut rng));
+        }
+        for s in 0..self.dirt.secondary_pages {
+            pages.push(self.directory_page(s, &people, &mut rng));
+        }
+        pages
+    }
+
+    fn person_page(&self, i: usize, p: &Person, rng: &mut StdRng) -> GeneratedPage {
+        let url = format!("http://univ.edu/~p{i:03}/index.html");
+        let truth = vec![
+            (p.id.clone(), "person.name".to_string(), Value::str(&p.name)),
+            (p.id.clone(), "person.phone".to_string(), p.phone.clone()),
+            (p.id.clone(), "person.email".to_string(), p.email.clone()),
+            (p.id.clone(), "person.office".to_string(), p.office.clone()),
+        ];
+        // Two page layouts, chosen per person.
+        let html = if rng.random_bool(0.5) {
+            format!(
+                "<html><body mg:about=\"{id}\">\n\
+                 <h1><span mg:tag=\"person.name\">{name}</span></h1>\n\
+                 <p>Welcome to my home page. I study interesting things.</p>\n\
+                 <ul>\n\
+                 <li>Phone: <span mg:tag=\"person.phone\">{phone}</span></li>\n\
+                 <li>Email: <span mg:tag=\"person.email\">{email}</span></li>\n\
+                 <li>Office: <span mg:tag=\"person.office\">{office}</span></li>\n\
+                 </ul>\n\
+                 <p>Last updated recently.</p>\n\
+                 </body></html>",
+                id = p.id, name = p.name, phone = p.phone, email = p.email, office = p.office
+            )
+        } else {
+            format!(
+                "<html><body>\n\
+                 <div mg:about=\"{id}\">\n\
+                 <table>\n\
+                 <tr><td>Name</td><td mg:tag=\"person.name\">{name}</td></tr>\n\
+                 <tr><td>Tel</td><td mg:tag=\"person.phone\">{phone}</td></tr>\n\
+                 <tr><td>Mail</td><td mg:tag=\"person.email\">{email}</td></tr>\n\
+                 <tr><td>Room</td><td mg:tag=\"person.office\">{office}</td></tr>\n\
+                 </table>\n\
+                 </div>\n\
+                 <p>Unrelated footer text about the weather.</p>\n\
+                 </body></html>",
+                id = p.id, name = p.name, phone = p.phone, email = p.email, office = p.office
+            )
+        };
+        GeneratedPage { url, html, truth, lies: Vec::new() }
+    }
+
+    fn course_page(&self, i: usize, instructor: &Person, rng: &mut StdRng) -> GeneratedPage {
+        let id = format!("course/c{i:03}");
+        let url = format!("http://univ.edu/courses/c{i:03}.html");
+        let title = generate_value(ValueKind::CourseTitle, rng);
+        let time = generate_value(ValueKind::MeetingTime, rng);
+        let room = generate_value(ValueKind::Room, rng);
+        let truth = vec![
+            (id.clone(), "course.title".to_string(), title.clone()),
+            (id.clone(), "course.instructor".to_string(), Value::str(&instructor.name)),
+            (id.clone(), "course.time".to_string(), time.clone()),
+            (id.clone(), "course.room".to_string(), room.clone()),
+        ];
+        let html = format!(
+            "<html><body mg:about=\"{id}\">\n\
+             <h1><span mg:tag=\"course.title\">{title}</span></h1>\n\
+             <p>Taught by <span mg:tag=\"course.instructor\">{inst}</span>.</p>\n\
+             <p>Meets <span mg:tag=\"course.time\">{time}</span> in \
+             <span mg:tag=\"course.room\">{room}</span>.</p>\n\
+             <h2>Syllabus</h2>\n\
+             <p>Week 1: introductions. Week 2: the hard part. Week 10: the exam.</p>\n\
+             </body></html>",
+            id = id, title = title, inst = instructor.name, time = time, room = room
+        );
+        GeneratedPage { url, html, truth, lies: Vec::new() }
+    }
+
+    /// A hand-maintained directory that re-states people's phones — and,
+    /// with probability [`DirtSpec::conflict_prob`] per entry, is stale.
+    fn directory_page(&self, s: usize, people: &[Person], rng: &mut StdRng) -> GeneratedPage {
+        let url = format!("http://univ.edu/directory{s}.html");
+        let mut rows = String::new();
+        let mut truth = Vec::new();
+        let mut lies = Vec::new();
+        for p in people {
+            let (phone, is_lie) = if rng.random_bool(self.dirt.conflict_prob.clamp(0.0, 1.0)) {
+                (generate_value(ValueKind::Phone, rng), true)
+            } else {
+                (p.phone.clone(), false)
+            };
+            let fact = (p.id.clone(), "person.phone".to_string(), phone.clone());
+            if is_lie {
+                lies.push(fact);
+            } else {
+                truth.push(fact);
+            }
+            rows.push_str(&format!(
+                "<tr mg:about=\"{id}\"><td mg:tag=\"person.name\">{name}</td>\
+                 <td mg:tag=\"person.phone\">{phone}</td></tr>\n",
+                id = p.id, name = p.name, phone = phone
+            ));
+        }
+        let html = format!(
+            "<html><body>\n<h1>Departmental directory {s}</h1>\n<table>\n{rows}</table>\n</body></html>"
+        );
+        GeneratedPage { url, html, truth, lies }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = PageGenerator::default();
+        let a = g.generate();
+        let b = g.generate();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0].html, b[0].html);
+    }
+
+    #[test]
+    fn page_counts() {
+        let g = PageGenerator { courses: 4, people: 3, ..Default::default() };
+        let pages = g.generate();
+        assert_eq!(pages.len(), 3 + 4 + g.dirt.secondary_pages);
+    }
+
+    #[test]
+    fn every_truth_value_appears_in_the_html() {
+        for page in PageGenerator::default().generate() {
+            for (_, _, v) in &page.truth {
+                assert!(
+                    page.html.contains(&v.to_string()),
+                    "{} missing value {} in html",
+                    page.url,
+                    v
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn annotations_present() {
+        for page in PageGenerator::default().generate() {
+            assert!(page.html.contains("mg:about"), "{}", page.url);
+            assert!(page.html.contains("mg:tag"), "{}", page.url);
+        }
+    }
+
+    #[test]
+    fn dirt_respects_probability_extremes() {
+        let clean = PageGenerator {
+            dirt: DirtSpec { conflict_prob: 0.0, secondary_pages: 3 },
+            ..Default::default()
+        };
+        assert!(clean.generate().iter().all(|p| p.lies.is_empty()));
+        let filthy = PageGenerator {
+            dirt: DirtSpec { conflict_prob: 1.0, secondary_pages: 1 },
+            ..Default::default()
+        };
+        let pages = filthy.generate();
+        let dir = pages.iter().find(|p| p.url.contains("directory")).unwrap();
+        assert_eq!(dir.lies.len(), filthy.people);
+        assert!(dir.truth.is_empty());
+    }
+
+    #[test]
+    fn urls_are_unique() {
+        let pages = PageGenerator::default().generate();
+        let mut urls: Vec<&str> = pages.iter().map(|p| p.url.as_str()).collect();
+        urls.sort();
+        let before = urls.len();
+        urls.dedup();
+        assert_eq!(urls.len(), before);
+    }
+}

@@ -1,0 +1,26 @@
+//! Workload substrate: the simulated inputs of the REVERE evaluation.
+//!
+//! The paper evaluates REVERE on inputs we do not have: real university
+//! course pages, real peer schemas, and the Internet. Per the reproduction
+//! plan (DESIGN.md §3), this crate generates the closest synthetic
+//! equivalents, all deterministically seeded:
+//!
+//! * [`ontology`] — a shared university-domain ontology: concepts, their
+//!   canonical attributes, synonym/abbreviation/language variants, and
+//!   value generators per attribute.
+//! * [`univ`] — per-university schema derivation (rename / restructure /
+//!   drop, with ground-truth correspondences retained) and data generation.
+//! * [`topology`] — PDMS mapping-graph topologies (chain, star, balanced
+//!   tree, connected random) for the Figure 2 experiments.
+//! * [`htmlgen`] — annotated course / people HTML pages with controlled
+//!   heterogeneity and dirty-data injection for the MANGROVE experiments.
+
+pub mod htmlgen;
+pub mod ontology;
+pub mod topology;
+pub mod univ;
+
+pub use htmlgen::{DirtSpec, GeneratedPage, PageGenerator};
+pub use ontology::{Concept, Ontology};
+pub use topology::{Topology, TopologyKind};
+pub use univ::{GroundTruth, University, UniversityGenerator};

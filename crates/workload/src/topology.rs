@@ -1,0 +1,242 @@
+//! PDMS mapping-graph topologies.
+//!
+//! Figure 2 of the paper shows six universities connected by a sparse graph
+//! of pairwise schema mappings: "As long as the mapping graph is connected,
+//! any peer can access data at any other peer by following schema mapping
+//! 'links'." These generators produce the topologies the E1/E2 experiments
+//! sweep, plus helpers for the mapping-count comparison against mediated
+//! and pairwise architectures.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::VecDeque;
+
+/// Shape of the mapping graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyKind {
+    /// A simple path `0 - 1 - ... - n-1` (worst-case reformulation depth).
+    Chain,
+    /// One hub, everyone maps to peer 0 (the degenerate "mediated-like"
+    /// shape a PDMS also supports, §3: "a PDMS allows for building
+    /// data-integration ... like applications locally where needed").
+    Star,
+    /// A balanced binary tree.
+    Tree,
+    /// A connected random graph: a random spanning tree plus `extra`
+    /// random edges.
+    Random {
+        /// Extra non-tree edges to add.
+        extra: usize,
+    },
+}
+
+/// An undirected mapping graph over peers `0..n`.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// Number of peers.
+    pub n: usize,
+    /// Undirected edges `(a, b)` with `a < b`; one schema mapping each.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl Topology {
+    /// Generate a topology of the given kind.
+    pub fn generate(kind: TopologyKind, n: usize, seed: u64) -> Topology {
+        assert!(n >= 1, "need at least one peer");
+        let mut edges = Vec::new();
+        match kind {
+            TopologyKind::Chain => {
+                for i in 1..n {
+                    edges.push((i - 1, i));
+                }
+            }
+            TopologyKind::Star => {
+                for i in 1..n {
+                    edges.push((0, i));
+                }
+            }
+            TopologyKind::Tree => {
+                for i in 1..n {
+                    edges.push(((i - 1) / 2, i));
+                }
+            }
+            TopologyKind::Random { extra } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                // Random spanning tree: attach each node to a random
+                // earlier node (uniform attachment).
+                for i in 1..n {
+                    let parent = rng.random_range(0..i);
+                    edges.push((parent, i));
+                }
+                let mut added = 0;
+                let mut guard = 0;
+                while added < extra && n >= 2 && guard < extra * 50 + 100 {
+                    guard += 1;
+                    let a = rng.random_range(0..n);
+                    let b = rng.random_range(0..n);
+                    let (a, b) = (a.min(b), a.max(b));
+                    if a == b || edges.contains(&(a, b)) {
+                        continue;
+                    }
+                    edges.push((a, b));
+                    added += 1;
+                }
+            }
+        }
+        Topology { n, edges }
+    }
+
+    /// Number of mappings this topology requires (one per edge) — linear in
+    /// peers for all generated kinds, the property §3 emphasizes.
+    pub fn mapping_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Mappings a fully pairwise design would need: `n·(n−1)/2`.
+    pub fn pairwise_mapping_count(&self) -> usize {
+        self.n * self.n.saturating_sub(1) / 2
+    }
+
+    /// Mappings a single mediated schema needs: one per source — but also
+    /// the up-front cost of designing the mediated schema itself, which the
+    /// paper calls "simply too heavyweight".
+    pub fn mediated_mapping_count(&self) -> usize {
+        self.n
+    }
+
+    /// Adjacency lists.
+    pub fn adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.n];
+        for &(a, b) in &self.edges {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        adj
+    }
+
+    /// BFS hop distance from `from` to every peer (`None` = unreachable).
+    pub fn distances(&self, from: usize) -> Vec<Option<usize>> {
+        let adj = self.adjacency();
+        let mut dist = vec![None; self.n];
+        dist[from] = Some(0);
+        let mut q = VecDeque::from([from]);
+        while let Some(u) = q.pop_front() {
+            let du = dist[u].expect("queued nodes have distances");
+            for &v in &adj[u] {
+                if dist[v].is_none() {
+                    dist[v] = Some(du + 1);
+                    q.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// True when every peer can reach every other.
+    pub fn is_connected(&self) -> bool {
+        self.distances(0).iter().all(Option::is_some)
+    }
+
+    /// The longest shortest path (graph diameter); `None` if disconnected.
+    pub fn diameter(&self) -> Option<usize> {
+        let mut best = 0;
+        for s in 0..self.n {
+            for d in self.distances(s) {
+                best = best.max(d?);
+            }
+        }
+        Some(best)
+    }
+
+    /// Remove the given edge (simulating a peer dropping a mapping —
+    /// "every member can join or leave at will").
+    pub fn without_edge(&self, a: usize, b: usize) -> Topology {
+        let key = (a.min(b), a.max(b));
+        Topology {
+            n: self.n,
+            edges: self.edges.iter().copied().filter(|&e| e != key).collect(),
+        }
+    }
+
+    /// The Figure 2 example: Stanford, Oxford, MIT, Tsinghua, Roma,
+    /// Berkeley with the arrows shown in the figure.
+    pub fn figure2() -> (Topology, Vec<&'static str>) {
+        let names = vec!["Stanford", "Oxford", "MIT", "Tsinghua", "Roma", "Berkeley"];
+        // Edges per the figure's arrows (as an undirected mapping graph).
+        let edges = vec![(0, 1), (1, 2), (0, 3), (3, 4), (0, 5), (2, 5)];
+        (Topology { n: 6, edges }, names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_shape() {
+        let t = Topology::generate(TopologyKind::Chain, 5, 0);
+        assert_eq!(t.mapping_count(), 4);
+        assert!(t.is_connected());
+        assert_eq!(t.diameter(), Some(4));
+    }
+
+    #[test]
+    fn star_shape() {
+        let t = Topology::generate(TopologyKind::Star, 6, 0);
+        assert_eq!(t.mapping_count(), 5);
+        assert_eq!(t.diameter(), Some(2));
+    }
+
+    #[test]
+    fn tree_shape() {
+        let t = Topology::generate(TopologyKind::Tree, 7, 0);
+        assert_eq!(t.mapping_count(), 6);
+        assert!(t.is_connected());
+        assert!(t.diameter().unwrap() <= 4);
+    }
+
+    #[test]
+    fn random_is_connected_and_deterministic() {
+        let a = Topology::generate(TopologyKind::Random { extra: 3 }, 20, 9);
+        let b = Topology::generate(TopologyKind::Random { extra: 3 }, 20, 9);
+        assert_eq!(a.edges, b.edges);
+        assert!(a.is_connected());
+        assert_eq!(a.mapping_count(), 19 + 3);
+    }
+
+    #[test]
+    fn mapping_counts_scale_linearly_vs_quadratic() {
+        let t = Topology::generate(TopologyKind::Chain, 50, 0);
+        assert_eq!(t.mapping_count(), 49);
+        assert_eq!(t.pairwise_mapping_count(), 50 * 49 / 2);
+        assert_eq!(t.mediated_mapping_count(), 50);
+    }
+
+    #[test]
+    fn removing_a_bridge_disconnects() {
+        let t = Topology::generate(TopologyKind::Chain, 4, 0);
+        let cut = t.without_edge(1, 2);
+        assert!(!cut.is_connected());
+        assert!(cut.distances(0)[3].is_none());
+    }
+
+    #[test]
+    fn figure2_matches_paper() {
+        let (t, names) = Topology::figure2();
+        assert_eq!(names.len(), 6);
+        assert!(t.is_connected());
+        // Trento-style joining: adding one edge to Roma connects a 7th peer.
+        let mut bigger = t.clone();
+        bigger.n = 7;
+        bigger.edges.push((4, 6));
+        assert!(bigger.is_connected());
+    }
+
+    #[test]
+    fn single_peer_topology() {
+        let t = Topology::generate(TopologyKind::Chain, 1, 0);
+        assert!(t.is_connected());
+        assert_eq!(t.diameter(), Some(0));
+        assert_eq!(t.mapping_count(), 0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Error type shared by the XML parser, DTD machinery and path language.
+
+use std::fmt;
+
+/// An error raised while parsing or validating XML.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// The parser hit end-of-input while still expecting content.
+    UnexpectedEof {
+        /// What the parser was in the middle of reading.
+        context: &'static str,
+    },
+    /// A character that is illegal at the current position.
+    UnexpectedChar {
+        /// Byte offset into the input.
+        pos: usize,
+        /// The offending character.
+        found: char,
+        /// What was expected instead.
+        expected: &'static str,
+    },
+    /// A closing tag did not match the innermost open tag.
+    MismatchedTag {
+        /// Byte offset of the closing tag.
+        pos: usize,
+        /// Name of the element that is open.
+        open: String,
+        /// Name found in the closing tag.
+        close: String,
+    },
+    /// An entity reference (`&name;`) that is not one of the five
+    /// predefined entities and not a numeric character reference.
+    UnknownEntity {
+        /// Byte offset of the `&`.
+        pos: usize,
+        /// The entity name as written.
+        name: String,
+    },
+    /// The same attribute appeared twice on one element.
+    DuplicateAttribute {
+        /// Byte offset of the second occurrence.
+        pos: usize,
+        /// The attribute name.
+        name: String,
+    },
+    /// Trailing non-whitespace content after the document element.
+    TrailingContent {
+        /// Byte offset where the trailing content starts.
+        pos: usize,
+    },
+    /// The document had no root element at all.
+    EmptyDocument,
+    /// A DTD declaration could not be parsed.
+    BadDtd {
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// A document failed validation against a DTD.
+    Invalid {
+        /// Name of the element whose content was invalid.
+        element: String,
+        /// Human-readable description of the violation.
+        message: String,
+    },
+    /// A path expression could not be parsed.
+    BadPath {
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::UnexpectedEof { context } => {
+                write!(f, "unexpected end of input while reading {context}")
+            }
+            XmlError::UnexpectedChar { pos, found, expected } => {
+                write!(f, "unexpected character {found:?} at byte {pos}, expected {expected}")
+            }
+            XmlError::MismatchedTag { pos, open, close } => {
+                write!(f, "closing tag </{close}> at byte {pos} does not match open <{open}>")
+            }
+            XmlError::UnknownEntity { pos, name } => {
+                write!(f, "unknown entity &{name}; at byte {pos}")
+            }
+            XmlError::DuplicateAttribute { pos, name } => {
+                write!(f, "duplicate attribute {name:?} at byte {pos}")
+            }
+            XmlError::TrailingContent { pos } => {
+                write!(f, "content after document element at byte {pos}")
+            }
+            XmlError::EmptyDocument => write!(f, "document has no root element"),
+            XmlError::BadDtd { message } => write!(f, "bad DTD: {message}"),
+            XmlError::Invalid { element, message } => {
+                write!(f, "element <{element}> invalid: {message}")
+            }
+            XmlError::BadPath { message } => write!(f, "bad path expression: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}

@@ -1,0 +1,41 @@
+//! XML substrate for the REVERE reproduction.
+//!
+//! Piazza (the PDMS component of REVERE) "assumes an XML data model, since
+//! this is general enough to encompass relational, hierarchical, or
+//! semi-structured data" (§3.1 of the paper). This crate provides that
+//! substrate, built from scratch:
+//!
+//! * [`tree`] — an arena-backed document tree ([`Document`], [`NodeId`]).
+//! * [`parser`] — a strict XML parser for the subset REVERE needs
+//!   (elements, attributes, text, comments, the five predefined entities,
+//!   and numeric character references).
+//! * [`writer`] — serialization, both compact and pretty-printed.
+//! * [`dtd`] — DTD-style content models in the compact `Element name(child*)`
+//!   syntax of the paper's Figure 3, plus validation of documents.
+//! * [`path`] — the "limited path expressions" (§3.1.1) used by the mapping
+//!   language: `/a/b`, `//c`, `[child = 'value']` filters and `text()`.
+//!
+//! # Example
+//!
+//! ```
+//! use revere_xml::{parse, Path};
+//!
+//! let doc = parse("<schedule><college><name>Berkeley</name></college></schedule>").unwrap();
+//! let path = Path::parse("/schedule/college/name").unwrap();
+//! let hits = path.eval(&doc, doc.root());
+//! assert_eq!(doc.text_content(hits[0]), "Berkeley");
+//! ```
+
+pub mod dtd;
+pub mod error;
+pub mod parser;
+pub mod path;
+pub mod tree;
+pub mod writer;
+
+pub use dtd::{ContentModel, Dtd, Occurrence, Particle};
+pub use error::XmlError;
+pub use parser::parse;
+pub use path::{Path, Step};
+pub use tree::{Document, Node, NodeId, NodeKind};
+pub use writer::{to_pretty_string, to_string};

@@ -1,0 +1,467 @@
+//! A from-scratch XML parser for the subset REVERE uses.
+//!
+//! Supported: elements, attributes (single- or double-quoted), text,
+//! comments, an optional `<?xml ...?>` prolog, CDATA sections, the five
+//! predefined entities (`&lt; &gt; &amp; &quot; &apos;`) and decimal /
+//! hexadecimal character references. Not supported (and not needed by the
+//! paper's workloads): external DTD subsets, processing instructions other
+//! than the prolog, and namespaces (colons are treated as ordinary name
+//! characters, which is how the paper's `mg:tag`-style names behave here).
+
+use crate::error::XmlError;
+use crate::tree::{Document, NodeId, NodeKind};
+
+/// Parse a complete XML document.
+///
+/// Whitespace-only text between elements is preserved only when the element
+/// has mixed content; purely structural whitespace (runs of whitespace whose
+/// siblings are all elements) is dropped, matching what the paper's mapping
+/// examples expect.
+pub fn parse(input: &str) -> Result<Document, XmlError> {
+    let mut p = Parser { input: input.as_bytes(), pos: 0 };
+    p.skip_prolog_and_misc()?;
+    if p.eof() {
+        return Err(XmlError::EmptyDocument);
+    }
+    let doc = p.parse_root()?;
+    p.skip_misc()?;
+    if !p.eof() {
+        return Err(XmlError::TrailingContent { pos: p.pos });
+    }
+    Ok(strip_structural_whitespace(doc))
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn eof(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8, expected: &'static str) -> Result<(), XmlError> {
+        match self.peek() {
+            Some(c) if c == b => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(c) => Err(XmlError::UnexpectedChar {
+                pos: self.pos,
+                found: c as char,
+                expected,
+            }),
+            None => Err(XmlError::UnexpectedEof { context: expected }),
+        }
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_prolog_and_misc(&mut self) -> Result<(), XmlError> {
+        self.skip_ws();
+        if self.starts_with("<?xml") {
+            while !self.eof() && !self.starts_with("?>") {
+                self.pos += 1;
+            }
+            if self.eof() {
+                return Err(XmlError::UnexpectedEof { context: "XML prolog" });
+            }
+            self.pos += 2;
+        }
+        self.skip_misc()
+    }
+
+    /// Skip whitespace, comments and a DOCTYPE declaration.
+    fn skip_misc(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                self.skip_comment()?;
+            } else if self.starts_with("<!DOCTYPE") {
+                // Skip to the matching '>' (internal subsets use brackets).
+                let mut depth = 0usize;
+                while let Some(b) = self.bump() {
+                    match b {
+                        b'[' => depth += 1,
+                        b']' => depth = depth.saturating_sub(1),
+                        b'>' if depth == 0 => break,
+                        _ => {}
+                    }
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_comment(&mut self) -> Result<(), XmlError> {
+        debug_assert!(self.starts_with("<!--"));
+        self.pos += 4;
+        while !self.eof() && !self.starts_with("-->") {
+            self.pos += 1;
+        }
+        if self.eof() {
+            return Err(XmlError::UnexpectedEof { context: "comment" });
+        }
+        self.pos += 3;
+        Ok(())
+    }
+
+    fn parse_root(&mut self) -> Result<Document, XmlError> {
+        self.expect(b'<', "start of root element")?;
+        let name = self.parse_name("root element name")?;
+        let mut doc = Document::new(name);
+        let root = doc.root();
+        self.parse_attrs_and_content(&mut doc, root)?;
+        Ok(doc)
+    }
+
+    fn parse_name(&mut self, context: &'static str) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            let ok = b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':');
+            if !ok {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return match self.peek() {
+                Some(c) => Err(XmlError::UnexpectedChar {
+                    pos: self.pos,
+                    found: c as char,
+                    expected: context,
+                }),
+                None => Err(XmlError::UnexpectedEof { context }),
+            };
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    /// After `<name` has been consumed: parse attributes, then either `/>`
+    /// or `>` children `</name>`.
+    fn parse_attrs_and_content(
+        &mut self,
+        doc: &mut Document,
+        node: NodeId,
+    ) -> Result<(), XmlError> {
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect(b'>', "'>' of empty-element tag")?;
+                    return Ok(());
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    return self.parse_children(doc, node);
+                }
+                Some(_) => {
+                    let apos = self.pos;
+                    let name = self.parse_name("attribute name")?;
+                    self.skip_ws();
+                    self.expect(b'=', "'=' after attribute name")?;
+                    self.skip_ws();
+                    let quote = match self.bump() {
+                        Some(q @ (b'"' | b'\'')) => q,
+                        Some(c) => {
+                            return Err(XmlError::UnexpectedChar {
+                                pos: self.pos - 1,
+                                found: c as char,
+                                expected: "quote starting attribute value",
+                            })
+                        }
+                        None => {
+                            return Err(XmlError::UnexpectedEof { context: "attribute value" })
+                        }
+                    };
+                    let mut value = String::new();
+                    loop {
+                        match self.peek() {
+                            Some(q) if q == quote => {
+                                self.pos += 1;
+                                break;
+                            }
+                            Some(b'&') => value.push(self.parse_entity()?),
+                            Some(_) => {
+                                let (ch, len) = self.decode_char()?;
+                                value.push(ch);
+                                self.pos += len;
+                            }
+                            None => {
+                                return Err(XmlError::UnexpectedEof {
+                                    context: "attribute value",
+                                })
+                            }
+                        }
+                    }
+                    if doc.attr(node, &name).is_some() {
+                        return Err(XmlError::DuplicateAttribute { pos: apos, name });
+                    }
+                    doc.set_attr(node, name, value);
+                }
+                None => return Err(XmlError::UnexpectedEof { context: "element tag" }),
+            }
+        }
+    }
+
+    fn parse_children(&mut self, doc: &mut Document, node: NodeId) -> Result<(), XmlError> {
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(XmlError::UnexpectedEof { context: "element content" }),
+                Some(b'<') => {
+                    if self.starts_with("<!--") {
+                        self.skip_comment()?;
+                        continue;
+                    }
+                    if self.starts_with("<![CDATA[") {
+                        self.pos += 9;
+                        let start = self.pos;
+                        while !self.eof() && !self.starts_with("]]>") {
+                            self.pos += 1;
+                        }
+                        if self.eof() {
+                            return Err(XmlError::UnexpectedEof { context: "CDATA section" });
+                        }
+                        text.push_str(&String::from_utf8_lossy(&self.input[start..self.pos]));
+                        self.pos += 3;
+                        continue;
+                    }
+                    if !text.is_empty() {
+                        doc.add_text(node, std::mem::take(&mut text));
+                    }
+                    if self.starts_with("</") {
+                        self.pos += 2;
+                        let cpos = self.pos;
+                        let close = self.parse_name("closing tag name")?;
+                        self.skip_ws();
+                        self.expect(b'>', "'>' of closing tag")?;
+                        let open = doc.name(node).unwrap_or_default().to_string();
+                        if close != open {
+                            return Err(XmlError::MismatchedTag { pos: cpos, open, close });
+                        }
+                        return Ok(());
+                    }
+                    self.pos += 1; // consume '<'
+                    let name = self.parse_name("element name")?;
+                    let child = doc.add_element(node, name);
+                    self.parse_attrs_and_content(doc, child)?;
+                }
+                Some(b'&') => text.push(self.parse_entity()?),
+                Some(_) => {
+                    let (ch, len) = self.decode_char()?;
+                    text.push(ch);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    /// Decode the (possibly multi-byte UTF-8) character at the cursor,
+    /// returning it with its byte length. Invalid UTF-8 becomes U+FFFD.
+    fn decode_char(&self) -> Result<(char, usize), XmlError> {
+        let rest = &self.input[self.pos..];
+        match std::str::from_utf8(&rest[..rest.len().min(4)]) {
+            Ok(s) => {
+                let ch = s.chars().next().expect("non-empty by construction");
+                Ok((ch, ch.len_utf8()))
+            }
+            Err(e) if e.valid_up_to() > 0 => {
+                let s = std::str::from_utf8(&rest[..e.valid_up_to()]).expect("validated prefix");
+                let ch = s.chars().next().expect("non-empty");
+                Ok((ch, ch.len_utf8()))
+            }
+            Err(_) => Ok(('\u{FFFD}', 1)),
+        }
+    }
+
+    /// Parse `&...;` at the cursor into the character it denotes.
+    fn parse_entity(&mut self) -> Result<char, XmlError> {
+        let start = self.pos;
+        debug_assert_eq!(self.peek(), Some(b'&'));
+        self.pos += 1;
+        let mut name = String::new();
+        loop {
+            match self.bump() {
+                Some(b';') => break,
+                Some(b) if name.len() < 12 => name.push(b as char),
+                Some(_) => {
+                    return Err(XmlError::UnknownEntity { pos: start, name });
+                }
+                None => return Err(XmlError::UnexpectedEof { context: "entity reference" }),
+            }
+        }
+        match name.as_str() {
+            "lt" => Ok('<'),
+            "gt" => Ok('>'),
+            "amp" => Ok('&'),
+            "quot" => Ok('"'),
+            "apos" => Ok('\''),
+            _ => {
+                let code = if let Some(hex) = name.strip_prefix("#x").or(name.strip_prefix("#X")) {
+                    u32::from_str_radix(hex, 16).ok()
+                } else if let Some(dec) = name.strip_prefix('#') {
+                    dec.parse::<u32>().ok()
+                } else {
+                    None
+                };
+                code.and_then(char::from_u32)
+                    .ok_or(XmlError::UnknownEntity { pos: start, name })
+            }
+        }
+    }
+}
+
+/// Drop whitespace-only text nodes whose siblings are all elements.
+fn strip_structural_whitespace(doc: Document) -> Document {
+    fn copy(
+        src: &Document,
+        src_node: NodeId,
+        dst: &mut Document,
+        dst_node: NodeId,
+    ) {
+        let kids = src.children(src_node);
+        let has_real_text = kids.iter().any(|&k| match &src.node(k).kind {
+            NodeKind::Text(t) => !t.trim().is_empty(),
+            NodeKind::Element { .. } => false,
+        });
+        for &k in kids {
+            match &src.node(k).kind {
+                NodeKind::Text(t) => {
+                    if has_real_text {
+                        dst.add_text(dst_node, t.clone());
+                    }
+                }
+                NodeKind::Element { name, attrs } => {
+                    let child = dst.add_element(dst_node, name.clone());
+                    for (a, v) in attrs {
+                        dst.set_attr(child, a.clone(), v.clone());
+                    }
+                    copy(src, k, dst, child);
+                }
+            }
+        }
+    }
+    let mut out = Document::new(doc.name(doc.root()).unwrap_or("root").to_string());
+    let root = out.root();
+    if let NodeKind::Element { attrs, .. } = &doc.node(doc.root()).kind {
+        for (a, v) in attrs {
+            out.set_attr(root, a.clone(), v.clone());
+        }
+    }
+    copy(&doc, doc.root(), &mut out, root);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_elements() {
+        let d = parse("<a><b><c>x</c></b></a>").unwrap();
+        let b = d.child_named(d.root(), "b").unwrap();
+        let c = d.child_named(b, "c").unwrap();
+        assert_eq!(d.text_content(c), "x");
+    }
+
+    #[test]
+    fn parses_attributes_both_quote_styles() {
+        let d = parse(r#"<a x="1" y='two'/>"#).unwrap();
+        assert_eq!(d.attr(d.root(), "x"), Some("1"));
+        assert_eq!(d.attr(d.root(), "y"), Some("two"));
+    }
+
+    #[test]
+    fn rejects_duplicate_attribute() {
+        let err = parse(r#"<a x="1" x="2"/>"#).unwrap_err();
+        assert!(matches!(err, XmlError::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn decodes_entities_and_char_refs() {
+        let d = parse("<a>&lt;&amp;&gt; &#65;&#x42;</a>").unwrap();
+        assert_eq!(d.text_content(d.root()), "<&> AB");
+    }
+
+    #[test]
+    fn rejects_unknown_entity() {
+        assert!(matches!(
+            parse("<a>&nope;</a>").unwrap_err(),
+            XmlError::UnknownEntity { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_mismatched_tags() {
+        assert!(matches!(
+            parse("<a><b></a></b>").unwrap_err(),
+            XmlError::MismatchedTag { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_trailing_content() {
+        assert!(matches!(
+            parse("<a/>junk").unwrap_err(),
+            XmlError::TrailingContent { .. }
+        ));
+    }
+
+    #[test]
+    fn allows_prolog_doctype_and_comments() {
+        let d = parse(
+            "<?xml version=\"1.0\"?><!DOCTYPE a [<!ELEMENT a (#PCDATA)>]>\n<!-- hi --><a>ok</a><!-- bye -->",
+        )
+        .unwrap();
+        assert_eq!(d.text_content(d.root()), "ok");
+    }
+
+    #[test]
+    fn cdata_is_literal_text() {
+        let d = parse("<a><![CDATA[<raw> & stuff]]></a>").unwrap();
+        assert_eq!(d.text_content(d.root()), "<raw> & stuff");
+    }
+
+    #[test]
+    fn structural_whitespace_is_dropped_mixed_content_kept() {
+        let d = parse("<a>\n  <b>x</b>\n  <b>y</b>\n</a>").unwrap();
+        assert_eq!(d.children(d.root()).len(), 2);
+        let m = parse("<a>hello <b>world</b>!</a>").unwrap();
+        assert_eq!(m.children(m.root()).len(), 3);
+    }
+
+    #[test]
+    fn empty_document_is_an_error() {
+        assert_eq!(parse("   ").unwrap_err(), XmlError::EmptyDocument);
+    }
+
+    #[test]
+    fn unicode_text_roundtrips() {
+        let d = parse("<a>café — 北京</a>").unwrap();
+        assert_eq!(d.text_content(d.root()), "café — 北京");
+    }
+}

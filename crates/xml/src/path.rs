@@ -1,0 +1,306 @@
+//! The "limited path expressions" of the Piazza mapping language (§3.1.1).
+//!
+//! The paper's mapping language "supports hierarchical XML construction and
+//! limited path expressions, but avoids most of the complex ... features of
+//! XQuery". The grammar implemented here:
+//!
+//! ```text
+//! path      := step+
+//! step      := ('/' | '//') name predicate?
+//! predicate := '[' name '=' '\'' literal '\'' ']'
+//! ```
+//!
+//! A trailing `/text()` may be appended; it is consumed and recorded in
+//! [`Path::returns_text`], and evaluation still returns the element nodes —
+//! callers ask the document for text content, mirroring how Figure 4's
+//! `$c/name/text()` bindings are consumed.
+
+use crate::error::XmlError;
+use crate::tree::{Document, NodeId};
+
+/// One step of a path expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// `true` for `//name` (descendant-or-self), `false` for `/name` (child).
+    pub descendant: bool,
+    /// Element name to match.
+    pub name: String,
+    /// Optional `[child = 'value']` filter: keep nodes having a child
+    /// element `child` whose text equals `value`.
+    pub predicate: Option<(String, String)>,
+}
+
+/// A parsed path expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    /// The steps in order.
+    pub steps: Vec<Step>,
+    /// Whether the expression ended in `/text()`.
+    pub returns_text: bool,
+}
+
+impl Path {
+    /// Parse a path expression such as `/schedule/college/dept`,
+    /// `//course[title='Ancient Greece']` or `dept/course/title/text()`.
+    ///
+    /// A leading separator is optional: `a/b` is equivalent to `/a/b`
+    /// relative to the context node.
+    pub fn parse(src: &str) -> Result<Path, XmlError> {
+        let src = src.trim();
+        if src.is_empty() {
+            return Err(XmlError::BadPath { message: "empty path".into() });
+        }
+        let mut rest = src;
+        let mut steps = Vec::new();
+        let mut returns_text = false;
+        while !rest.is_empty() {
+            let descendant = if let Some(r) = rest.strip_prefix("//") {
+                rest = r;
+                true
+            } else if let Some(r) = rest.strip_prefix('/') {
+                rest = r;
+                false
+            } else if steps.is_empty() {
+                false // implicit leading child step
+            } else {
+                return Err(XmlError::BadPath {
+                    message: format!("expected '/' before {rest:?}"),
+                });
+            };
+            let name_end = rest
+                .find(['/', '['])
+                .unwrap_or(rest.len());
+            let name = &rest[..name_end];
+            rest = &rest[name_end..];
+            if name == "text()" {
+                if !rest.is_empty() {
+                    return Err(XmlError::BadPath {
+                        message: "text() must be the final step".into(),
+                    });
+                }
+                if steps.is_empty() {
+                    return Err(XmlError::BadPath {
+                        message: "text() needs a preceding step".into(),
+                    });
+                }
+                returns_text = true;
+                break;
+            }
+            if name.is_empty()
+                || !name
+                    .chars()
+                    .all(|c| c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | ':'))
+            {
+                return Err(XmlError::BadPath {
+                    message: format!("bad step name {name:?}"),
+                });
+            }
+            let mut predicate = None;
+            if let Some(r) = rest.strip_prefix('[') {
+                let close = r.find(']').ok_or_else(|| XmlError::BadPath {
+                    message: "unclosed predicate".into(),
+                })?;
+                let body = &r[..close];
+                rest = &r[close + 1..];
+                let eq = body.find('=').ok_or_else(|| XmlError::BadPath {
+                    message: format!("predicate {body:?} lacks '='"),
+                })?;
+                let child = body[..eq].trim().to_string();
+                let value = body[eq + 1..].trim();
+                let value = value
+                    .strip_prefix('\'')
+                    .and_then(|v| v.strip_suffix('\''))
+                    .or_else(|| value.strip_prefix('"').and_then(|v| v.strip_suffix('"')))
+                    .ok_or_else(|| XmlError::BadPath {
+                        message: format!("predicate value in {body:?} must be quoted"),
+                    })?;
+                predicate = Some((child, value.to_string()));
+            }
+            steps.push(Step {
+                descendant,
+                name: name.to_string(),
+                predicate,
+            });
+        }
+        if steps.is_empty() {
+            return Err(XmlError::BadPath { message: "no steps".into() });
+        }
+        Ok(Path { steps, returns_text })
+    }
+
+    /// Evaluate against `doc`, starting from `context`.
+    ///
+    /// The first step matches children of `context` — except when `context`
+    /// is the root element and the step names the root itself, in which case
+    /// it matches the root (so absolute paths like `/schedule/college` work
+    /// when evaluated from the root, matching XPath's document-node
+    /// behaviour). Results are in document order without duplicates.
+    pub fn eval(&self, doc: &Document, context: NodeId) -> Vec<NodeId> {
+        let mut current = vec![context];
+        for (i, step) in self.steps.iter().enumerate() {
+            let mut next = Vec::new();
+            for &node in &current {
+                if step.descendant {
+                    for d in doc.descendants(node) {
+                        if d != node && doc.name(d) == Some(&step.name) {
+                            next.push(d);
+                        }
+                    }
+                    // descendant-or-self: the context itself may match.
+                    if doc.name(node) == Some(&step.name) {
+                        next.push(node);
+                    }
+                } else {
+                    // Absolute-path convenience on the first step.
+                    if i == 0 && node == doc.root() && doc.name(node) == Some(&step.name) {
+                        next.push(node);
+                    }
+                    for c in doc.child_elements(node) {
+                        if doc.name(c) == Some(&step.name) {
+                            next.push(c);
+                        }
+                    }
+                }
+            }
+            if let Some((child, value)) = &step.predicate {
+                next.retain(|&n| {
+                    doc.child_named(n, child)
+                        .map(|c| doc.text_content(c) == *value)
+                        .unwrap_or(false)
+                });
+            }
+            next.sort();
+            next.dedup();
+            current = next;
+            if current.is_empty() {
+                break;
+            }
+        }
+        current
+    }
+
+    /// Evaluate and return the text content of each hit.
+    pub fn eval_text(&self, doc: &Document, context: NodeId) -> Vec<String> {
+        self.eval(doc, context)
+            .into_iter()
+            .map(|n| doc.text_content(n))
+            .collect()
+    }
+}
+
+impl std::fmt::Display for Path {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, s) in self.steps.iter().enumerate() {
+            if s.descendant {
+                write!(f, "//{}", s.name)?;
+            } else if i == 0 {
+                write!(f, "{}", s.name)?;
+            } else {
+                write!(f, "/{}", s.name)?;
+            }
+            if let Some((c, v)) = &s.predicate {
+                write!(f, "[{c}='{v}']")?;
+            }
+        }
+        if self.returns_text {
+            write!(f, "/text()")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn berkeley_doc() -> Document {
+        parse(
+            "<schedule>\
+               <college><name>Berkeley</name>\
+                 <dept><name>History</name>\
+                   <course><title>Ancient Greece</title><size>40</size></course>\
+                   <course><title>Rome</title><size>25</size></course>\
+                 </dept>\
+                 <dept><name>CS</name>\
+                   <course><title>Databases</title><size>120</size></course>\
+                 </dept>\
+               </college>\
+             </schedule>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn child_steps() {
+        let d = berkeley_doc();
+        let p = Path::parse("/schedule/college/dept").unwrap();
+        assert_eq!(p.eval(&d, d.root()).len(), 2);
+    }
+
+    #[test]
+    fn descendant_step() {
+        let d = berkeley_doc();
+        let p = Path::parse("//course").unwrap();
+        assert_eq!(p.eval(&d, d.root()).len(), 3);
+    }
+
+    #[test]
+    fn descendant_mid_path() {
+        let d = berkeley_doc();
+        let p = Path::parse("/schedule//title").unwrap();
+        assert_eq!(p.eval_text(&d, d.root()), vec!["Ancient Greece", "Rome", "Databases"]);
+    }
+
+    #[test]
+    fn predicate_filters() {
+        let d = berkeley_doc();
+        let p = Path::parse("//dept[name='History']/course/title").unwrap();
+        assert_eq!(p.eval_text(&d, d.root()), vec!["Ancient Greece", "Rome"]);
+    }
+
+    #[test]
+    fn text_suffix_recorded() {
+        let p = Path::parse("dept/name/text()").unwrap();
+        assert!(p.returns_text);
+        assert_eq!(p.steps.len(), 2);
+    }
+
+    #[test]
+    fn relative_eval_from_inner_node() {
+        let d = berkeley_doc();
+        let dept = Path::parse("//dept").unwrap().eval(&d, d.root())[0];
+        let titles = Path::parse("course/title").unwrap().eval_text(&d, dept);
+        assert_eq!(titles, vec!["Ancient Greece", "Rome"]);
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        for src in ["/a/b//c", "a/b[t='x y']/c/text()", "//q"] {
+            let p = Path::parse(src).unwrap();
+            let again = Path::parse(&p.to_string()).unwrap();
+            assert_eq!(p, again, "{src}");
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Path::parse("").is_err());
+        assert!(Path::parse("a/[x='1']").is_err());
+        assert!(Path::parse("a[t=unquoted]").is_err());
+        assert!(Path::parse("a[t='v'").is_err());
+        assert!(Path::parse("text()").is_err());
+        assert!(Path::parse("a/text()/b").is_err());
+    }
+
+    #[test]
+    fn no_duplicate_results() {
+        let d = parse("<a><a><a/></a></a>").unwrap();
+        let p = Path::parse("//a").unwrap();
+        let hits = p.eval(&d, d.root());
+        let mut uniq = hits.clone();
+        uniq.dedup();
+        assert_eq!(hits, uniq);
+        assert_eq!(hits.len(), 3);
+    }
+}

@@ -1,0 +1,333 @@
+//! Arena-backed XML document tree.
+//!
+//! All nodes of a [`Document`] live in one `Vec`; a [`NodeId`] is an index
+//! into it. This gives cheap cloning of ids, cache-friendly traversal, and
+//! no reference-counted cycles — the idiom the rest of the workspace follows
+//! for trees and graphs.
+
+use std::fmt;
+
+/// Identifier of a node within one [`Document`].
+///
+/// Ids are only meaningful for the document that created them; using an id
+/// from another document yields unspecified (but memory-safe) results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The index of this node in its document's arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// The payload of a node: an element with a name and attributes, or a run
+/// of character data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An element node such as `<course size="30">`.
+    Element {
+        /// Tag name.
+        name: String,
+        /// Attributes in document order.
+        attrs: Vec<(String, String)>,
+    },
+    /// A text node. Adjacent text is merged by the parser.
+    Text(String),
+}
+
+/// One node of the arena: payload plus tree links.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Element or text payload.
+    pub kind: NodeKind,
+    /// Parent node, `None` only for the root.
+    pub parent: Option<NodeId>,
+    /// Children in document order (empty for text nodes).
+    pub children: Vec<NodeId>,
+}
+
+/// An XML document: a root element plus the arena of all its nodes.
+#[derive(Debug, Clone)]
+pub struct Document {
+    nodes: Vec<Node>,
+    root: NodeId,
+}
+
+impl Document {
+    /// Create a document whose root element has the given tag name.
+    pub fn new(root_name: impl Into<String>) -> Self {
+        let root = Node {
+            kind: NodeKind::Element { name: root_name.into(), attrs: Vec::new() },
+            parent: None,
+            children: Vec::new(),
+        };
+        Document { nodes: vec![root], root: NodeId(0) }
+    }
+
+    /// The root element.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Total number of nodes (elements and text runs).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the document holds only its root element with no content.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1 && self.nodes[0].children.is_empty()
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Append a child element under `parent` and return its id.
+    pub fn add_element(&mut self, parent: NodeId, name: impl Into<String>) -> NodeId {
+        self.push_node(
+            parent,
+            NodeKind::Element { name: name.into(), attrs: Vec::new() },
+        )
+    }
+
+    /// Append a text node under `parent` and return its id.
+    ///
+    /// If the last child of `parent` is already a text node the runs are
+    /// merged, preserving the invariant that no two text siblings are
+    /// adjacent.
+    pub fn add_text(&mut self, parent: NodeId, text: impl Into<String>) -> NodeId {
+        let text = text.into();
+        if let Some(&last) = self.nodes[parent.index()].children.last() {
+            if let NodeKind::Text(existing) = &mut self.nodes[last.index()].kind {
+                existing.push_str(&text);
+                return last;
+            }
+        }
+        self.push_node(parent, NodeKind::Text(text))
+    }
+
+    /// Set (or overwrite) an attribute on an element node.
+    ///
+    /// # Panics
+    /// Panics if `id` is a text node.
+    pub fn set_attr(&mut self, id: NodeId, name: impl Into<String>, value: impl Into<String>) {
+        let name = name.into();
+        match &mut self.nodes[id.index()].kind {
+            NodeKind::Element { attrs, .. } => {
+                if let Some(slot) = attrs.iter_mut().find(|(n, _)| *n == name) {
+                    slot.1 = value.into();
+                } else {
+                    attrs.push((name, value.into()));
+                }
+            }
+            NodeKind::Text(_) => panic!("set_attr on text node {id}"),
+        }
+    }
+
+    fn push_node(&mut self, parent: NodeId, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { kind, parent: Some(parent), children: Vec::new() });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Tag name of an element node, or `None` for text nodes.
+    pub fn name(&self, id: NodeId) -> Option<&str> {
+        match &self.node(id).kind {
+            NodeKind::Element { name, .. } => Some(name),
+            NodeKind::Text(_) => None,
+        }
+    }
+
+    /// Attribute value on an element node, if present.
+    pub fn attr(&self, id: NodeId, name: &str) -> Option<&str> {
+        match &self.node(id).kind {
+            NodeKind::Element { attrs, .. } => {
+                attrs.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+            }
+            NodeKind::Text(_) => None,
+        }
+    }
+
+    /// Children of a node in document order.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.node(id).children
+    }
+
+    /// Child *elements* of a node in document order.
+    pub fn child_elements(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.children(id)
+            .iter()
+            .copied()
+            .filter(|&c| matches!(self.node(c).kind, NodeKind::Element { .. }))
+    }
+
+    /// First child element with the given tag name.
+    pub fn child_named(&self, id: NodeId, name: &str) -> Option<NodeId> {
+        self.child_elements(id).find(|&c| self.name(c) == Some(name))
+    }
+
+    /// The concatenation of all text beneath `id` (the XPath `string()`
+    /// value).
+    pub fn text_content(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        self.collect_text(id, &mut out);
+        out
+    }
+
+    fn collect_text(&self, id: NodeId, out: &mut String) {
+        match &self.node(id).kind {
+            NodeKind::Text(t) => out.push_str(t),
+            NodeKind::Element { .. } => {
+                for &c in self.children(id) {
+                    self.collect_text(c, out);
+                }
+            }
+        }
+    }
+
+    /// Pre-order traversal of the subtree rooted at `id` (including `id`).
+    pub fn descendants(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            // Push in reverse so children are visited in document order.
+            for &c in self.children(n).iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Depth of a node (root is 0).
+    pub fn depth(&self, id: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = id;
+        while let Some(p) = self.node(cur).parent {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// Structural equality between two documents, ignoring node ids and
+    /// attribute order.
+    pub fn structurally_eq(&self, other: &Document) -> bool {
+        fn eq(a: &Document, an: NodeId, b: &Document, bn: NodeId) -> bool {
+            match (&a.node(an).kind, &b.node(bn).kind) {
+                (NodeKind::Text(x), NodeKind::Text(y)) => x == y,
+                (
+                    NodeKind::Element { name: nx, attrs: ax },
+                    NodeKind::Element { name: ny, attrs: ay },
+                ) => {
+                    if nx != ny || ax.len() != ay.len() {
+                        return false;
+                    }
+                    let mut sx: Vec<_> = ax.clone();
+                    let mut sy: Vec<_> = ay.clone();
+                    sx.sort();
+                    sy.sort();
+                    if sx != sy {
+                        return false;
+                    }
+                    let ca = a.children(an);
+                    let cb = b.children(bn);
+                    ca.len() == cb.len()
+                        && ca.iter().zip(cb).all(|(&x, &y)| eq(a, x, b, y))
+                }
+                _ => false,
+            }
+        }
+        eq(self, self.root(), other, other.root())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Document {
+        let mut d = Document::new("catalog");
+        let course = d.add_element(d.root(), "course");
+        d.set_attr(course, "id", "cse444");
+        let title = d.add_element(course, "title");
+        d.add_text(title, "Databases");
+        d
+    }
+
+    #[test]
+    fn build_and_navigate() {
+        let d = sample();
+        assert_eq!(d.name(d.root()), Some("catalog"));
+        let course = d.child_named(d.root(), "course").unwrap();
+        assert_eq!(d.attr(course, "id"), Some("cse444"));
+        let title = d.child_named(course, "title").unwrap();
+        assert_eq!(d.text_content(title), "Databases");
+        assert_eq!(d.depth(title), 2);
+    }
+
+    #[test]
+    fn adjacent_text_merges() {
+        let mut d = Document::new("r");
+        let a = d.add_text(d.root(), "foo");
+        let b = d.add_text(d.root(), "bar");
+        assert_eq!(a, b);
+        assert_eq!(d.text_content(d.root()), "foobar");
+        assert_eq!(d.children(d.root()).len(), 1);
+    }
+
+    #[test]
+    fn set_attr_overwrites() {
+        let mut d = Document::new("r");
+        d.set_attr(d.root(), "k", "1");
+        d.set_attr(d.root(), "k", "2");
+        assert_eq!(d.attr(d.root(), "k"), Some("2"));
+    }
+
+    #[test]
+    fn descendants_in_document_order() {
+        let d = sample();
+        let names: Vec<_> = d
+            .descendants(d.root())
+            .into_iter()
+            .map(|n| d.name(n).unwrap_or("#text").to_string())
+            .collect();
+        assert_eq!(names, vec!["catalog", "course", "title", "#text"]);
+    }
+
+    #[test]
+    fn structural_equality_ignores_attr_order() {
+        let mut a = Document::new("r");
+        a.set_attr(a.root(), "x", "1");
+        a.set_attr(a.root(), "y", "2");
+        let mut b = Document::new("r");
+        b.set_attr(b.root(), "y", "2");
+        b.set_attr(b.root(), "x", "1");
+        assert!(a.structurally_eq(&b));
+        b.set_attr(b.root(), "x", "9");
+        assert!(!a.structurally_eq(&b));
+    }
+
+    #[test]
+    fn text_content_concatenates_subtree() {
+        let d = sample();
+        assert_eq!(d.text_content(d.root()), "Databases");
+    }
+
+    #[test]
+    fn is_empty_only_for_bare_root() {
+        let d = Document::new("r");
+        assert!(d.is_empty());
+        assert!(!sample().is_empty());
+    }
+}

@@ -1,0 +1,134 @@
+//! Serialization of [`Document`]s back to XML text.
+
+use crate::tree::{Document, NodeId, NodeKind};
+use std::fmt::Write as _;
+
+/// Serialize a document compactly (no added whitespace).
+pub fn to_string(doc: &Document) -> String {
+    let mut out = String::new();
+    write_node(doc, doc.root(), &mut out, None, 0);
+    out
+}
+
+/// Serialize a document with two-space indentation.
+///
+/// Elements with mixed content (text children) are kept on one line so the
+/// text value is not perturbed by indentation.
+pub fn to_pretty_string(doc: &Document) -> String {
+    let mut out = String::new();
+    write_node(doc, doc.root(), &mut out, Some(2), 0);
+    out.push('\n');
+    out
+}
+
+fn write_node(doc: &Document, id: NodeId, out: &mut String, indent: Option<usize>, depth: usize) {
+    match &doc.node(id).kind {
+        NodeKind::Text(t) => out.push_str(&escape_text(t)),
+        NodeKind::Element { name, attrs } => {
+            if let Some(step) = indent {
+                if depth > 0 {
+                    out.push('\n');
+                    for _ in 0..depth * step {
+                        out.push(' ');
+                    }
+                }
+            }
+            out.push('<');
+            out.push_str(name);
+            for (k, v) in attrs {
+                let _ = write!(out, " {}=\"{}\"", k, escape_attr(v));
+            }
+            let kids = doc.children(id);
+            if kids.is_empty() {
+                out.push_str("/>");
+                return;
+            }
+            out.push('>');
+            let mixed = kids
+                .iter()
+                .any(|&k| matches!(doc.node(k).kind, NodeKind::Text(_)));
+            let child_indent = if mixed { None } else { indent };
+            for &k in kids {
+                write_node(doc, k, out, child_indent, depth + 1);
+            }
+            if child_indent.is_some() {
+                if let Some(step) = indent {
+                    out.push('\n');
+                    for _ in 0..depth * step {
+                        out.push(' ');
+                    }
+                }
+            }
+            out.push_str("</");
+            out.push_str(name);
+            out.push('>');
+        }
+    }
+}
+
+/// Escape text content: `&`, `<`, `>`.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape an attribute value for a double-quoted attribute.
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn roundtrip_compact() {
+        let src = r#"<catalog><course id="1"><title>DB &amp; IR</title></course></catalog>"#;
+        let doc = parse(src).unwrap();
+        assert_eq!(to_string(&doc), src);
+    }
+
+    #[test]
+    fn pretty_print_indents_pure_element_content() {
+        let doc = parse("<a><b><c>x</c></b></a>").unwrap();
+        let pretty = to_pretty_string(&doc);
+        assert!(pretty.contains("\n  <b>"));
+        assert!(pretty.contains("<c>x</c>"));
+        // Pretty output reparses to the same tree.
+        assert!(parse(&pretty).unwrap().structurally_eq(&doc));
+    }
+
+    #[test]
+    fn escapes_attr_quotes() {
+        let mut d = crate::tree::Document::new("a");
+        d.set_attr(d.root(), "t", "say \"hi\" & <go>");
+        let s = to_string(&d);
+        assert_eq!(s, r#"<a t="say &quot;hi&quot; &amp; &lt;go>"/>"#);
+        let back = parse(&s).unwrap();
+        assert_eq!(back.attr(back.root(), "t"), Some("say \"hi\" & <go>"));
+    }
+
+    #[test]
+    fn empty_elements_self_close() {
+        let d = parse("<a><b></b></a>").unwrap();
+        assert_eq!(to_string(&d), "<a><b/></a>");
+    }
+}

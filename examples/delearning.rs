@@ -1,0 +1,150 @@
+//! DElearning: the paper's running example (Examples 1.1, 3.1; Figures 2-4).
+//!
+//! An on-line education company weaves distance-learning courses from
+//! universities worldwide into one virtual catalog — without a global
+//! mediated schema. We build the Figure 2 network (Stanford, Oxford, MIT,
+//! Tsinghua, Roma, Berkeley), run the Figure 4 XML mapping, then let
+//! Trento join by mapping only to its most-similar peer (Roma), and ask
+//! for ancient-history courses from every peer's local vocabulary.
+//!
+//! Run with: `cargo run --example delearning`
+
+use revere::pdms::xmlmap::figure4_mapping;
+use revere::prelude::*;
+use std::collections::HashMap;
+
+/// Per-university vocabulary: (peer, relation, title attr, enrollment attr).
+const PEERS: &[(&str, &str)] = &[
+    ("Stanford", "class"),
+    ("Oxford", "paper_course"),
+    ("MIT", "subject"),
+    ("Tsinghua", "kecheng"),
+    ("Roma", "corso"),
+    ("Berkeley", "course"),
+];
+
+fn main() {
+    // ------------------------------------------------------------------
+    // Figure 3 + Figure 4: the XML mapping template, verbatim.
+    // ------------------------------------------------------------------
+    let berkeley_xml = revere::xml::parse(
+        "<schedule><college><name>Berkeley</name>\
+           <dept><name>History</name>\
+             <course><title>Ancient Greece</title><size>40</size></course>\
+             <course><title>Fall of Rome</title><size>25</size></course>\
+           </dept>\
+         </college></schedule>",
+    )
+    .expect("Berkeley document parses");
+    revere::xml::dtd::berkeley_schema()
+        .validate(&berkeley_xml)
+        .expect("conforms to the Figure 3 Berkeley schema");
+
+    let mapping = figure4_mapping();
+    let mit_catalog = mapping
+        .apply(&HashMap::from([("Berkeley.xml".to_string(), berkeley_xml)]))
+        .expect("Figure 4 mapping applies");
+    revere::xml::dtd::mit_schema()
+        .validate(&mit_catalog)
+        .expect("output conforms to the Figure 3 MIT schema");
+    println!("Figure 4 mapping output (Berkeley schedule as MIT catalog):");
+    println!("{}", revere::xml::to_pretty_string(&mit_catalog));
+
+    // ------------------------------------------------------------------
+    // Figure 2: the six-university PDMS.
+    // ------------------------------------------------------------------
+    let mut net = PdmsNetwork::new();
+    let history_courses: &[(&str, &str, i64)] = &[
+        ("Stanford", "Early Rome Seminar", 18),
+        ("Oxford", "Greats: Ancient History", 30),
+        ("MIT", "Classical Civilizations", 45),
+        ("Tsinghua", "History of the Silk Road", 60),
+        ("Roma", "Storia Romana", 80),
+        ("Berkeley", "Ancient Greece", 40),
+    ];
+    for ((peer, rel), (_, title, size)) in PEERS.iter().zip(history_courses) {
+        let mut p = Peer::new(*peer);
+        let mut r = Relation::new(RelSchema::new(
+            *rel,
+            vec![
+                revere::storage::Attribute::text("title"),
+                revere::storage::Attribute::int("enrollment"),
+            ],
+        ));
+        r.insert(vec![Value::str(*title), Value::Int(*size)]);
+        p.add_relation(r);
+        net.add_peer(p);
+    }
+    // The Figure 2 edges, each a GLAV mapping between neighbors.
+    let edges = [
+        ("Stanford", "class", "Oxford", "paper_course"),
+        ("Oxford", "paper_course", "MIT", "subject"),
+        ("Stanford", "class", "Tsinghua", "kecheng"),
+        ("Tsinghua", "kecheng", "Roma", "corso"),
+        ("Stanford", "class", "Berkeley", "course"),
+        ("MIT", "subject", "Berkeley", "course"),
+    ];
+    for (i, (src, srel, tgt, trel)) in edges.iter().enumerate() {
+        net.add_mapping(
+            GlavMapping::parse(
+                format!("m{i}"),
+                *src,
+                *tgt,
+                &format!("m(T, E) :- {src}.{srel}(T, E) ==> m(T, E) :- {tgt}.{trel}(T, E)"),
+            )
+            .expect("edge mapping parses"),
+        );
+    }
+    println!(
+        "Figure 2 network: {} peers, {} mappings (pairwise would need {})",
+        net.len(),
+        net.mapping_count(),
+        net.len() * (net.len() - 1) / 2
+    );
+
+    // A DElearning customer shops from Roma, in Italian vocabulary.
+    let out = net
+        .query_str("Roma", "q(Titolo, Iscritti) :- Roma.corso(Titolo, Iscritti)")
+        .expect("query runs");
+    println!("\nquery at Roma (local vocabulary) reaches the whole coalition:");
+    println!("{}", out.answers);
+    assert_eq!(out.answers.len(), 6, "all six universities' courses");
+    println!(
+        "reformulation: {} disjuncts, {} nodes expanded, {} pruned by containment, peers {:?}",
+        out.reformulation.union.len(),
+        out.reformulation.nodes_expanded,
+        out.reformulation.pruned_by_containment,
+        out.reformulation.peers_reached
+    );
+
+    // ------------------------------------------------------------------
+    // Example 3.1: Trento joins by mapping to its most similar peer.
+    // ------------------------------------------------------------------
+    let mut trento = Peer::new("Trento");
+    let mut r = Relation::new(RelSchema::new(
+        "insegnamento",
+        vec![
+            revere::storage::Attribute::text("titolo"),
+            revere::storage::Attribute::int("iscritti"),
+        ],
+    ));
+    r.insert(vec![Value::str("Arte Etrusca"), Value::Int(15)]);
+    trento.add_relation(r);
+    net.add_peer(trento);
+    net.add_mapping(
+        GlavMapping::parse(
+            "m_trento",
+            "Trento",
+            "Roma",
+            "m(T, E) :- Trento.insegnamento(T, E) ==> m(T, E) :- Roma.corso(T, E)",
+        )
+        .expect("Trento mapping parses"),
+    );
+    let out = net
+        .query_str("MIT", "q(T, E) :- MIT.subject(T, E)")
+        .expect("query runs");
+    println!("\nafter Trento joins with ONE mapping (to Roma), a query at MIT sees it:");
+    println!("{}", out.answers);
+    assert_eq!(out.answers.len(), 7);
+    println!("delearning OK");
+}

@@ -1,0 +1,90 @@
+//! Quickstart: the whole REVERE loop in one file.
+//!
+//! 1. Annotate an HTML course page (MANGROVE) and publish it.
+//! 2. Serve it from an instant-gratification application.
+//! 3. Share it through a two-peer PDMS, querying in the *other* peer's
+//!    vocabulary.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use revere::mangrove::annotation::Annotator;
+use revere::prelude::*;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. Structure existing data: annotate a plain HTML page in place.
+    // ------------------------------------------------------------------
+    let raw_page = "<html><body>\
+        <h1>Introduction to Databases</h1>\
+        <p>Taught by Ada Lovelace, MWF 10:30 in Sieg 134.</p>\
+        </body></html>";
+
+    let mut annotator = Annotator::new(raw_page);
+    annotator.set_subject("course/cse444");
+    annotator.highlight("Introduction to Databases", "course.title");
+    annotator.highlight("Ada Lovelace", "course.instructor");
+    annotator.highlight("MWF 10:30", "course.time");
+    annotator.highlight("Sieg 134", "course.room");
+    let annotated = annotator.finish();
+
+    let mut mangrove = Mangrove::new(MangroveSchema::department());
+    let report = mangrove.publish("http://univ.edu/courses/cse444.html", &annotated);
+    println!("published {} statements (undeclared tags: {:?})", report.stored, report.undeclared_tags);
+
+    // ------------------------------------------------------------------
+    // 2. Instant gratification: the calendar shows the course immediately.
+    // ------------------------------------------------------------------
+    let calendar = CourseCalendar::default().render(&mangrove.store);
+    println!("\ndepartment calendar, rendered right after publish:\n{calendar}");
+
+    // ------------------------------------------------------------------
+    // 3. Share it: a two-peer PDMS with one GLAV mapping.
+    // ------------------------------------------------------------------
+    let mut uw = Peer::new("UW");
+    let mut courses = Relation::new(RelSchema::text("course", &["title", "instructor"]));
+    // Feed the published triples into UW's stored relation.
+    for subject in mangrove.store.subjects_with("course.title") {
+        let get = |p: &str| {
+            mangrove
+                .store
+                .query((Some(subject), Some(p), None))
+                .first()
+                .map(|t| t.object.clone())
+                .unwrap_or(Value::Null)
+        };
+        courses.insert(vec![get("course.title"), get("course.instructor")]);
+    }
+    uw.add_relation(courses);
+
+    let mut mit = Peer::new("MIT");
+    let mut subjects = Relation::new(RelSchema::text("subject", &["name", "lecturer"]));
+    subjects.insert(vec![Value::str("6.830 Database Systems"), Value::str("Mike Stonebraker")]);
+    mit.add_relation(subjects);
+
+    let mut net = PdmsNetwork::new();
+    net.add_peer(uw);
+    net.add_peer(mit);
+    net.add_mapping(
+        GlavMapping::parse(
+            "uw_mit",
+            "UW",
+            "MIT",
+            "m(T, I) :- UW.course(T, I) ==> m(T, I) :- MIT.subject(T, I)",
+        )
+        .expect("mapping parses"),
+    );
+
+    // A student at MIT asks in MIT's vocabulary — and sees UW's course.
+    let out = net
+        .query_str("MIT", "q(Name, Lecturer) :- MIT.subject(Name, Lecturer)")
+        .expect("query runs");
+    println!("query at MIT, answers from the whole network:\n{}", out.answers);
+    println!(
+        "reformulated into {} disjunct(s), contacted peers {:?}, {} messages",
+        out.reformulation.union.len(),
+        out.peers_contacted,
+        out.messages
+    );
+    assert_eq!(out.answers.len(), 2, "expected both universities' courses");
+    println!("\nquickstart OK");
+}

@@ -1,0 +1,119 @@
+//! Integration: the paper's figures, reproduced as executable artifacts.
+//!
+//! * Figure 2 — the six-university mapping graph and its connectivity.
+//! * Figure 3 — the Berkeley and MIT peer schemas (verbatim DTDs).
+//! * Figure 4 — the Berkeley→MIT XML mapping template, applied.
+
+use revere::pdms::xmlmap::figure4_mapping;
+use revere::prelude::*;
+use revere::xml::dtd::{berkeley_schema, mit_schema};
+use std::collections::HashMap;
+
+#[test]
+fn figure2_topology_is_connected_and_sparse() {
+    let (topology, names) = Topology::figure2();
+    assert_eq!(names, vec!["Stanford", "Oxford", "MIT", "Tsinghua", "Roma", "Berkeley"]);
+    assert!(topology.is_connected());
+    // Six peers, six mappings — far below the 15 a pairwise design needs.
+    assert_eq!(topology.mapping_count(), 6);
+    assert_eq!(topology.pairwise_mapping_count(), 15);
+    // Cutting Tsinghua-Roma strands Roma, per the figure's geometry.
+    let cut = topology.without_edge(3, 4);
+    let roma = 4;
+    assert!(cut.distances(0)[roma].is_none());
+}
+
+#[test]
+fn figure3_schemas_parse_and_validate_their_documents() {
+    let b = berkeley_schema();
+    assert_eq!(b.root(), Some("schedule"));
+    let doc = revere::xml::parse(
+        "<schedule><college><name>Berkeley</name>\
+           <dept><name>History</name>\
+             <course><title>Ancient Greece</title><size>40</size></course>\
+           </dept></college></schedule>",
+    )
+    .unwrap();
+    b.validate(&doc).unwrap();
+
+    let m = mit_schema();
+    assert_eq!(m.root(), Some("catalog"));
+    let doc = revere::xml::parse(
+        "<catalog><course><name>History</name>\
+           <subject><title>Ancient Greece</title><enrollment>40</enrollment></subject>\
+         </course></catalog>",
+    )
+    .unwrap();
+    m.validate(&doc).unwrap();
+    // The schemas really are different shapes.
+    assert!(m.validate(&revere::xml::parse("<schedule/>").unwrap()).is_err());
+}
+
+#[test]
+fn figure4_mapping_is_schema_to_schema() {
+    // Property: ANY document valid under Berkeley's schema maps to a
+    // document valid under MIT's schema.
+    let sources = [
+        "<schedule/>",
+        "<schedule><college><name>B</name></college></schedule>",
+        "<schedule><college><name>B</name>\
+           <dept><name>CS</name>\
+             <course><title>DB</title><size>10</size></course>\
+             <course><title>OS</title><size>20</size></course>\
+           </dept>\
+           <dept><name>EE</name></dept>\
+         </college></schedule>",
+    ];
+    let mapping = figure4_mapping();
+    for src in sources {
+        let doc = revere::xml::parse(src).unwrap();
+        berkeley_schema().validate(&doc).expect("source valid");
+        let out = mapping
+            .apply(&HashMap::from([("Berkeley.xml".to_string(), doc)]))
+            .expect("mapping applies");
+        mit_schema().validate(&out).unwrap_or_else(|e| panic!("output invalid for {src}: {e}"));
+    }
+}
+
+#[test]
+fn figure4_preserves_every_course() {
+    let doc = revere::xml::parse(
+        "<schedule><college><name>B</name>\
+           <dept><name>CS</name>\
+             <course><title>DB</title><size>10</size></course>\
+             <course><title>OS</title><size>20</size></course>\
+           </dept>\
+           <dept><name>History</name>\
+             <course><title>Rome</title><size>30</size></course>\
+           </dept>\
+         </college></schedule>",
+    )
+    .unwrap();
+    let titles_in = XmlPath::parse("//title").unwrap().eval_text(&doc, doc.root());
+    let out = figure4_mapping()
+        .apply(&HashMap::from([("Berkeley.xml".to_string(), doc)]))
+        .unwrap();
+    let titles_out = XmlPath::parse("//subject/title").unwrap().eval_text(&out, out.root());
+    assert_eq!(titles_in, titles_out);
+    // Sizes become enrollments, pairwise.
+    let sizes_out = XmlPath::parse("//subject/enrollment").unwrap().eval_text(&out, out.root());
+    assert_eq!(sizes_out, vec!["10", "20", "30"]);
+}
+
+#[test]
+fn figure2_as_live_pdms_mapping_count_scales_linearly() {
+    // The §3 scaling claim over growing coalitions: mappings grow
+    // linearly while pairwise grows quadratically, and connectivity (and
+    // hence query reach) is preserved throughout.
+    for n in [4usize, 8, 16, 32] {
+        let t = Topology::generate(TopologyKind::Random { extra: 2 }, n, n as u64);
+        assert!(t.is_connected());
+        assert_eq!(t.mapping_count(), n - 1 + 2, "PDMS mappings stay linear in n");
+        assert_eq!(t.pairwise_mapping_count(), n * (n - 1) / 2);
+        // The gap widens with n: at 32 peers the pairwise design already
+        // needs ~15x the mappings.
+        if n >= 16 {
+            assert!(t.pairwise_mapping_count() >= 7 * t.mapping_count());
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Integration: generated HTML pages → MANGROVE extraction → triple store
+//! → application views → a PDMS peer (the full "web of structured data"
+//! pipeline of the paper's Figure 1).
+
+use revere::mangrove::annotation::extract_statements;
+use revere::prelude::*;
+
+#[test]
+fn every_generated_truth_fact_is_extracted() {
+    let gen = PageGenerator { seed: 11, courses: 8, people: 6, ..Default::default() };
+    for page in gen.generate() {
+        let (stmts, issues) = extract_statements(&page.html);
+        assert!(issues.is_empty(), "{}: {issues:?}", page.url);
+        for (s, p, v) in page.truth.iter().chain(page.lies.iter()) {
+            assert!(
+                stmts
+                    .iter()
+                    .any(|st| st.subject == *s && st.predicate == *p && st.object == *v),
+                "{}: fact ({s}, {p}, {v}) not extracted",
+                page.url
+            );
+        }
+    }
+}
+
+#[test]
+fn publish_pipeline_is_lossless_and_replaces_on_republish() {
+    let gen = PageGenerator { seed: 12, courses: 3, people: 3, ..Default::default() };
+    let pages = gen.generate();
+    let mut m = Mangrove::new(MangroveSchema::department());
+    let mut expected = 0;
+    for p in &pages {
+        let report = m.publish(&p.url, &p.html);
+        expected += report.stored;
+    }
+    assert_eq!(m.store.len(), expected);
+    // Republishing everything leaves the store the same size.
+    for p in &pages {
+        m.publish(&p.url, &p.html);
+    }
+    assert_eq!(m.store.len(), expected);
+}
+
+#[test]
+fn cleaning_policies_ranked_by_accuracy_under_heavy_dirt() {
+    // With aggressive dirt, prefer-own-source stays perfect while
+    // majority degrades — the paper's §2.3 argument for provenance.
+    let gen = PageGenerator {
+        seed: 13,
+        courses: 0,
+        people: 12,
+        dirt: revere::workload::DirtSpec { conflict_prob: 0.9, secondary_pages: 3 },
+    };
+    let pages = gen.generate();
+    let mut m = Mangrove::new(MangroveSchema::department());
+    for p in &pages {
+        m.publish(&p.url, &p.html);
+    }
+    let truth: std::collections::BTreeMap<String, Value> = pages
+        .iter()
+        .flat_map(|p| p.truth.iter())
+        .filter(|(s, pred, _)| pred == "person.phone" && s.starts_with("person/"))
+        .filter(|(_, _, _)| true)
+        .map(|(s, _, v)| (s.clone(), v.clone()))
+        .collect();
+    let accuracy = |policy: CleaningPolicy| -> f64 {
+        let mut right = 0;
+        for (subject, want) in &truth {
+            let got = revere::mangrove::clean::resolve(&m.store, subject, "person.phone", &policy);
+            if got.first() == Some(want) {
+                right += 1;
+            }
+        }
+        right as f64 / truth.len() as f64
+    };
+    let own = accuracy(CleaningPolicy::PreferOwnSource);
+    let majority = accuracy(CleaningPolicy::Majority);
+    assert!((own - 1.0).abs() < 1e-9, "own-source accuracy {own}");
+    assert!(majority < 1.0, "majority should be fooled at 90% dirt, got {majority}");
+}
+
+#[test]
+fn mangrove_data_becomes_a_pdms_peer() {
+    // Figure 1's data flow: annotated pages feed peer storage, then the
+    // PDMS shares them with a differently-structured peer.
+    let gen = PageGenerator { seed: 14, courses: 5, people: 3, ..Default::default() };
+    let mut m = Mangrove::new(MangroveSchema::department());
+    for p in gen.generate() {
+        m.publish(&p.url, &p.html);
+    }
+    // Materialize the calendar view as UW's stored relation.
+    let calendar = CourseCalendar::default().render(&m.store);
+    let mut uw = Peer::new("UW");
+    let mut rel = Relation::new(RelSchema::text("course", &["id", "title", "time", "room"]));
+    for row in calendar.iter() {
+        rel.insert(row.iter().map(|v| Value::str(v.to_string())).collect());
+    }
+    uw.add_relation(rel);
+
+    let mut msu = Peer::new("MSU");
+    let mut msu_rel = Relation::new(RelSchema::text("offering", &["code", "name", "slot", "venue"]));
+    msu_rel.insert(vec![
+        Value::str("offering/1"),
+        Value::str("Databases at MSU"),
+        Value::str("TTh 9:00"),
+        Value::str("Hall 2"),
+    ]);
+    msu.add_relation(msu_rel);
+
+    let mut net = PdmsNetwork::new();
+    net.add_peer(uw);
+    net.add_peer(msu);
+    net.add_mapping(
+        GlavMapping::parse(
+            "uw_msu",
+            "UW",
+            "MSU",
+            "m(I, T, S, V) :- UW.course(I, T, S, V) ==> m(I, T, S, V) :- MSU.offering(I, T, S, V)",
+        )
+        .unwrap(),
+    );
+    let out = net
+        .query_str("MSU", "q(N, S) :- MSU.offering(C, N, S, V)")
+        .unwrap();
+    assert_eq!(out.answers.len(), 6, "5 UW courses + 1 MSU offering:\n{}", out.answers);
+}
+
+#[test]
+fn crawl_staleness_grows_with_interval_mangrove_stays_instant() {
+    for interval in [5u64, 20, 100] {
+        let crawl = CrawlBaseline::new(MangroveSchema::department(), interval);
+        assert_eq!(crawl.staleness_of_publish_now(), interval);
+    }
+    // MANGROVE equivalent: publish then render — zero ticks.
+    let mut m = Mangrove::new(MangroveSchema::department());
+    m.publish(
+        "http://u/x",
+        r#"<body mg:about="course/x"><h1 mg:tag="course.title">X</h1></body>"#,
+    );
+    assert_eq!(CourseCalendar::default().render(&m.store).len(), 1);
+}

@@ -1,0 +1,425 @@
+//! Property-based tests over the core data structures and algorithms.
+//!
+//! These pin down the invariants the paper's machinery rests on: the XML
+//! substrate round-trips, conjunctive-query containment behaves like a
+//! preorder, minimization preserves semantics on real data, MiniCon
+//! rewritings are sound, and incremental view maintenance agrees with
+//! recomputation on arbitrary updategram batches.
+
+use proptest::prelude::*;
+use revere::pdms::{maintain, MaintenanceChoice, MaterializedView, Updategram};
+use revere::prelude::*;
+use revere::query::unfold::{unfold_with, ViewDef};
+use revere::query::{eval_cq, rewrite_using_views};
+use revere::storage::{Catalog, Relation};
+use revere::xml::{parse as parse_xml, to_string, Document};
+
+// ---------------------------------------------------------------------
+// XML strategies
+// ---------------------------------------------------------------------
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,6}"
+}
+
+fn arb_text() -> impl Strategy<Value = String> {
+    // Printable text without XML-significant characters; the writer
+    // escapes &<> itself, which roundtrip_escapes covers separately.
+    "[ -~&&[^<>&\"']]{1,20}".prop_map(|s| s.trim().to_string()).prop_filter("non-empty", |s| !s.is_empty())
+}
+
+/// Generate a random document with bounded depth and fanout.
+fn arb_document() -> impl Strategy<Value = Document> {
+    let leaf = (arb_name(), arb_text()).prop_map(|(n, t)| {
+        let mut d = Document::new(n);
+        d.add_text(d.root(), t);
+        d
+    });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (arb_name(), prop::collection::vec(inner, 1..4), prop::collection::vec((arb_name(), arb_text()), 0..3))
+            .prop_map(|(name, children, attrs)| {
+                let mut d = Document::new(name);
+                let root = d.root();
+                for (k, v) in attrs {
+                    d.set_attr(root, k, v);
+                }
+                for child in children {
+                    // Deep-copy the child document under the new root.
+                    fn copy(src: &Document, sn: revere::xml::NodeId, dst: &mut Document, dn: revere::xml::NodeId) {
+                        for &c in src.children(sn) {
+                            match &src.node(c).kind {
+                                revere::xml::NodeKind::Text(t) => {
+                                    dst.add_text(dn, t.clone());
+                                }
+                                revere::xml::NodeKind::Element { name, attrs } => {
+                                    let e = dst.add_element(dn, name.clone());
+                                    for (k, v) in attrs {
+                                        dst.set_attr(e, k.clone(), v.clone());
+                                    }
+                                    copy(src, c, dst, e);
+                                }
+                            }
+                        }
+                    }
+                    let e = d.add_element(root, child.name(child.root()).unwrap().to_string());
+                    if let revere::xml::NodeKind::Element { attrs, .. } = &child.node(child.root()).kind {
+                        for (k, v) in attrs.clone() {
+                            d.set_attr(e, k, v);
+                        }
+                    }
+                    copy(&child, child.root(), &mut d, e);
+                }
+                d
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn xml_roundtrip(doc in arb_document()) {
+        let text = to_string(&doc);
+        let back = parse_xml(&text).expect("writer output parses");
+        prop_assert!(back.structurally_eq(&doc), "roundtrip changed the tree:\n{text}");
+    }
+
+    #[test]
+    fn xml_escaping_roundtrips(raw in "[ -~]{0,24}") {
+        let mut d = Document::new("r");
+        let root = d.root();
+        if !raw.trim().is_empty() {
+            d.add_text(root, raw.clone());
+            d.set_attr(root, "a", raw.clone());
+            let back = parse_xml(&to_string(&d)).expect("escaped output parses");
+            prop_assert_eq!(back.text_content(back.root()), raw.clone());
+            prop_assert_eq!(back.attr(back.root(), "a"), Some(raw.as_str()));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Value ordering
+// ---------------------------------------------------------------------
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i32>().prop_map(|i| Value::Int(i as i64)),
+        (-1e9f64..1e9).prop_map(Value::Float),
+        "[a-z]{0,8}".prop_map(Value::Str),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn value_ordering_is_total_and_antisymmetric(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        // Transitivity (spot form): sorting never panics and is stable
+        // under re-sorting.
+        let mut v = vec![a.clone(), b.clone(), c.clone()];
+        v.sort();
+        let w = {
+            let mut w = v.clone();
+            w.sort();
+            w
+        };
+        prop_assert_eq!(&v, &w);
+        // Eq consistent with Ord.
+        prop_assert_eq!(a == b, a.cmp(&b) == Ordering::Equal);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Conjunctive queries: containment, minimization, rewriting
+// ---------------------------------------------------------------------
+
+/// A random small database over relations r/2 and s/2 with a tiny value
+/// domain (so joins actually hit).
+fn arb_db() -> impl Strategy<Value = Catalog> {
+    let pair = (0..4i64, 0..4i64);
+    (
+        prop::collection::vec(pair.clone(), 0..12),
+        prop::collection::vec(pair, 0..12),
+    )
+        .prop_map(|(rs, ss)| {
+            let mut cat = Catalog::new();
+            let mut r = Relation::new(RelSchema::text("r", &["a", "b"]));
+            for (x, y) in rs {
+                r.insert(vec![Value::Int(x), Value::Int(y)]);
+            }
+            let mut s = Relation::new(RelSchema::text("s", &["a", "b"]));
+            for (x, y) in ss {
+                s.insert(vec![Value::Int(x), Value::Int(y)]);
+            }
+            cat.register(r.distinct());
+            cat.register(s.distinct());
+            cat
+        })
+}
+
+/// A random safe conjunctive query over r/2, s/2 with ≤3 atoms and ≤4 vars.
+fn arb_query() -> impl Strategy<Value = ConjunctiveQuery> {
+    let atom = ("[rs]", 0..4usize, 0..4usize);
+    (prop::collection::vec(atom, 1..4), 0..4usize)
+        .prop_map(|(atoms, head_var)| {
+            let vars = ["X", "Y", "Z", "W"];
+            let body: Vec<String> = atoms
+                .iter()
+                .map(|(rel, v1, v2)| format!("{rel}({}, {})", vars[*v1], vars[*v2]))
+                .collect();
+            // Head var must appear in the body.
+            let used: Vec<&str> = atoms
+                .iter()
+                .flat_map(|(_, v1, v2)| [vars[*v1], vars[*v2]])
+                .collect();
+            let hv = if used.contains(&vars[head_var]) { vars[head_var] } else { used[0] };
+            parse_query(&format!("q({hv}) :- {}", body.join(", "))).expect("generated query is safe")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn containment_is_reflexive(q in arb_query()) {
+        prop_assert!(contained_in(&q, &q));
+    }
+
+    #[test]
+    fn containment_implies_answer_inclusion(q1 in arb_query(), q2 in arb_query(), db in arb_db()) {
+        if contained_in(&q1, &q2) {
+            let a1 = eval_cq(&q1, &db).unwrap();
+            let a2 = eval_cq(&q2, &db).unwrap();
+            for row in a1.iter() {
+                prop_assert!(
+                    a2.contains(row),
+                    "containment said {} ⊆ {} but {:?} only in the first",
+                    q1, q2, row
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn minimization_preserves_answers(q in arb_query(), db in arb_db()) {
+        let m = minimize(&q);
+        prop_assert!(m.body.len() <= q.body.len());
+        let orig = eval_cq(&q, &db).unwrap();
+        let mind = eval_cq(&m, &db).unwrap();
+        let mut a = orig.rows().to_vec();
+        let mut b = mind.rows().to_vec();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b, "minimize changed the answers of {}", q);
+    }
+
+    #[test]
+    fn minicon_rewritings_are_sound_on_data(q in arb_query(), db in arb_db()) {
+        // Views: projections of r and s exposing both columns.
+        let views = [
+            ViewDef::from_query(&parse_query("v_r(A, B) :- r(A, B)").unwrap()),
+            ViewDef::from_query(&parse_query("v_s(A, B) :- s(A, B)").unwrap()),
+        ];
+        let rewritings = rewrite_using_views(&q, &views);
+        // Materialize the views.
+        let mut vcat = Catalog::new();
+        for (vname, def) in [("v_r", "v_r(A, B) :- r(A, B)"), ("v_s", "v_s(A, B) :- s(A, B)")] {
+            let mut rel = eval_cq(&parse_query(def).unwrap(), &db).unwrap();
+            rel.schema.name = vname.to_string();
+            vcat.register(rel);
+        }
+        let direct = eval_cq(&q, &db).unwrap();
+        for rw in &rewritings {
+            let via = eval_cq(rw, &vcat).unwrap();
+            for row in via.iter() {
+                prop_assert!(
+                    direct.contains(row),
+                    "unsound: {} produced {:?} not in {}",
+                    rw, row, q
+                );
+            }
+        }
+        // With full-fidelity views, some rewriting must exist and the
+        // union must be complete.
+        prop_assert!(!rewritings.is_empty(), "no rewriting for {}", q);
+        let mut union_rows: Vec<_> = rewritings
+            .iter()
+            .flat_map(|rw| eval_cq(rw, &vcat).unwrap().into_rows())
+            .collect();
+        union_rows.sort();
+        union_rows.dedup();
+        let mut want = direct.rows().to_vec();
+        want.sort();
+        prop_assert_eq!(union_rows, want, "rewriting union incomplete for {}", q);
+    }
+
+    #[test]
+    fn unfolding_preserves_answers(q in arb_query(), db in arb_db()) {
+        // Define virtual relations over the base and unfold them back.
+        let defs = [
+            ViewDef::from_query(&parse_query("r(A, B) :- base_r(A, B)").unwrap()),
+            ViewDef::from_query(&parse_query("s(A, B) :- base_s(A, B)").unwrap()),
+        ];
+        let mut base = Catalog::new();
+        let mut r = db.get("r").unwrap().clone();
+        r.schema.name = "base_r".into();
+        let mut s = db.get("s").unwrap().clone();
+        s.schema.name = "base_s".into();
+        base.register(r);
+        base.register(s);
+        let unfolded = unfold_with(&q, &defs, 8);
+        prop_assert_eq!(unfolded.len(), 1);
+        let a = eval_cq(&q, &db).unwrap();
+        let b = eval_cq(&unfolded[0], &base).unwrap();
+        let mut ra = a.rows().to_vec();
+        let mut rb = b.rows().to_vec();
+        ra.sort();
+        rb.sort();
+        prop_assert_eq!(ra, rb);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Updategrams: incremental maintenance == recompute
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn incremental_maintenance_matches_recompute(
+        db in arb_db(),
+        inserts in prop::collection::vec((0..4i64, 0..4i64), 0..6),
+        delete_count in 0..4usize,
+        view_q in prop_oneof![
+            Just("v(A, C) :- r(A, B), s(B, C)"),
+            Just("v(B) :- r(A, B)"),
+            Just("v(A, C) :- r(A, B), r(B, C)"),
+        ],
+    ) {
+        let def = parse_query(view_q).unwrap();
+        let mut c1 = db.clone();
+        let mut c2 = db;
+        let mut v1 = MaterializedView::new("v", def.clone());
+        let mut v2 = MaterializedView::new("v", def);
+        v1.refresh_full(&c1).unwrap();
+        v2.refresh_full(&c2).unwrap();
+
+        // Deletes drawn from existing rows; inserts arbitrary.
+        let existing: Vec<Vec<Value>> = c1.get("r").unwrap().rows().to_vec();
+        let deletes: Vec<Vec<Value>> = existing.into_iter().take(delete_count).collect();
+        let gram = Updategram {
+            relation: "r".into(),
+            insert: inserts
+                .iter()
+                .map(|(x, y)| vec![Value::Int(*x), Value::Int(*y)])
+                .collect(),
+            delete: deletes,
+        };
+        maintain(&mut c1, &mut v1, std::slice::from_ref(&gram), Some(MaintenanceChoice::Incremental)).unwrap();
+        maintain(&mut c2, &mut v2, std::slice::from_ref(&gram), Some(MaintenanceChoice::Recompute)).unwrap();
+        let r1 = v1.as_relation();
+        let r2 = v2.as_relation();
+        prop_assert_eq!(r1.rows(), r2.rows(), "divergence after {:?}", gram);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Corpus text utilities
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn stemming_is_idempotent(word in "[a-z]{1,14}") {
+        use revere::corpus::text::stem;
+        let once = stem(&word);
+        prop_assert_eq!(stem(&once), once.clone());
+        // Stems never grow.
+        prop_assert!(once.len() <= word.len() + 1, "{word} -> {once}");
+    }
+
+    #[test]
+    fn name_similarity_is_bounded_and_reflexive(a in "[a-z_]{1,12}", b in "[a-z_]{1,12}") {
+        use revere::corpus::text::{name_similarity, SynonymTable};
+        let syn = SynonymTable::default_domain();
+        let s = name_similarity(&a, &b, &syn);
+        prop_assert!((0.0..=1.0).contains(&s), "similarity {s} out of range");
+        prop_assert_eq!(name_similarity(&a, &a, &syn), 1.0);
+    }
+
+    #[test]
+    fn edit_distance_triangle_inequality(
+        a in "[a-z]{0,8}",
+        b in "[a-z]{0,8}",
+        c in "[a-z]{0,8}",
+    ) {
+        use revere::corpus::text::edit_distance;
+        prop_assert!(edit_distance(&a, &c) <= edit_distance(&a, &b) + edit_distance(&b, &c));
+        prop_assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));
+        prop_assert_eq!(edit_distance(&a, &a), 0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Topologies
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_topologies_are_connected(n in 1usize..40, seed in 0u64..1000, extra in 0usize..5) {
+        for kind in [
+            TopologyKind::Chain,
+            TopologyKind::Star,
+            TopologyKind::Tree,
+            TopologyKind::Random { extra },
+        ] {
+            let t = Topology::generate(kind, n, seed);
+            prop_assert!(t.is_connected(), "{kind:?} n={n} seed={seed} disconnected");
+            prop_assert!(t.mapping_count() <= n.saturating_sub(1) + extra);
+            prop_assert!(t.diameter().is_some());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Triple store
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn triple_store_republish_is_idempotent(
+        facts in prop::collection::vec(("[a-c]", "[p-r]", "[x-z]"), 0..10),
+    ) {
+        use revere::storage::TripleStore;
+        let mut store = TripleStore::new();
+        let stmts: Vec<(String, String, Value)> = facts
+            .iter()
+            .map(|(s, p, o)| (s.clone(), p.clone(), Value::str(o.clone())))
+            .collect();
+        store.republish("src", stmts.clone());
+        let first = store.len();
+        store.republish("src", stmts.clone());
+        prop_assert_eq!(store.len(), first);
+        // Indexed pattern query agrees with a full scan for every subject.
+        for (s, _, _) in &stmts {
+            let indexed = store.query((Some(s), None, None)).len();
+            let scanned = store
+                .iter()
+                .filter(|t| &t.subject == s)
+                .count();
+            prop_assert_eq!(indexed, scanned);
+        }
+    }
+}
