@@ -1,7 +1,7 @@
-//! Criterion bench for E6/E7: classifier training, schema matching and
+//! Bench (in-repo harness) for E6/E7: classifier training, schema matching and
 //! DesignAdvisor ranking over generated universities.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use revere_util::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use revere_corpus::{Corpus, CorpusEntry, DesignAdvisor, MatchingAdvisor, MultiStrategyClassifier};
 use revere_storage::Catalog;
 use revere_workload::UniversityGenerator;

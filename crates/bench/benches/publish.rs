@@ -1,8 +1,8 @@
-//! Criterion bench for E4: MANGROVE publish-pipeline throughput
+//! Bench (in-repo harness) for E4: MANGROVE publish-pipeline throughput
 //! (parse HTML → extract annotations → republish into the triple store)
 //! and application render latency right after a publish.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use revere_util::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use revere_mangrove::{CourseCalendar, Mangrove, MangroveSchema, PhoneDirectory};
 use revere_workload::PageGenerator;
 

@@ -1,7 +1,7 @@
-//! Criterion bench for E2: reformulation time vs chain length, with the
+//! Bench (in-repo harness) for E2: reformulation time vs chain length, with the
 //! pruning heuristics on and off.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use revere_util::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use revere_pdms::{ReformulateOptions, Reformulator};
 use revere_query::{parse_query, GlavMapping};
 

@@ -1,7 +1,7 @@
-//! Criterion bench for E1/E9: full-network query answering across
+//! Bench (in-repo harness) for E1/E9: full-network query answering across
 //! topologies, and corpus statistics computation scaling.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use revere_util::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use revere_bench::fixtures::course_network;
 use revere_corpus::{Corpus, CorpusEntry, CorpusStats};
 use revere_workload::{TopologyKind, UniversityGenerator};

@@ -1,7 +1,7 @@
-//! Criterion bench for E8: incremental updategram maintenance vs full
+//! Bench (in-repo harness) for E8: incremental updategram maintenance vs full
 //! view recomputation across delta sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use revere_util::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use revere_bench::fixtures::big_relation;
 use revere_pdms::{maintain, MaintenanceChoice, MaterializedView, Updategram};
 use revere_query::parse_query;
@@ -40,7 +40,7 @@ fn bench_maintenance(c: &mut Criterion) {
                     maintain(&mut cat, &mut view, &[g], Some(MaintenanceChoice::Incremental))
                         .unwrap()
                 },
-                criterion::BatchSize::LargeInput,
+                revere_util::criterion::BatchSize::LargeInput,
             );
         });
         group.bench_with_input(BenchmarkId::new("recompute", delta), &delta, |b, &d| {
@@ -50,7 +50,7 @@ fn bench_maintenance(c: &mut Criterion) {
                     maintain(&mut cat, &mut view, &[g], Some(MaintenanceChoice::Recompute))
                         .unwrap()
                 },
-                criterion::BatchSize::LargeInput,
+                revere_util::criterion::BatchSize::LargeInput,
             );
         });
     }

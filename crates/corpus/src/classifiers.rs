@@ -385,15 +385,22 @@ impl MultiStrategyClassifier {
         // learner's held-out reliability. This stops one confidently
         // wrong learner (typically the name learner on a renamed
         // element) from outvoting two diffusely right ones, which a
-        // linear mixture cannot.
-        const EPS: f64 = 0.02;
+        // linear mixture cannot. Weights are taken relative to the MOST
+        // reliable learner (not normalized to sum 1): sum-normalization
+        // caps the pooled exponents at 1, which flattens the combined
+        // distribution below every input — downstream consumers that
+        // weight correlation by peak confidence (the matcher) would then
+        // see the meta-prediction as maximally uncertain and ignore it.
+        // The smoothing floor scales with the label space so it stays a
+        // fraction of the uniform mass instead of swamping it.
+        let eps = 0.5 / self.labels.len().max(1) as f64;
         let mut combined = vec![0.0f64; self.labels.len()];
         if per_learner.len() > 1 {
-            let wsum: f64 = per_learner.iter().map(|(w, _)| w).sum();
+            let wmax: f64 = per_learner.iter().map(|(w, _)| *w).fold(f64::MIN, f64::max);
             for (i, c) in combined.iter_mut().enumerate() {
                 let mut log_score = 0.0;
                 for (w, scores) in &per_learner {
-                    log_score += (w / wsum) * (scores[i] + EPS).ln();
+                    log_score += (w / wmax) * (scores[i] + eps).ln();
                 }
                 *c = log_score.exp();
             }

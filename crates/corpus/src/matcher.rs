@@ -6,7 +6,7 @@
 //! (or most) of the classifiers had the same prediction on element s1 ∈ S1
 //! and s2 ∈ S2, then we may hypothesize that s1 matches s2."
 //!
-//! The advisor scores every element pair by the cosine correlation of
+//! The advisor scores every element pair by the Pearson correlation of
 //! their predicted concept distributions (optionally restricted to a
 //! learner subset for the E6 ablation), blended with direct name
 //! similarity, then extracts a one-to-one matching greedily by descending
@@ -107,27 +107,22 @@ impl MatchingAdvisor {
     ) -> Vec<Correspondence> {
         let left = Self::elements_of(s1, d1);
         let right = Self::elements_of(s2, d2);
-        let predict = |info: &ElementInfo| {
-            let p = self.classifier.predict_with(info, &self.learners);
-            // Peakedness: an element the classifiers are unsure about has
-            // a near-uniform distribution, and two near-uniform vectors
-            // cosine-correlate highly for no semantic reason. Weight the
-            // correlation by how much probability mass sits on each
-            // side's top label.
-            let peak = p.top().map(|(_, s)| s).unwrap_or(0.0);
-            (p.as_vector(), peak)
-        };
+        let predict =
+            |info: &ElementInfo| self.classifier.predict_with(info, &self.learners).as_vector();
         let left_preds: Vec<_> = left.iter().map(|(_, info)| predict(info)).collect();
         let right_preds: Vec<_> = right.iter().map(|(_, info)| predict(info)).collect();
+        let dim = self.classifier.labels().len();
 
-        // Score all pairs.
+        // Score all pairs. Pearson (centered) correlation over the label
+        // space: an element the classifiers are unsure about has a
+        // near-uniform distribution whose centered norm vanishes, so it
+        // correlates with nothing — uncertainty suppresses itself without
+        // a separate confidence weighting. (Raw cosine would instead rate
+        // two near-uniform predictions as near-identical.)
         let mut scored: Vec<(usize, usize, f64)> = Vec::new();
         for (i, (_, li)) in left.iter().enumerate() {
             for (j, (_, ri)) in right.iter().enumerate() {
-                let (lv, lp) = &left_preds[i];
-                let (rv, rp) = &right_preds[j];
-                let confidence = (lp + rp).min(1.0);
-                let correlation = lv.cosine(rv) * confidence;
+                let correlation = left_preds[i].pearson(&right_preds[j], dim).max(0.0);
                 let name_score = 0.8 * name_similarity(&li.name, &ri.name, &self.synonyms)
                     + 0.2 * name_similarity(&li.relation, &ri.relation, &self.synonyms);
                 let w = self.correlation_weight;

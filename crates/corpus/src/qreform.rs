@@ -55,16 +55,18 @@ impl QueryReformulator {
     fn keyword_score(&self, keyword: &str, schema: &DbSchema, data: &Catalog, rel: &str, attr: &str) -> f64 {
         let direct = 0.8 * name_similarity(keyword, attr, &self.synonyms)
             + 0.2 * name_similarity(keyword, rel, &self.synonyms);
-        // Corpus-aware component: does the classifier think this element's
-        // concept matches what the keyword suggests? We classify the
-        // keyword as if it were a bare attribute, then compare to the
-        // element's predicted concept.
-        let kw_info = ElementInfo {
-            name: keyword.to_string(),
-            relation: String::new(),
-            siblings: vec![],
-            values: vec![],
-        };
+        // Corpus-aware component: classify the element with the full
+        // multi-strategy classifier (name, values, siblings), then measure
+        // how much of its predicted concept mass lands on labels whose
+        // *canonical* names match the keyword. The keyword→concept step is
+        // deliberately synonym-free: canonical labels are the corpus's own
+        // vocabulary, and the broad domain synsets (which merge e.g.
+        // title/name/nome) would erase exactly the distinction the user's
+        // keyword carries. Cross-vocabulary generalization is the
+        // classifier's job instead — an Italian `insegnamento.nome`
+        // element predicted as (course, title) from its values and
+        // siblings scores high for the keyword "title" even though its
+        // surface name reads as "name".
         let el_info = ElementInfo {
             name: attr.to_string(),
             relation: rel.to_string(),
@@ -74,11 +76,30 @@ impl QueryReformulator {
                 .unwrap_or_default(),
             values: data.get(rel).map(|r| r.sample_values(attr, 10)).unwrap_or_default(),
         };
-        let corpus_score = self
-            .classifier
-            .predict(&kw_info)
-            .as_vector()
-            .cosine(&self.classifier.predict(&el_info).as_vector());
+        let prediction = self.classifier.predict(&el_info);
+        let strict = SynonymTable::new();
+        let affinity = |concept: &str, canon: &str| -> f64 {
+            // Sharpened so near-misses ("title" vs "name") barely count.
+            name_similarity(keyword, canon, &strict)
+                .max(0.8 * name_similarity(keyword, concept, &strict))
+                .powi(4)
+        };
+        let (mut hit, mut base) = (0.0, 0.0);
+        for ((concept, canon), p) in &prediction.scores {
+            let w = affinity(concept, canon);
+            hit += p * w;
+            base += w;
+        }
+        let corpus_score = if base > 1e-9 {
+            // Lift of the expected affinity under the prediction over a
+            // uniform prediction, squashed into (0, 1); 0.5 = the
+            // prediction is uninformative about the keyword's concept.
+            let lift = hit * prediction.scores.len() as f64 / base;
+            lift / (1.0 + lift)
+        } else {
+            // Keyword shares no vocabulary with the corpus: stay neutral.
+            0.5
+        };
         0.6 * direct + 0.4 * corpus_score
     }
 

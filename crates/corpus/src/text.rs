@@ -282,6 +282,38 @@ impl SparseVec {
         }
     }
 
+    /// Pearson correlation between two sparse vectors embedded in a
+    /// `dim`-dimensional space (absent entries are zero). Unlike
+    /// [`SparseVec::cosine`], this centers both vectors first, so two
+    /// near-uniform probability distributions — which cosine-correlate
+    /// highly for no semantic reason — score ≈ 0: only the *shape* above
+    /// the baseline correlates. Returns 0 when either vector is
+    /// (near-)constant.
+    pub fn pearson(&self, other: &SparseVec, dim: usize) -> f64 {
+        if dim == 0 {
+            return 0.0;
+        }
+        let n = dim as f64;
+        let (small, large) = if self.weights.len() <= other.weights.len() {
+            (&self.weights, &other.weights)
+        } else {
+            (&other.weights, &self.weights)
+        };
+        let dot: f64 = small
+            .iter()
+            .filter_map(|(k, v)| large.get(k).map(|w| v * w))
+            .sum();
+        let sa: f64 = self.weights.values().sum();
+        let sb: f64 = other.weights.values().sum();
+        let qa: f64 = self.weights.values().map(|v| v * v).sum();
+        let qb: f64 = other.weights.values().map(|v| v * v).sum();
+        let (va, vb) = (qa - sa * sa / n, qb - sb * sb / n);
+        if va <= 1e-12 || vb <= 1e-12 {
+            return 0.0;
+        }
+        (dot - sa * sb / n) / (va * vb).sqrt()
+    }
+
     /// Number of nonzero terms.
     pub fn len(&self) -> usize {
         self.weights.len()

@@ -3,13 +3,28 @@
 //! A [`Catalog`] is the local database of one Piazza peer (its "stored
 //! relations", §3.1) or of one MANGROVE installation. [`SharedCatalog`]
 //! wraps it for concurrent access from the simulated peer network.
+//!
+//! # Lock-poisoning policy
+//!
+//! [`SharedCatalog`] uses `std::sync::RwLock` (this workspace builds with
+//! zero external dependencies). Unlike the `parking_lot` lock it replaced,
+//! the std lock poisons when a holder panics. We **recover** the guard via
+//! [`std::sync::PoisonError::into_inner`] rather than propagating the
+//! panic, deliberately matching the previous `parking_lot` semantics
+//! (which never poisoned): a peer thread that panics mid-query must not
+//! take the whole simulated network down with it — peers "can join or
+//! leave at will" (§3.1), and the surviving peers keep answering. The data
+//! stays structurally sound because every write path is a single
+//! `BTreeMap`/`Vec` operation that upholds the catalog's invariants even
+//! if a *caller's* closure panics partway through a multi-step update; a
+//! torn multi-step update is then visible, which the simulation accepts
+//! in exchange for availability.
 
 use crate::relation::Relation;
 use crate::schema::{DbSchema, RelSchema};
 use crate::value::Value;
-use parking_lot::RwLock;
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// A named collection of relations.
 #[derive(Debug, Default, Clone)]
@@ -96,19 +111,21 @@ impl SharedCatalog {
         SharedCatalog { inner: Arc::new(RwLock::new(catalog)) }
     }
 
-    /// Run a closure with read access.
+    /// Run a closure with read access (recovers from poisoning; see the
+    /// module docs for the policy).
     pub fn read<T>(&self, f: impl FnOnce(&Catalog) -> T) -> T {
-        f(&self.inner.read())
+        f(&self.inner.read().unwrap_or_else(std::sync::PoisonError::into_inner))
     }
 
-    /// Run a closure with write access.
+    /// Run a closure with write access (recovers from poisoning; see the
+    /// module docs for the policy).
     pub fn write<T>(&self, f: impl FnOnce(&mut Catalog) -> T) -> T {
-        f(&mut self.inner.write())
+        f(&mut self.inner.write().unwrap_or_else(std::sync::PoisonError::into_inner))
     }
 
     /// Clone out a relation by name.
     pub fn snapshot(&self, rel: &str) -> Option<Relation> {
-        self.inner.read().get(rel).cloned()
+        self.read(|c| c.get(rel).cloned())
     }
 }
 
@@ -155,5 +172,25 @@ mod tests {
         assert_eq!(shared.read(|c| c.get("t").unwrap().len()), 8);
         assert_eq!(shared.snapshot("t").unwrap().len(), 8);
         assert!(shared.snapshot("missing").is_none());
+    }
+
+    #[test]
+    fn poisoned_lock_recovers() {
+        // A peer thread panicking mid-write must not strand the catalog:
+        // the module's documented policy is to recover the guard.
+        let shared = SharedCatalog::new(Catalog::new());
+        shared.write(|c| c.create(RelSchema::text("t", &["v"])));
+        let clone = shared.clone();
+        let _ = std::thread::spawn(move || {
+            clone.write(|c| {
+                c.insert("t", vec![Value::Int(1)]);
+                panic!("writer dies while holding the lock");
+            })
+        })
+        .join();
+        // Both the completed single-step insert and future access survive.
+        assert_eq!(shared.read(|c| c.get("t").unwrap().len()), 1);
+        shared.write(|c| c.insert("t", vec![Value::Int(2)]));
+        assert_eq!(shared.snapshot("t").unwrap().len(), 2);
     }
 }

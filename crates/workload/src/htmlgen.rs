@@ -10,8 +10,8 @@
 //! — so the cleaning-policy experiment (E5) has a known ground truth.
 
 use crate::ontology::{generate_value, ValueKind};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use revere_util::rngs::StdRng;
+use revere_util::{RngExt, SeedableRng};
 use revere_storage::Value;
 
 /// How much dirt to inject.

@@ -8,8 +8,8 @@
 //! surface variation) and inter-language dictionaries (Example 3.1's
 //! University of Rome "has a schema using terms in Italian").
 
-use rand::rngs::StdRng;
-use rand::RngExt;
+use revere_util::rngs::StdRng;
+use revere_util::RngExt;
 use revere_storage::{AttrType, Value};
 
 /// How an attribute's values look, for the data generators and the
@@ -279,7 +279,7 @@ pub fn generate_value(kind: ValueKind, rng: &mut StdRng) -> Value {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use revere_util::SeedableRng;
 
     #[test]
     fn ontology_has_expected_shape() {

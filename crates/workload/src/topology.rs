@@ -7,8 +7,8 @@
 //! sweep, plus helpers for the mapping-count comparison against mediated
 //! and pairwise architectures.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use revere_util::rngs::StdRng;
+use revere_util::{RngExt, SeedableRng};
 use std::collections::VecDeque;
 
 /// Shape of the mapping graph.

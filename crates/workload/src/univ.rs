@@ -10,8 +10,8 @@
 //! matching experiments measure accuracy.
 
 use crate::ontology::{generate_value, Concept, Ontology, ValueKind};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use revere_util::rngs::StdRng;
+use revere_util::{RngExt, SeedableRng};
 use revere_storage::{Attribute, Catalog, DbSchema, RelSchema, Relation, Value};
 use std::collections::BTreeMap;
 

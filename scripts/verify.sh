@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: the whole workspace must build, test, and
+# compile its benches fully offline (the workspace has zero external
+# dependencies by design — see README "Building").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline
+cargo bench --no-run --offline
+echo "verify: OK"

@@ -5,121 +5,118 @@
 //! preorder, minimization preserves semantics on real data, MiniCon
 //! rewritings are sound, and incremental view maintenance agrees with
 //! recomputation on arbitrary updategram batches.
+//!
+//! Inputs are drawn from the in-repo harness (`revere_util::prop`):
+//! closure-driven generation, a fixed case count per property, seeded and
+//! shrink-free — a failure prints the case seed to reproduce it.
 
-use proptest::prelude::*;
 use revere::pdms::{maintain, MaintenanceChoice, MaterializedView, Updategram};
 use revere::prelude::*;
 use revere::query::unfold::{unfold_with, ViewDef};
 use revere::query::{eval_cq, rewrite_using_views};
 use revere::storage::{Catalog, Relation};
-use revere::xml::{parse as parse_xml, to_string, Document};
+use revere::xml::{parse as parse_xml, to_string, Document, NodeId};
+use revere_util::prop::{forall, Gen};
+use revere_util::RngExt;
 
 // ---------------------------------------------------------------------
-// XML strategies
+// XML generators
 // ---------------------------------------------------------------------
 
-fn arb_name() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9]{0,6}"
+/// An XML name: `[a-z][a-z0-9]{0,6}`.
+fn gen_name(g: &mut Gen) -> String {
+    let mut s = g.lowercase(1..2);
+    s.push_str(&g.string_from("abcdefghijklmnopqrstuvwxyz0123456789", 0..7));
+    s
 }
 
-fn arb_text() -> impl Strategy<Value = String> {
-    // Printable text without XML-significant characters; the writer
-    // escapes &<> itself, which roundtrip_escapes covers separately.
-    "[ -~&&[^<>&\"']]{1,20}".prop_map(|s| s.trim().to_string()).prop_filter("non-empty", |s| !s.is_empty())
-}
-
-/// Generate a random document with bounded depth and fanout.
-fn arb_document() -> impl Strategy<Value = Document> {
-    let leaf = (arb_name(), arb_text()).prop_map(|(n, t)| {
-        let mut d = Document::new(n);
-        d.add_text(d.root(), t);
-        d
-    });
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        (arb_name(), prop::collection::vec(inner, 1..4), prop::collection::vec((arb_name(), arb_text()), 0..3))
-            .prop_map(|(name, children, attrs)| {
-                let mut d = Document::new(name);
-                let root = d.root();
-                for (k, v) in attrs {
-                    d.set_attr(root, k, v);
-                }
-                for child in children {
-                    // Deep-copy the child document under the new root.
-                    fn copy(src: &Document, sn: revere::xml::NodeId, dst: &mut Document, dn: revere::xml::NodeId) {
-                        for &c in src.children(sn) {
-                            match &src.node(c).kind {
-                                revere::xml::NodeKind::Text(t) => {
-                                    dst.add_text(dn, t.clone());
-                                }
-                                revere::xml::NodeKind::Element { name, attrs } => {
-                                    let e = dst.add_element(dn, name.clone());
-                                    for (k, v) in attrs {
-                                        dst.set_attr(e, k.clone(), v.clone());
-                                    }
-                                    copy(src, c, dst, e);
-                                }
-                            }
-                        }
-                    }
-                    let e = d.add_element(root, child.name(child.root()).unwrap().to_string());
-                    if let revere::xml::NodeKind::Element { attrs, .. } = &child.node(child.root()).kind {
-                        for (k, v) in attrs.clone() {
-                            d.set_attr(e, k, v);
-                        }
-                    }
-                    copy(&child, child.root(), &mut d, e);
-                }
-                d
-            })
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn xml_roundtrip(doc in arb_document()) {
-        let text = to_string(&doc);
-        let back = parse_xml(&text).expect("writer output parses");
-        prop_assert!(back.structurally_eq(&doc), "roundtrip changed the tree:\n{text}");
-    }
-
-    #[test]
-    fn xml_escaping_roundtrips(raw in "[ -~]{0,24}") {
-        let mut d = Document::new("r");
-        let root = d.root();
-        if !raw.trim().is_empty() {
-            d.add_text(root, raw.clone());
-            d.set_attr(root, "a", raw.clone());
-            let back = parse_xml(&to_string(&d)).expect("escaped output parses");
-            prop_assert_eq!(back.text_content(back.root()), raw.clone());
-            prop_assert_eq!(back.attr(back.root(), "a"), Some(raw.as_str()));
+/// Printable text without XML-significant characters; the writer escapes
+/// `&<>` itself, which `xml_escaping_roundtrips` covers separately.
+fn gen_text(g: &mut Gen) -> String {
+    let alphabet: String = (' '..='~').filter(|c| !"<>&\"'".contains(*c)).collect();
+    loop {
+        let s = g.string_from(&alphabet, 1..21).trim().to_string();
+        if !s.is_empty() {
+            return s;
         }
     }
+}
+
+/// Fill `node`: either a text leaf, or attributes plus 1–3 child elements
+/// recursively (bounded depth and fanout, like the proptest original).
+fn gen_subtree(g: &mut Gen, d: &mut Document, node: NodeId, depth: u32) {
+    if depth == 0 || g.random_bool(0.3) {
+        let t = gen_text(g);
+        d.add_text(node, t);
+        return;
+    }
+    for _ in 0..g.random_range(0..3usize) {
+        let (k, v) = (gen_name(g), gen_text(g));
+        d.set_attr(node, k, v);
+    }
+    for _ in 0..g.random_range(1..4usize) {
+        let e = d.add_element(node, gen_name(g));
+        gen_subtree(g, d, e, depth - 1);
+    }
+}
+
+/// A random document with bounded depth and fanout.
+fn gen_document(g: &mut Gen) -> Document {
+    let mut d = Document::new(gen_name(g));
+    let root = d.root();
+    gen_subtree(g, &mut d, root, 3);
+    d
+}
+
+#[test]
+fn xml_roundtrip() {
+    forall(64, |g| {
+        let doc = gen_document(g);
+        let text = to_string(&doc);
+        let back = parse_xml(&text).expect("writer output parses");
+        assert!(back.structurally_eq(&doc), "roundtrip changed the tree:\n{text}");
+    });
+}
+
+#[test]
+fn xml_escaping_roundtrips() {
+    let printable: String = (' '..='~').collect();
+    forall(64, |g| {
+        let raw = g.string_from(&printable, 0..25);
+        if raw.trim().is_empty() {
+            return;
+        }
+        let mut d = Document::new("r");
+        let root = d.root();
+        d.add_text(root, raw.clone());
+        d.set_attr(root, "a", raw.clone());
+        let back = parse_xml(&to_string(&d)).expect("escaped output parses");
+        assert_eq!(back.text_content(back.root()), raw);
+        assert_eq!(back.attr(back.root(), "a"), Some(raw.as_str()));
+    });
 }
 
 // ---------------------------------------------------------------------
 // Value ordering
 // ---------------------------------------------------------------------
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        any::<i32>().prop_map(|i| Value::Int(i as i64)),
-        (-1e9f64..1e9).prop_map(Value::Float),
-        "[a-z]{0,8}".prop_map(Value::Str),
-    ]
+fn gen_value(g: &mut Gen) -> Value {
+    match g.random_range(0..5u8) {
+        0 => Value::Null,
+        1 => Value::Bool(g.random_bool(0.5)),
+        2 => Value::Int(g.random_range(i32::MIN as i64..i32::MAX as i64 + 1)),
+        3 => Value::Float(g.random_range(-1e9f64..1e9)),
+        _ => Value::Str(g.lowercase(0..9)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn value_ordering_is_total_and_antisymmetric(a in arb_value(), b in arb_value(), c in arb_value()) {
+#[test]
+fn value_ordering_is_total_and_antisymmetric() {
+    forall(256, |g| {
         use std::cmp::Ordering;
+        let (a, b, c) = (gen_value(g), gen_value(g), gen_value(g));
         // Antisymmetry.
-        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
         // Transitivity (spot form): sorting never panics and is stable
         // under re-sorting.
         let mut v = vec![a.clone(), b.clone(), c.clone()];
@@ -129,10 +126,10 @@ proptest! {
             w.sort();
             w
         };
-        prop_assert_eq!(&v, &w);
+        assert_eq!(&v, &w);
         // Eq consistent with Ord.
-        prop_assert_eq!(a == b, a.cmp(&b) == Ordering::Equal);
-    }
+        assert_eq!(a == b, a.cmp(&b) == Ordering::Equal);
+    });
 }
 
 // ---------------------------------------------------------------------
@@ -141,86 +138,90 @@ proptest! {
 
 /// A random small database over relations r/2 and s/2 with a tiny value
 /// domain (so joins actually hit).
-fn arb_db() -> impl Strategy<Value = Catalog> {
-    let pair = (0..4i64, 0..4i64);
-    (
-        prop::collection::vec(pair.clone(), 0..12),
-        prop::collection::vec(pair, 0..12),
-    )
-        .prop_map(|(rs, ss)| {
-            let mut cat = Catalog::new();
-            let mut r = Relation::new(RelSchema::text("r", &["a", "b"]));
-            for (x, y) in rs {
-                r.insert(vec![Value::Int(x), Value::Int(y)]);
-            }
-            let mut s = Relation::new(RelSchema::text("s", &["a", "b"]));
-            for (x, y) in ss {
-                s.insert(vec![Value::Int(x), Value::Int(y)]);
-            }
-            cat.register(r.distinct());
-            cat.register(s.distinct());
-            cat
-        })
+fn gen_db(g: &mut Gen) -> Catalog {
+    let mut cat = Catalog::new();
+    for name in ["r", "s"] {
+        let mut rel = Relation::new(RelSchema::text(name, &["a", "b"]));
+        for _ in 0..g.random_range(0..12usize) {
+            rel.insert(vec![
+                Value::Int(g.random_range(0i64..4)),
+                Value::Int(g.random_range(0i64..4)),
+            ]);
+        }
+        cat.register(rel.distinct());
+    }
+    cat
 }
 
 /// A random safe conjunctive query over r/2, s/2 with ≤3 atoms and ≤4 vars.
-fn arb_query() -> impl Strategy<Value = ConjunctiveQuery> {
-    let atom = ("[rs]", 0..4usize, 0..4usize);
-    (prop::collection::vec(atom, 1..4), 0..4usize)
-        .prop_map(|(atoms, head_var)| {
-            let vars = ["X", "Y", "Z", "W"];
-            let body: Vec<String> = atoms
-                .iter()
-                .map(|(rel, v1, v2)| format!("{rel}({}, {})", vars[*v1], vars[*v2]))
-                .collect();
-            // Head var must appear in the body.
-            let used: Vec<&str> = atoms
-                .iter()
-                .flat_map(|(_, v1, v2)| [vars[*v1], vars[*v2]])
-                .collect();
-            let hv = if used.contains(&vars[head_var]) { vars[head_var] } else { used[0] };
-            parse_query(&format!("q({hv}) :- {}", body.join(", "))).expect("generated query is safe")
-        })
+fn gen_query(g: &mut Gen) -> ConjunctiveQuery {
+    let vars = ["X", "Y", "Z", "W"];
+    let atoms: Vec<(&str, usize, usize)> = g.vec(1..4, |g| {
+        (
+            *g.pick(&["r", "s"]),
+            g.random_range(0..4usize),
+            g.random_range(0..4usize),
+        )
+    });
+    let head_var = g.random_range(0..4usize);
+    let body: Vec<String> = atoms
+        .iter()
+        .map(|(rel, v1, v2)| format!("{rel}({}, {})", vars[*v1], vars[*v2]))
+        .collect();
+    // Head var must appear in the body.
+    let used: Vec<&str> = atoms
+        .iter()
+        .flat_map(|(_, v1, v2)| [vars[*v1], vars[*v2]])
+        .collect();
+    let hv = if used.contains(&vars[head_var]) { vars[head_var] } else { used[0] };
+    parse_query(&format!("q({hv}) :- {}", body.join(", "))).expect("generated query is safe")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn containment_is_reflexive() {
+    forall(48, |g| {
+        let q = gen_query(g);
+        assert!(contained_in(&q, &q));
+    });
+}
 
-    #[test]
-    fn containment_is_reflexive(q in arb_query()) {
-        prop_assert!(contained_in(&q, &q));
-    }
-
-    #[test]
-    fn containment_implies_answer_inclusion(q1 in arb_query(), q2 in arb_query(), db in arb_db()) {
+#[test]
+fn containment_implies_answer_inclusion() {
+    forall(48, |g| {
+        let (q1, q2, db) = (gen_query(g), gen_query(g), gen_db(g));
         if contained_in(&q1, &q2) {
             let a1 = eval_cq(&q1, &db).unwrap();
             let a2 = eval_cq(&q2, &db).unwrap();
             for row in a1.iter() {
-                prop_assert!(
+                assert!(
                     a2.contains(row),
-                    "containment said {} ⊆ {} but {:?} only in the first",
-                    q1, q2, row
+                    "containment said {q1} ⊆ {q2} but {row:?} only in the first"
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn minimization_preserves_answers(q in arb_query(), db in arb_db()) {
+#[test]
+fn minimization_preserves_answers() {
+    forall(48, |g| {
+        let (q, db) = (gen_query(g), gen_db(g));
         let m = minimize(&q);
-        prop_assert!(m.body.len() <= q.body.len());
+        assert!(m.body.len() <= q.body.len());
         let orig = eval_cq(&q, &db).unwrap();
         let mind = eval_cq(&m, &db).unwrap();
         let mut a = orig.rows().to_vec();
         let mut b = mind.rows().to_vec();
         a.sort();
         b.sort();
-        prop_assert_eq!(a, b, "minimize changed the answers of {}", q);
-    }
+        assert_eq!(a, b, "minimize changed the answers of {q}");
+    });
+}
 
-    #[test]
-    fn minicon_rewritings_are_sound_on_data(q in arb_query(), db in arb_db()) {
+#[test]
+fn minicon_rewritings_are_sound_on_data() {
+    forall(48, |g| {
+        let (q, db) = (gen_query(g), gen_db(g));
         // Views: projections of r and s exposing both columns.
         let views = [
             ViewDef::from_query(&parse_query("v_r(A, B) :- r(A, B)").unwrap()),
@@ -238,16 +239,15 @@ proptest! {
         for rw in &rewritings {
             let via = eval_cq(rw, &vcat).unwrap();
             for row in via.iter() {
-                prop_assert!(
+                assert!(
                     direct.contains(row),
-                    "unsound: {} produced {:?} not in {}",
-                    rw, row, q
+                    "unsound: {rw} produced {row:?} not in {q}"
                 );
             }
         }
         // With full-fidelity views, some rewriting must exist and the
         // union must be complete.
-        prop_assert!(!rewritings.is_empty(), "no rewriting for {}", q);
+        assert!(!rewritings.is_empty(), "no rewriting for {q}");
         let mut union_rows: Vec<_> = rewritings
             .iter()
             .flat_map(|rw| eval_cq(rw, &vcat).unwrap().into_rows())
@@ -256,11 +256,14 @@ proptest! {
         union_rows.dedup();
         let mut want = direct.rows().to_vec();
         want.sort();
-        prop_assert_eq!(union_rows, want, "rewriting union incomplete for {}", q);
-    }
+        assert_eq!(union_rows, want, "rewriting union incomplete for {q}");
+    });
+}
 
-    #[test]
-    fn unfolding_preserves_answers(q in arb_query(), db in arb_db()) {
+#[test]
+fn unfolding_preserves_answers() {
+    forall(48, |g| {
+        let (q, db) = (gen_query(g), gen_db(g));
         // Define virtual relations over the base and unfold them back.
         let defs = [
             ViewDef::from_query(&parse_query("r(A, B) :- base_r(A, B)").unwrap()),
@@ -274,35 +277,33 @@ proptest! {
         base.register(r);
         base.register(s);
         let unfolded = unfold_with(&q, &defs, 8);
-        prop_assert_eq!(unfolded.len(), 1);
+        assert_eq!(unfolded.len(), 1);
         let a = eval_cq(&q, &db).unwrap();
         let b = eval_cq(&unfolded[0], &base).unwrap();
         let mut ra = a.rows().to_vec();
         let mut rb = b.rows().to_vec();
         ra.sort();
         rb.sort();
-        prop_assert_eq!(ra, rb);
-    }
+        assert_eq!(ra, rb);
+    });
 }
 
 // ---------------------------------------------------------------------
 // Updategrams: incremental maintenance == recompute
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn incremental_maintenance_matches_recompute(
-        db in arb_db(),
-        inserts in prop::collection::vec((0..4i64, 0..4i64), 0..6),
-        delete_count in 0..4usize,
-        view_q in prop_oneof![
-            Just("v(A, C) :- r(A, B), s(B, C)"),
-            Just("v(B) :- r(A, B)"),
-            Just("v(A, C) :- r(A, B), r(B, C)"),
-        ],
-    ) {
+#[test]
+fn incremental_maintenance_matches_recompute() {
+    forall(48, |g| {
+        let db = gen_db(g);
+        let inserts: Vec<(i64, i64)> =
+            g.vec(0..6, |g| (g.random_range(0i64..4), g.random_range(0i64..4)));
+        let delete_count = g.random_range(0..4usize);
+        let view_q = *g.pick(&[
+            "v(A, C) :- r(A, B), s(B, C)",
+            "v(B) :- r(A, B)",
+            "v(A, C) :- r(A, B), r(B, C)",
+        ]);
         let def = parse_query(view_q).unwrap();
         let mut c1 = db.clone();
         let mut c2 = db;
@@ -326,57 +327,60 @@ proptest! {
         maintain(&mut c2, &mut v2, std::slice::from_ref(&gram), Some(MaintenanceChoice::Recompute)).unwrap();
         let r1 = v1.as_relation();
         let r2 = v2.as_relation();
-        prop_assert_eq!(r1.rows(), r2.rows(), "divergence after {:?}", gram);
-    }
+        assert_eq!(r1.rows(), r2.rows(), "divergence after {gram:?}");
+    });
 }
 
 // ---------------------------------------------------------------------
 // Corpus text utilities
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn stemming_is_idempotent(word in "[a-z]{1,14}") {
+#[test]
+fn stemming_is_idempotent() {
+    forall(256, |g| {
         use revere::corpus::text::stem;
+        let word = g.lowercase(1..15);
         let once = stem(&word);
-        prop_assert_eq!(stem(&once), once.clone());
+        assert_eq!(stem(&once), once);
         // Stems never grow.
-        prop_assert!(once.len() <= word.len() + 1, "{word} -> {once}");
-    }
+        assert!(once.len() <= word.len() + 1, "{word} -> {once}");
+    });
+}
 
-    #[test]
-    fn name_similarity_is_bounded_and_reflexive(a in "[a-z_]{1,12}", b in "[a-z_]{1,12}") {
+#[test]
+fn name_similarity_is_bounded_and_reflexive() {
+    forall(256, |g| {
         use revere::corpus::text::{name_similarity, SynonymTable};
+        let a = g.string_from("abcdefghijklmnopqrstuvwxyz_", 1..13);
+        let b = g.string_from("abcdefghijklmnopqrstuvwxyz_", 1..13);
         let syn = SynonymTable::default_domain();
         let s = name_similarity(&a, &b, &syn);
-        prop_assert!((0.0..=1.0).contains(&s), "similarity {s} out of range");
-        prop_assert_eq!(name_similarity(&a, &a, &syn), 1.0);
-    }
+        assert!((0.0..=1.0).contains(&s), "similarity {s} out of range");
+        assert_eq!(name_similarity(&a, &a, &syn), 1.0);
+    });
+}
 
-    #[test]
-    fn edit_distance_triangle_inequality(
-        a in "[a-z]{0,8}",
-        b in "[a-z]{0,8}",
-        c in "[a-z]{0,8}",
-    ) {
+#[test]
+fn edit_distance_triangle_inequality() {
+    forall(256, |g| {
         use revere::corpus::text::edit_distance;
-        prop_assert!(edit_distance(&a, &c) <= edit_distance(&a, &b) + edit_distance(&b, &c));
-        prop_assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));
-        prop_assert_eq!(edit_distance(&a, &a), 0);
-    }
+        let (a, b, c) = (g.lowercase(0..9), g.lowercase(0..9), g.lowercase(0..9));
+        assert!(edit_distance(&a, &c) <= edit_distance(&a, &b) + edit_distance(&b, &c));
+        assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));
+        assert_eq!(edit_distance(&a, &a), 0);
+    });
 }
 
 // ---------------------------------------------------------------------
 // Topologies
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn generated_topologies_are_connected(n in 1usize..40, seed in 0u64..1000, extra in 0usize..5) {
+#[test]
+fn generated_topologies_are_connected() {
+    forall(64, |g| {
+        let n = g.random_range(1usize..40);
+        let seed = g.random_range(0u64..1000);
+        let extra = g.random_range(0usize..5);
         for kind in [
             TopologyKind::Chain,
             TopologyKind::Star,
@@ -384,25 +388,28 @@ proptest! {
             TopologyKind::Random { extra },
         ] {
             let t = Topology::generate(kind, n, seed);
-            prop_assert!(t.is_connected(), "{kind:?} n={n} seed={seed} disconnected");
-            prop_assert!(t.mapping_count() <= n.saturating_sub(1) + extra);
-            prop_assert!(t.diameter().is_some());
+            assert!(t.is_connected(), "{kind:?} n={n} seed={seed} disconnected");
+            assert!(t.mapping_count() <= n.saturating_sub(1) + extra);
+            assert!(t.diameter().is_some());
         }
-    }
+    });
 }
 
 // ---------------------------------------------------------------------
 // Triple store
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn triple_store_republish_is_idempotent(
-        facts in prop::collection::vec(("[a-c]", "[p-r]", "[x-z]"), 0..10),
-    ) {
+#[test]
+fn triple_store_republish_is_idempotent() {
+    forall(64, |g| {
         use revere::storage::TripleStore;
+        let facts: Vec<(String, String, String)> = g.vec(0..10, |g| {
+            (
+                g.string_from("abc", 1..2),
+                g.string_from("pqr", 1..2),
+                g.string_from("xyz", 1..2),
+            )
+        });
         let mut store = TripleStore::new();
         let stmts: Vec<(String, String, Value)> = facts
             .iter()
@@ -411,15 +418,12 @@ proptest! {
         store.republish("src", stmts.clone());
         let first = store.len();
         store.republish("src", stmts.clone());
-        prop_assert_eq!(store.len(), first);
+        assert_eq!(store.len(), first);
         // Indexed pattern query agrees with a full scan for every subject.
         for (s, _, _) in &stmts {
             let indexed = store.query((Some(s), None, None)).len();
-            let scanned = store
-                .iter()
-                .filter(|t| &t.subject == s)
-                .count();
-            prop_assert_eq!(indexed, scanned);
+            let scanned = store.iter().filter(|t| &t.subject == s).count();
+            assert_eq!(indexed, scanned);
         }
-    }
+    });
 }
