@@ -1,0 +1,162 @@
+//! E12: chaos — answer completeness and message overhead vs peer failure.
+//!
+//! §3.1 claims peers "can join and leave at will" without taking the
+//! system down. E12 operationalizes that availability claim: a seeded
+//! [`FaultPlan`] downs a growing fraction of a 16-peer random overlay
+//! (plus message drops, flaky responses, and latency scaled to the same
+//! dial), and we measure what fraction of the fault-free answer survives,
+//! what the completeness report blames, and what the retries cost in
+//! messages. Everything is a pure function of the seed: rerunning the
+//! table reproduces it bit for bit.
+
+use crate::fixtures::network_from_topology;
+use crate::table::Table;
+use revere_pdms::fault::{FaultPlan, FaultSpec};
+use revere_workload::{Topology, TopologyKind};
+use std::collections::BTreeSet;
+
+/// The failure levels E12 sweeps.
+pub const FAILURE_RATES: [f64; 6] = [0.0, 0.05, 0.1, 0.2, 0.35, 0.5];
+
+/// Seed for the chaos sweep (the topology uses its own fixed seed so the
+/// graph is identical across rows).
+pub const CHAOS_SEED: u64 = 1003;
+
+/// One row of the sweep, kept structured for the tests.
+pub struct ChaosPoint {
+    /// The failure dial.
+    pub rate: f64,
+    /// Peers the plan downed (of 16).
+    pub peers_down: usize,
+    /// Deeper structural bound: peers P0 could still reach if the downed
+    /// peers had *departed for good*, taking their mapping edges with
+    /// them. Transient outages are milder — composed mappings survive, so
+    /// an up peer "behind" a down one is still fetched directly.
+    pub graph_reachable: usize,
+    /// Answer rows returned.
+    pub answers: usize,
+    /// Answer rows of the fault-free run.
+    pub baseline_answers: usize,
+    /// Disjuncts dropped / total.
+    pub dropped: usize,
+    /// Total disjuncts.
+    pub total: usize,
+    /// Peers named unreachable in the report.
+    pub unreachable: usize,
+    /// Messages spent.
+    pub messages: usize,
+    /// Messages of the fault-free run.
+    pub baseline_messages: usize,
+    /// Retry attempts spent.
+    pub retries: usize,
+}
+
+/// Run the sweep and return the structured points.
+pub fn chaos_sweep() -> Vec<ChaosPoint> {
+    let n = 16usize;
+    let topology = Topology::generate(TopologyKind::Random { extra: 2 }, n, 7);
+    let mut points = Vec::new();
+    let baseline = {
+        let net = network_from_topology(&topology, 2);
+        net.query_str("P0", "q(T, E) :- P0.course(T, E)").expect("baseline query runs")
+    };
+    for &rate in &FAILURE_RATES {
+        let mut net = network_from_topology(&topology, 2);
+        net.faults = FaultPlan::new(FaultSpec::chaos(CHAOS_SEED, rate));
+        let down: BTreeSet<usize> =
+            (0..n).filter(|i| net.faults.is_down(&format!("P{i}"))).collect();
+        let out = net.query_str("P0", "q(T, E) :- P0.course(T, E)").expect("chaos query runs");
+        points.push(ChaosPoint {
+            rate,
+            peers_down: down.len(),
+            graph_reachable: topology.reachable_avoiding(0, &down),
+            answers: out.answers.len(),
+            baseline_answers: baseline.answers.len(),
+            dropped: out.completeness.disjuncts_dropped,
+            total: out.completeness.disjuncts_total,
+            unreachable: out.completeness.peers_unreachable.len(),
+            messages: out.messages,
+            baseline_messages: baseline.messages,
+            retries: out.completeness.retries,
+        });
+    }
+    points
+}
+
+/// E12 — availability under chaos (§3.1: peers "join and leave at will").
+pub fn e12_chaos() -> Table {
+    let mut t = Table::new(
+        "E12: answer completeness & message overhead vs peer failure (chaos, §3.1)",
+        &[
+            "fail rate", "peers down", "reach if departed", "answers", "of fault-free",
+            "disjuncts dropped", "unreachable", "messages", "overhead x", "retries",
+        ],
+    );
+    for p in chaos_sweep() {
+        t.row(vec![
+            format!("{:.2}", p.rate),
+            format!("{}/16", p.peers_down),
+            p.graph_reachable.to_string(),
+            p.answers.to_string(),
+            format!("{:.2}", p.answers as f64 / p.baseline_answers.max(1) as f64),
+            format!("{}/{}", p.dropped, p.total),
+            p.unreachable.to_string(),
+            p.messages.to_string(),
+            format!("{:.2}", p.messages as f64 / p.baseline_messages.max(1) as f64),
+            p.retries.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_row_is_the_fault_free_baseline() {
+        let points = chaos_sweep();
+        let p0 = &points[0];
+        assert_eq!(p0.rate, 0.0);
+        assert_eq!(p0.peers_down, 0);
+        assert_eq!(p0.answers, p0.baseline_answers);
+        assert_eq!(p0.messages, p0.baseline_messages);
+        assert_eq!(p0.dropped, 0);
+        assert_eq!(p0.retries, 0);
+    }
+
+    #[test]
+    fn completeness_degrades_monotonically_with_the_dial() {
+        // Same seed, rising rate: every fault die is fixed and only the
+        // thresholds move, so the failed set only grows.
+        let points = chaos_sweep();
+        for w in points.windows(2) {
+            assert!(w[1].peers_down >= w[0].peers_down);
+            assert!(w[1].answers <= w[0].answers, "answers grew with failure rate");
+            assert!(w[1].dropped >= w[0].dropped);
+        }
+        // The sweep actually reaches degraded territory.
+        assert!(points.last().unwrap().answers < points[0].answers);
+        assert!(points.last().unwrap().unreachable > 0);
+    }
+
+    #[test]
+    fn sweep_is_reproducible() {
+        let a = e12_chaos();
+        let b = e12_chaos();
+        assert_eq!(a.rows, b.rows);
+    }
+
+    #[test]
+    fn answers_bounded_by_up_peers_and_above_departed_bound() {
+        // Fetches go straight to owners, so 2 rows per *up* peer is the
+        // ceiling; and transient outages are never worse than outright
+        // departure (which also takes mapping edges), so the departed
+        // bound never exceeds the up-peer count.
+        for p in chaos_sweep() {
+            let up = 16 - p.peers_down;
+            assert!(p.answers <= 2 * up, "rate {}: {} answers, {up} up", p.rate, p.answers);
+            assert!(p.graph_reachable <= up, "rate {}", p.rate);
+        }
+    }
+}

@@ -1,5 +1,6 @@
-//! The E1–E10 experiments (see DESIGN.md §2 for the paper anchors).
+//! The E1–E12 experiments (see DESIGN.md §2 for the paper anchors).
 
+pub mod e_chaos;
 pub mod e_corpus;
 pub mod e_mangrove;
 pub mod e_pdms;
@@ -22,10 +23,11 @@ pub fn run_all() -> Vec<Table> {
         e_corpus::e9_stats_scaling(),
         e_corpus::e10_join_effort(),
         e_placement::e11_placement(),
+        e_chaos::e12_chaos(),
     ]
 }
 
-/// Run one experiment by id (`"E1"`..`"E10"`).
+/// Run one experiment by id (`"E1"`..`"E12"`).
 pub fn run_one(id: &str) -> Option<Table> {
     match id.to_ascii_uppercase().as_str() {
         "E1" => Some(e_pdms::e1_reachability()),
@@ -39,6 +41,7 @@ pub fn run_one(id: &str) -> Option<Table> {
         "E9" => Some(e_corpus::e9_stats_scaling()),
         "E10" => Some(e_corpus::e10_join_effort()),
         "E11" => Some(e_placement::e11_placement()),
+        "E12" => Some(e_chaos::e12_chaos()),
         _ => None,
     }
 }

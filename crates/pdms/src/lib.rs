@@ -11,7 +11,9 @@
 //!   mappings: rule-goal expansion mixing GAV unfolding with MiniCon view
 //!   rewriting, with the pruning heuristics §3.1.1 mentions.
 //! * [`network`] — the simulated overlay: message/hop accounting, query
-//!   routing, optional multi-threaded disjunct execution.
+//!   routing, optional multi-threaded disjunct execution, and degraded
+//!   execution under a seeded fault plan (retry/backoff, query budgets,
+//!   partial-answer completeness reports).
 //! * [`xmlmap`] — the Figure 4 mapping-template language for XML peers:
 //!   a target-schema template annotated with binding queries, applied to
 //!   source documents.
@@ -21,7 +23,8 @@
 //! * [`updategram`] — updategrams \[36\] and counting-based incremental view
 //!   maintenance with a cost-based choice against full recomputation.
 //! * [`propagation`] — translating base-data updategrams through mappings
-//!   into virtual-relation updategrams for remote caches.
+//!   into virtual-relation updategrams for remote caches, shipped
+//!   at-least-once over faulty links with receiver-side dedup.
 
 pub mod network;
 pub mod peer;
@@ -32,11 +35,18 @@ pub mod updategram;
 pub mod views;
 pub mod xmlmap;
 
-pub use network::{PdmsNetwork, QueryOutcome};
+/// Deterministic fault injection (re-exported from `revere-util`): the
+/// [`fault::FaultPlan`] the network and propagation layers execute under.
+pub use revere_util::fault;
+
+pub use network::{CompletenessReport, PdmsNetwork, QueryBudget, QueryOutcome};
 pub use peer::Peer;
 pub use placement::{answer_with_plan, plan_placement, PlacementPlan, WorkloadEntry};
-pub use propagation::{propagate_through_mapping, MappingPropagator};
+pub use propagation::{
+    apply_once, propagate_through_mapping, Delivery, GramInbox, LinkStats, MappingPropagator,
+    ReliableLink,
+};
 pub use reformulate::{ReformulateOptions, ReformulationResult, Reformulator};
-pub use updategram::{maintain, MaintenanceChoice, Updategram};
+pub use updategram::{maintain, MaintenanceChoice, SequencedGram, Updategram};
 pub use views::MaterializedView;
 pub use xmlmap::XmlMapping;

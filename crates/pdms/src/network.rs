@@ -8,12 +8,25 @@
 //! be evaluated on worker threads (`std::thread::scope` over the peers'
 //! lock-protected catalogs), standing in for §3.1.2's peer-local query
 //! processing.
+//!
+//! # Degraded execution
+//!
+//! Real peers "join and leave at will", so the fetch path is chaos-ready:
+//! a seeded [`FaultPlan`] (see `revere_util::fault`) can down peers, drop
+//! or flake messages, and charge latency; the network retries with capped
+//! exponential backoff under a per-query [`QueryBudget`]. Whatever cannot
+//! be fetched is *reported*, never silently skipped: every
+//! [`QueryOutcome`] carries a [`CompletenessReport`] naming unreachable
+//! peers, missing relations, and dropped disjuncts, so callers can
+//! distinguish an empty answer from a degraded one. With the default
+//! zero-fault plan the happy path is byte-identical to a perfect network.
 
 use crate::peer::{split_qualified, Peer};
 use crate::reformulate::{ReformulateOptions, ReformulationResult, Reformulator};
 use revere_query::glav::GlavMapping;
-use revere_query::{parse_query, ConjunctiveQuery, Source};
+use revere_query::{parse_query, ConjunctiveQuery, Source, UnionQuery};
 use revere_storage::{Catalog, Relation};
+use revere_util::fault::{Fate, FaultPlan, RetryPolicy};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The PDMS: peers plus the shared mapping graph.
@@ -23,6 +36,65 @@ pub struct PdmsNetwork {
     mappings: Vec<GlavMapping>,
     /// Reformulation configuration used for queries.
     pub options: ReformulateOptions,
+    /// Fault schedule for the fetch path (default: the perfect network).
+    pub faults: FaultPlan,
+    /// Retry policy for failed remote fetches.
+    pub retry: RetryPolicy,
+    /// Per-query spend limits.
+    pub budget: QueryBudget,
+}
+
+/// Per-query spend limits. `None` means unlimited (the default).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryBudget {
+    /// Stop fetching once this many messages have been sent.
+    pub max_messages: Option<usize>,
+    /// Stop fetching once the simulated clock passes this many ticks.
+    pub deadline_ticks: Option<u64>,
+}
+
+/// What a degraded query could and could not cover. All-empty (the
+/// [`CompletenessReport::is_complete`] state) on the happy path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompletenessReport {
+    /// Disjuncts in the reformulated union.
+    pub disjuncts_total: usize,
+    /// Disjuncts dropped because some body relation could not be staged.
+    pub disjuncts_dropped: usize,
+    /// Peers that could not be reached (down, lossy past retry, or gone).
+    pub peers_unreachable: BTreeSet<String>,
+    /// Referenced relations that could not be staged: unknown or departed
+    /// owner, owner not storing the relation, or fetch failure.
+    pub relations_missing: BTreeSet<String>,
+    /// Retry attempts spent beyond each first try.
+    pub retries: usize,
+    /// Request messages lost in flight (includes sends to down peers).
+    pub messages_dropped: usize,
+    /// Simulated clock at the end of the fetch phase (latency + backoff).
+    pub latency_ticks: u64,
+    /// True when the message budget cut fetching short.
+    pub budget_exhausted: bool,
+    /// True when the deadline cut fetching short.
+    pub deadline_exceeded: bool,
+}
+
+impl CompletenessReport {
+    /// True when every disjunct was fully evaluated against fetched data.
+    pub fn is_complete(&self) -> bool {
+        self.disjuncts_dropped == 0
+            && self.peers_unreachable.is_empty()
+            && self.relations_missing.is_empty()
+    }
+
+    /// Fraction of disjuncts fully evaluated, in `[0, 1]` (1.0 for the
+    /// degenerate empty union).
+    pub fn coverage(&self) -> f64 {
+        if self.disjuncts_total == 0 {
+            1.0
+        } else {
+            (self.disjuncts_total - self.disjuncts_dropped) as f64 / self.disjuncts_total as f64
+        }
+    }
 }
 
 /// The result of asking one peer a question.
@@ -35,10 +107,22 @@ pub struct QueryOutcome {
     /// Peers whose data actually contributed (had the needed relations).
     pub peers_contacted: BTreeSet<String>,
     /// Messages exchanged: one request + one response per contacted remote
-    /// peer, per relation fetched.
+    /// peer, per relation fetched (plus lost/retried requests under
+    /// faults).
     pub messages: usize,
     /// Tuples shipped from remote peers to the querying peer.
     pub tuples_shipped: usize,
+    /// What the answer covers and what it is missing.
+    pub completeness: CompletenessReport,
+}
+
+/// Internal result of the shared fetch phase.
+struct Fetched {
+    staging: Catalog,
+    peers_contacted: BTreeSet<String>,
+    messages: usize,
+    tuples_shipped: usize,
+    completeness: CompletenessReport,
 }
 
 impl PdmsNetwork {
@@ -52,23 +136,37 @@ impl PdmsNetwork {
         self.peers.insert(peer.name.clone(), peer);
     }
 
+    /// Remove a peer — "every member can join or leave at will" (§3.1).
+    /// Mappings naming it stay in the graph; subsequent queries report the
+    /// gap in their [`CompletenessReport`] instead of failing.
+    pub fn remove_peer(&mut self, name: &str) -> Option<Peer> {
+        self.peers.remove(name)
+    }
+
+    /// Add a mapping between two member peers, rejecting edges whose
+    /// endpoints are not members (dynamically-built topologies can react
+    /// instead of crashing).
+    pub fn try_add_mapping(&mut self, mapping: GlavMapping) -> Result<(), String> {
+        if !self.peers.contains_key(&mapping.source_peer) {
+            return Err(format!("unknown source peer {}", mapping.source_peer));
+        }
+        if !self.peers.contains_key(&mapping.target_peer) {
+            return Err(format!("unknown target peer {}", mapping.target_peer));
+        }
+        self.mappings.push(mapping);
+        Ok(())
+    }
+
     /// Add a mapping between two member peers.
     ///
     /// # Panics
     /// Panics if either endpoint is unknown — a mapping to a non-member is
-    /// always a bug in test/bench setup.
+    /// always a bug in test/bench setup. Use
+    /// [`PdmsNetwork::try_add_mapping`] to handle it gracefully.
     pub fn add_mapping(&mut self, mapping: GlavMapping) {
-        assert!(
-            self.peers.contains_key(&mapping.source_peer),
-            "unknown source peer {}",
-            mapping.source_peer
-        );
-        assert!(
-            self.peers.contains_key(&mapping.target_peer),
-            "unknown target peer {}",
-            mapping.target_peer
-        );
-        self.mappings.push(mapping);
+        if let Err(e) = self.try_add_mapping(mapping) {
+            panic!("{e}");
+        }
     }
 
     /// Borrow a peer.
@@ -108,77 +206,161 @@ impl PdmsNetwork {
         self.query(at_peer, &q)
     }
 
+    /// Fetch phase, shared by [`PdmsNetwork::query`] and
+    /// [`PdmsNetwork::query_parallel`]: snapshot every referenced relation
+    /// that survives the network weather, accounting for every message,
+    /// retry, and gap along the way.
+    fn fetch_phase(&self, at_peer: &str, union: &UnionQuery) -> Fetched {
+        let mut f = Fetched {
+            staging: Catalog::new(),
+            peers_contacted: BTreeSet::new(),
+            messages: 0,
+            tuples_shipped: 0,
+            completeness: CompletenessReport::default(),
+        };
+        let mut clock = 0u64;
+        let mut fetched: BTreeSet<String> = BTreeSet::new();
+        for d in &union.disjuncts {
+            for a in &d.body {
+                if !fetched.insert(a.relation.clone()) {
+                    continue;
+                }
+                let Some((owner, _)) = split_qualified(&a.relation) else {
+                    // Unqualified relations have no owner to ask.
+                    f.completeness.relations_missing.insert(a.relation.clone());
+                    continue;
+                };
+                let Some(peer) = self.peers.get(owner) else {
+                    // Unknown or departed owner: the gap is reported, not
+                    // silently absorbed into a smaller answer.
+                    f.completeness.relations_missing.insert(a.relation.clone());
+                    f.completeness.peers_unreachable.insert(owner.to_string());
+                    continue;
+                };
+                if owner == at_peer {
+                    // Local data: no network involved.
+                    match peer.snapshot(&a.relation) {
+                        Some(rel) => {
+                            f.peers_contacted.insert(owner.to_string());
+                            f.staging.register(rel);
+                        }
+                        None => {
+                            f.completeness.relations_missing.insert(a.relation.clone());
+                        }
+                    }
+                    continue;
+                }
+                // The overlay knows each peer's advertised schema: a peer
+                // that does not store the relation is never asked (and the
+                // gap is recorded).
+                if !peer.stores(&a.relation) {
+                    f.completeness.relations_missing.insert(a.relation.clone());
+                    continue;
+                }
+                // Remote fetch under the fault plan, with retry/backoff
+                // and the per-query budget.
+                let mut delivered = false;
+                for attempt in 0..self.retry.attempts() {
+                    if let Some(max) = self.budget.max_messages {
+                        if f.messages >= max {
+                            f.completeness.budget_exhausted = true;
+                            break;
+                        }
+                    }
+                    if let Some(deadline) = self.budget.deadline_ticks {
+                        if clock >= deadline {
+                            f.completeness.deadline_exceeded = true;
+                            break;
+                        }
+                    }
+                    if attempt > 0 {
+                        f.completeness.retries += 1;
+                    }
+                    if self.faults.is_down(owner) {
+                        // Request into the void; wait out the timeout.
+                        f.messages += 1;
+                        f.completeness.messages_dropped += 1;
+                        clock += self.retry.backoff(attempt);
+                        continue;
+                    }
+                    match self.faults.fate(owner, &a.relation, attempt) {
+                        Fate::Dropped => {
+                            f.messages += 1;
+                            f.completeness.messages_dropped += 1;
+                            clock += self.retry.backoff(attempt);
+                        }
+                        Fate::Flaky => {
+                            // Transient error response: request + error.
+                            f.messages += 2;
+                            clock += self.retry.backoff(attempt);
+                        }
+                        Fate::Delivered { latency } => {
+                            f.messages += 2;
+                            clock += latency;
+                            if let Some(rel) = peer.snapshot(&a.relation) {
+                                f.peers_contacted.insert(owner.to_string());
+                                f.tuples_shipped += rel.len();
+                                f.staging.register(rel);
+                            }
+                            delivered = true;
+                            break;
+                        }
+                    }
+                }
+                if !delivered {
+                    f.completeness.relations_missing.insert(a.relation.clone());
+                    f.completeness.peers_unreachable.insert(owner.to_string());
+                }
+            }
+        }
+        f.completeness.latency_ticks = clock;
+        f.completeness.disjuncts_total = union.disjuncts.len();
+        f.completeness.disjuncts_dropped = union
+            .disjuncts
+            .iter()
+            .filter(|d| d.body.iter().any(|a| f.staging.get(&a.relation).is_none()))
+            .count();
+        f
+    }
+
     /// Pose a parsed query at a peer: reformulate over the mapping graph,
-    /// fetch the needed relations, evaluate the union.
+    /// fetch the needed relations (riding out whatever faults the plan
+    /// injects), evaluate the union over what arrived.
     pub fn query(&self, at_peer: &str, q: &ConjunctiveQuery) -> Result<QueryOutcome, String> {
         if !self.peers.contains_key(at_peer) {
             return Err(format!("unknown peer {at_peer:?}"));
         }
         let reformulator = Reformulator::new(self.mappings.clone(), self.options.clone());
         let reformulation = reformulator.reformulate(q);
+        let fetched = self.fetch_phase(at_peer, &reformulation.union);
 
-        // Fetch phase: snapshot every referenced relation that exists.
-        let mut staging = Catalog::new();
-        let mut peers_contacted = BTreeSet::new();
-        let mut messages = 0usize;
-        let mut tuples_shipped = 0usize;
-        let mut fetched: BTreeSet<String> = BTreeSet::new();
-        for d in &reformulation.union.disjuncts {
-            for a in &d.body {
-                if !fetched.insert(a.relation.clone()) {
-                    continue;
-                }
-                let Some((owner, _)) = split_qualified(&a.relation) else {
-                    continue;
-                };
-                let Some(peer) = self.peers.get(owner) else {
-                    continue;
-                };
-                if let Some(rel) = peer.storage.snapshot(&a.relation) {
-                    peers_contacted.insert(owner.to_string());
-                    if owner != at_peer {
-                        messages += 2; // request + response
-                        tuples_shipped += rel.len();
-                    }
-                    staging.register(rel);
-                }
-            }
-        }
-
-        // Evaluate disjuncts (those whose relations are all present).
-        let answers = revere_query::eval_union(&reformulation.union, &staging)
+        // Evaluate disjuncts (those whose relations are all staged).
+        let answers = revere_query::eval_union(&reformulation.union, &fetched.staging)
             .map_err(|e| e.to_string())?;
         Ok(QueryOutcome {
             answers,
             reformulation,
-            peers_contacted,
-            messages,
-            tuples_shipped,
+            peers_contacted: fetched.peers_contacted,
+            messages: fetched.messages,
+            tuples_shipped: fetched.tuples_shipped,
+            completeness: fetched.completeness,
         })
     }
 
     /// Parallel variant: evaluate each disjunct on its own scoped thread.
-    /// Same answers as [`PdmsNetwork::query`]; used by the benches to
-    /// exercise the multi-threaded execution path.
+    /// Same answers, stats, and completeness as [`PdmsNetwork::query`] —
+    /// the fetch phase (and hence the fault schedule) is shared, and only
+    /// disjunct evaluation fans out.
     pub fn query_parallel(&self, at_peer: &str, q: &ConjunctiveQuery) -> Result<QueryOutcome, String> {
-        let mut outcome = self.query(at_peer, q)?; // fetch + stats (cheap relative to eval)
-        // Re-evaluate disjuncts in parallel against per-thread snapshots.
-        let union = &outcome.reformulation.union;
-        let mut staging = Catalog::new();
-        for d in &union.disjuncts {
-            for a in &d.body {
-                if staging.get(&a.relation).is_none() {
-                    if let Some((owner, _)) = split_qualified(&a.relation) {
-                        if let Some(peer) = self.peers.get(owner) {
-                            if let Some(rel) = peer.storage.snapshot(&a.relation) {
-                                staging.register(rel);
-                            }
-                        }
-                    }
-                }
-            }
+        if !self.peers.contains_key(at_peer) {
+            return Err(format!("unknown peer {at_peer:?}"));
         }
-        let staging = &staging;
+        let reformulator = Reformulator::new(self.mappings.clone(), self.options.clone());
+        let reformulation = reformulator.reformulate(q);
+        let fetched = self.fetch_phase(at_peer, &reformulation.union);
+
+        let union = &reformulation.union;
+        let staging = &fetched.staging;
         let results: Vec<Option<Relation>> = std::thread::scope(|s| {
             let handles: Vec<_> = union
                 .disjuncts
@@ -203,10 +385,20 @@ impl PdmsNetwork {
                 }
             });
         }
-        if let Some(m) = merged {
-            outcome.answers = m.distinct();
-        }
-        Ok(outcome)
+        let answers = match merged {
+            Some(m) => m.distinct(),
+            // Every disjunct dropped: fall back to eval_union for the
+            // correctly-shaped empty relation.
+            None => revere_query::eval_union(union, staging).map_err(|e| e.to_string())?,
+        };
+        Ok(QueryOutcome {
+            answers,
+            reformulation,
+            peers_contacted: fetched.peers_contacted,
+            messages: fetched.messages,
+            tuples_shipped: fetched.tuples_shipped,
+            completeness: fetched.completeness,
+        })
     }
 
     /// Expose the whole network as a query [`Source`] (used by tests and
@@ -243,6 +435,7 @@ impl Source for PdmsNetwork {
 mod tests {
     use super::*;
     use revere_storage::{RelSchema, Value};
+    use revere_util::fault::FaultSpec;
 
     /// The Figure 2 network in miniature: three universities, chain
     /// mappings, course data everywhere.
@@ -297,6 +490,11 @@ mod tests {
         assert_eq!(out.peers_contacted.len(), 3);
         assert!(out.messages >= 4); // two remote peers, ≥1 relation each
         assert!(out.tuples_shipped >= 3);
+        // The perfect network leaves no gaps to report.
+        assert!(out.completeness.is_complete(), "{:?}", out.completeness);
+        assert_eq!(out.completeness.retries, 0);
+        assert_eq!(out.completeness.latency_ticks, 0);
+        assert!((out.completeness.coverage() - 1.0).abs() < f64::EPSILON);
     }
 
     #[test]
@@ -319,6 +517,7 @@ mod tests {
         assert_eq!(out.answers.len(), 1);
         assert_eq!(out.messages, 0);
         assert_eq!(out.tuples_shipped, 0);
+        assert!(out.completeness.is_complete());
     }
 
     #[test]
@@ -348,6 +547,25 @@ mod tests {
     }
 
     #[test]
+    fn try_add_mapping_rejects_bad_edges_gracefully() {
+        let mut net = PdmsNetwork::new();
+        net.add_peer(Peer::new("A"));
+        net.add_peer(Peer::new("B"));
+        let good = GlavMapping::parse("m", "A", "B", "m(X) :- A.r(X) ==> m(X) :- B.r(X)").unwrap();
+        assert!(net.try_add_mapping(good).is_ok());
+        let bad_src =
+            GlavMapping::parse("m", "Ghost", "B", "m(X) :- Ghost.r(X) ==> m(X) :- B.r(X)").unwrap();
+        let err = net.try_add_mapping(bad_src).unwrap_err();
+        assert!(err.contains("unknown source peer Ghost"), "{err}");
+        let bad_tgt =
+            GlavMapping::parse("m", "A", "Ghost", "m(X) :- A.r(X) ==> m(X) :- Ghost.r(X)").unwrap();
+        let err = net.try_add_mapping(bad_tgt).unwrap_err();
+        assert!(err.contains("unknown target peer Ghost"), "{err}");
+        // Rejected edges leave the graph untouched.
+        assert_eq!(net.mapping_count(), 1);
+    }
+
+    #[test]
     fn parallel_execution_matches_sequential() {
         // Both paths normalize through `distinct()`, so the comparison is
         // exact — same rows in the same order, no re-sorting needed.
@@ -356,6 +574,20 @@ mod tests {
         let seq = net.query("MIT", &q).unwrap();
         let par = net.query_parallel("MIT", &q).unwrap();
         assert_eq!(seq.answers.rows(), par.answers.rows());
+    }
+
+    #[test]
+    fn sequential_and_parallel_stats_are_identical() {
+        // The fetch phase is one shared routine: both paths must report
+        // exactly the same accounting, not just the same rows.
+        let net = university_network();
+        let q = parse_query("q(T, E) :- MIT.subject(T, E)").unwrap();
+        let seq = net.query("MIT", &q).unwrap();
+        let par = net.query_parallel("MIT", &q).unwrap();
+        assert_eq!(seq.messages, par.messages);
+        assert_eq!(seq.tuples_shipped, par.tuples_shipped);
+        assert_eq!(seq.peers_contacted, par.peers_contacted);
+        assert_eq!(seq.completeness, par.completeness);
     }
 
     #[test]
@@ -376,13 +608,94 @@ mod tests {
     #[test]
     fn peer_departure_degrades_gracefully() {
         // "every member can join or leave at will": drop Berkeley's data;
-        // MIT still gets its local answers plus whatever remains reachable.
+        // MIT still gets its local answers plus whatever remains reachable
+        // — and the gap is *reported*, not silently absorbed.
         let mut net = university_network();
         net.peer_mut("Berkeley").unwrap().storage =
             revere_storage::SharedCatalog::new(Catalog::new());
         let out = net.query_str("MIT", "q(T) :- MIT.subject(T, E)").unwrap();
         // MIT local (1) + Tsinghua via the two-hop translation (1).
         assert_eq!(out.answers.len(), 2, "{}", out.answers);
+        assert!(!out.completeness.is_complete());
+        assert!(out.completeness.relations_missing.contains("Berkeley.course"));
+        assert!(out.completeness.disjuncts_dropped >= 1);
+    }
+
+    #[test]
+    fn ghost_owner_is_a_reported_gap_not_a_silent_shrink() {
+        // Regression for the silent-shrinkage bug: a relation whose owner
+        // has left the network must surface in the completeness report.
+        let mut net = university_network();
+        let departed = net.remove_peer("Berkeley");
+        assert!(departed.is_some());
+        let out = net.query_str("MIT", "q(T, E) :- MIT.subject(T, E)").unwrap();
+        // Smaller answer, as before ...
+        assert_eq!(out.answers.len(), 2, "{}", out.answers);
+        // ... but now the ghost is named instead of vanishing without trace.
+        assert!(!out.completeness.is_complete());
+        assert!(out.completeness.peers_unreachable.contains("Berkeley"));
+        assert!(out.completeness.relations_missing.contains("Berkeley.course"));
+        assert!(out.completeness.disjuncts_dropped >= 1);
+        assert!(out.completeness.coverage() < 1.0);
+    }
+
+    #[test]
+    fn downed_peer_yields_partial_answer_with_report() {
+        let mut net = university_network();
+        net.faults = FaultPlan::new(FaultSpec::default().with_down_peer("Berkeley"));
+        let out = net.query_str("MIT", "q(T, E) :- MIT.subject(T, E)").unwrap();
+        assert_eq!(out.answers.len(), 2, "{}", out.answers);
+        assert!(out.completeness.peers_unreachable.contains("Berkeley"));
+        assert!(out.completeness.relations_missing.contains("Berkeley.course"));
+        // Every attempt was a request into the void.
+        assert_eq!(out.completeness.retries as u32, net.retry.attempts() - 1);
+        assert!(out.completeness.messages_dropped > 0);
+        assert!(out.completeness.latency_ticks > 0, "backoff advances the clock");
+    }
+
+    #[test]
+    fn message_budget_truncates_with_report() {
+        let mut net = university_network();
+        // Room for exactly one remote fetch (2 messages), not two.
+        net.budget.max_messages = Some(2);
+        let out = net.query_str("MIT", "q(T, E) :- MIT.subject(T, E)").unwrap();
+        assert!(out.messages <= 2);
+        assert!(out.completeness.budget_exhausted);
+        assert!(!out.completeness.is_complete());
+        assert_eq!(out.completeness.relations_missing.len(), 1);
+        // Local data always survives a blown budget.
+        assert!(out.answers.len() >= 1);
+    }
+
+    #[test]
+    fn deadline_truncates_with_report() {
+        let mut net = university_network();
+        net.faults = FaultPlan::new(FaultSpec {
+            latency_ticks: (3, 3),
+            ..FaultSpec::default()
+        });
+        net.budget.deadline_ticks = Some(2);
+        let out = net.query_str("MIT", "q(T, E) :- MIT.subject(T, E)").unwrap();
+        // First remote fetch starts at tick 0 (< 2) and lands at tick 3;
+        // the second is past the deadline before it starts.
+        assert!(out.completeness.deadline_exceeded);
+        assert_eq!(out.completeness.relations_missing.len(), 1);
+        assert_eq!(out.completeness.latency_ticks, 3);
+    }
+
+    #[test]
+    fn zero_fault_plan_is_byte_identical_to_default() {
+        let plain = university_network();
+        let mut chaos_off = university_network();
+        chaos_off.faults = FaultPlan::new(FaultSpec::chaos(99, 0.0));
+        let q = parse_query("q(T, E) :- MIT.subject(T, E)").unwrap();
+        let a = plain.query("MIT", &q).unwrap();
+        let b = chaos_off.query("MIT", &q).unwrap();
+        assert_eq!(a.answers.rows(), b.answers.rows());
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.tuples_shipped, b.tuples_shipped);
+        assert_eq!(a.peers_contacted, b.peers_contacted);
+        assert_eq!(a.completeness, b.completeness);
     }
 
     #[test]

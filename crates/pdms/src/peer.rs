@@ -71,6 +71,18 @@ impl Peer {
         self.storage.write(|c| c.insert(&q, row))
     }
 
+    /// Clone out one stored relation by qualified name — what a remote
+    /// peer ships back when the overlay asks it for data.
+    pub fn snapshot(&self, qualified: &str) -> Option<Relation> {
+        self.storage.snapshot(qualified)
+    }
+
+    /// True when the peer currently stores `qualified` — the advertised
+    /// schema the overlay consults before spending messages on a fetch.
+    pub fn stores(&self, qualified: &str) -> bool {
+        self.storage.read(|c| c.get(qualified).is_some())
+    }
+
     /// Qualified names of all stored relations.
     pub fn stored_relations(&self) -> Vec<String> {
         self.storage
@@ -109,6 +121,18 @@ mod tests {
         assert!(p.insert("subject", vec![Value::str("DB")]));
         assert!(!p.insert("nope", vec![Value::str("x")]));
         assert_eq!(p.stored_rows(), 1);
+    }
+
+    #[test]
+    fn stores_and_snapshot_agree() {
+        let mut p = Peer::new("MIT");
+        p.add_relation(Relation::new(RelSchema::text("subject", &["title"])));
+        assert!(p.stores("MIT.subject"));
+        assert!(p.snapshot("MIT.subject").is_some());
+        assert!(!p.stores("MIT.ghost"));
+        assert!(p.snapshot("MIT.ghost").is_none());
+        // Unqualified names are not storage keys.
+        assert!(!p.stores("subject"));
     }
 
     #[test]

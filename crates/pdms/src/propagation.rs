@@ -12,13 +12,24 @@
 //! shipping to the target side to maintain any cache of the translated
 //! data there. The source catalog is updated in the process (the deltas
 //! are computed incrementally, not by diffing recomputations).
+//!
+//! # At-least-once shipping
+//!
+//! On a real network the shipped gram can be dropped, answered with a
+//! transient error, or delivered twice. [`ReliableLink`] retries under a
+//! [`RetryPolicy`] against a seeded [`FaultPlan`] (at-least-once), and the
+//! receiver-side [`GramInbox`] deduplicates by gram id before applying
+//! ([`apply_once`]) — so a dropped *or* duplicated delivery leaves the
+//! remote cache exactly where a single clean delivery would.
 
-use crate::updategram::{derivation_deltas, Updategram};
+use crate::updategram::{derivation_deltas, maintain, MaintenanceChoice, SequencedGram, Updategram};
 use crate::views::MaterializedView;
 use revere_query::eval::EvalError;
 use revere_query::glav::GlavMapping;
 use revere_query::ConjunctiveQuery;
 use revere_storage::Catalog;
+use revere_util::fault::{Fate, FaultPlan, RetryPolicy};
+use std::collections::BTreeSet;
 
 /// Stateful propagator for one mapping edge: owns the materialized state
 /// of the mapping's virtual relation on the source side, so successive
@@ -66,6 +77,221 @@ impl MappingPropagator {
             insert: inserts,
             delete: deletes,
         })
+    }
+}
+
+/// Receiver-side dedup ledger: which gram ids this cache has already
+/// applied. Makes delivery idempotent, so senders are free to re-deliver.
+#[derive(Debug, Default)]
+pub struct GramInbox {
+    seen: BTreeSet<u64>,
+    /// Deliveries ignored because their id had already been applied.
+    pub duplicates_ignored: usize,
+}
+
+impl GramInbox {
+    /// An empty inbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `id`; returns `true` exactly the first time it is seen.
+    pub fn accept(&mut self, id: u64) -> bool {
+        if self.seen.insert(id) {
+            true
+        } else {
+            self.duplicates_ignored += 1;
+            false
+        }
+    }
+
+    /// Distinct gram ids applied so far.
+    pub fn applied_count(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+/// Apply a sequenced gram to a target-side cache **exactly once**: a gram
+/// id the inbox has already seen is a no-op (`Ok(false)`). First-time
+/// grams maintain the cached view incrementally.
+pub fn apply_once(
+    inbox: &mut GramInbox,
+    catalog: &mut Catalog,
+    view: &mut MaterializedView,
+    gram: &SequencedGram,
+) -> Result<bool, EvalError> {
+    if !inbox.accept(gram.id) {
+        return Ok(false);
+    }
+    maintain(
+        catalog,
+        view,
+        std::slice::from_ref(&gram.gram),
+        Some(MaintenanceChoice::Incremental),
+    )?;
+    Ok(true)
+}
+
+/// Delivery accounting for one [`ReliableLink`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Grams handed to the link.
+    pub shipped: usize,
+    /// Grams whose delivery was acknowledged within the retry budget.
+    pub delivered: usize,
+    /// Grams still unacknowledged after the retry budget (re-ship later).
+    pub unacknowledged: usize,
+    /// Messages sent (requests + responses, including lost ones).
+    pub messages: usize,
+    /// Send attempts beyond each first try.
+    pub retries: usize,
+    /// Requests lost in flight.
+    pub dropped: usize,
+    /// Extra copies the network delivered (then deduped by the inbox).
+    pub duplicated: usize,
+}
+
+/// Result of one [`ReliableLink::ship`] round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// The gram's id on this link.
+    pub id: u64,
+    /// True when an acknowledgement came back (the sender may stop).
+    pub acknowledged: bool,
+    /// True when the receiver applied the gram this round (false for
+    /// pure duplicates of an earlier round).
+    pub applied: bool,
+}
+
+/// Sender side of at-least-once updategram shipping over a faulty
+/// channel: retries each gram until acknowledged or the retry budget is
+/// spent, and leans on the receiver's [`GramInbox`] to make the inevitable
+/// duplicates harmless.
+#[derive(Debug)]
+pub struct ReliableLink {
+    /// The network weather this link ships through.
+    pub plan: FaultPlan,
+    /// Retry budget per [`ReliableLink::ship`] call.
+    pub retry: RetryPolicy,
+    /// Name of the receiving peer (keys the fault plan).
+    pub target: String,
+    /// Delivery accounting.
+    pub stats: LinkStats,
+    next_id: u64,
+    epoch: u64,
+}
+
+impl ReliableLink {
+    /// A link to `target` under `plan`, with the default retry policy.
+    pub fn new(target: impl Into<String>, plan: FaultPlan) -> Self {
+        ReliableLink {
+            plan,
+            retry: RetryPolicy::default(),
+            target: target.into(),
+            stats: LinkStats::default(),
+            next_id: 0,
+            epoch: 0,
+        }
+    }
+
+    /// Stamp a gram with this link's next delivery id. Sealing is
+    /// separate from shipping so an unacknowledged gram can be re-shipped
+    /// *under the same id* — the at-least-once contract.
+    pub fn seal(&mut self, gram: Updategram) -> SequencedGram {
+        let id = self.next_id;
+        self.next_id += 1;
+        gram.sequenced(id)
+    }
+
+    /// Ship one sealed gram: up to `retry.attempts()` sends, each with an
+    /// independently drawn fate. A `Flaky` fate models a lost
+    /// acknowledgement — the receiver applies, the sender keeps retrying,
+    /// and the duplicate is absorbed by the inbox. Returns whether an ack
+    /// arrived; call again with the same gram to keep trying.
+    pub fn ship(
+        &mut self,
+        gram: &SequencedGram,
+        inbox: &mut GramInbox,
+        catalog: &mut Catalog,
+        view: &mut MaterializedView,
+    ) -> Result<Delivery, EvalError> {
+        self.stats.shipped += 1;
+        self.epoch += 1;
+        let key = format!("gram:{}:epoch:{}", gram.id, self.epoch);
+        let mut applied = false;
+        let mut acknowledged = false;
+        for attempt in 0..self.retry.attempts() {
+            if attempt > 0 {
+                self.stats.retries += 1;
+            }
+            if self.plan.is_down(&self.target) {
+                self.stats.messages += 1;
+                self.stats.dropped += 1;
+                continue;
+            }
+            match self.plan.fate(&self.target, &key, attempt) {
+                Fate::Dropped => {
+                    self.stats.messages += 1;
+                    self.stats.dropped += 1;
+                }
+                Fate::Flaky => {
+                    // Delivered, but the ack is lost: the receiver applies
+                    // (idempotently), the sender cannot tell and retries.
+                    self.stats.messages += 2;
+                    if apply_once(inbox, catalog, view, gram)? {
+                        applied = true;
+                    } else {
+                        self.stats.duplicated += 1;
+                    }
+                }
+                Fate::Delivered { .. } => {
+                    self.stats.messages += 2;
+                    if apply_once(inbox, catalog, view, gram)? {
+                        applied = true;
+                    } else {
+                        self.stats.duplicated += 1;
+                    }
+                    if self.plan.duplicates(&self.target, &key) {
+                        // The network hiccups a second copy; the inbox
+                        // swallows it.
+                        self.stats.messages += 1;
+                        self.stats.duplicated += 1;
+                        apply_once(inbox, catalog, view, gram)?;
+                    }
+                    acknowledged = true;
+                    break;
+                }
+            }
+        }
+        if acknowledged {
+            self.stats.delivered += 1;
+        } else {
+            self.stats.unacknowledged += 1;
+        }
+        Ok(Delivery { id: gram.id, acknowledged, applied })
+    }
+
+    /// Ship and keep re-shipping (fresh fate draws each round) until
+    /// acknowledged or `max_rounds` is exhausted. At-least-once: under any
+    /// plan with a nonzero delivery probability this converges.
+    pub fn ship_until_acknowledged(
+        &mut self,
+        gram: &SequencedGram,
+        inbox: &mut GramInbox,
+        catalog: &mut Catalog,
+        view: &mut MaterializedView,
+        max_rounds: u32,
+    ) -> Result<Delivery, EvalError> {
+        let mut last = Delivery { id: gram.id, acknowledged: false, applied: false };
+        for _ in 0..max_rounds.max(1) {
+            let d = self.ship(gram, inbox, catalog, view)?;
+            last.applied |= d.applied;
+            last.acknowledged = d.acknowledged;
+            if d.acknowledged {
+                break;
+            }
+        }
+        Ok(last)
     }
 }
 
@@ -199,6 +425,116 @@ mod tests {
         assert!(remote_view
             .as_relation()
             .contains(&vec![Value::str("Rome")]));
+    }
+
+    /// Target-side cache of the virtual relation, as in the [36] pipeline.
+    fn remote_cache(p: &MappingPropagator) -> (Catalog, MaterializedView) {
+        let mut remote_cat = Catalog::new();
+        remote_cat.register(p.current());
+        let mut remote_view =
+            MaterializedView::new("cache", parse_query("cache(T, P) :- m_bm(T, P)").unwrap());
+        remote_view.refresh_full(&remote_cat).unwrap();
+        (remote_cat, remote_view)
+    }
+
+    #[test]
+    fn duplicated_delivery_applies_exactly_once() {
+        let mut cat = source();
+        let mut p = MappingPropagator::new(mapping(), &cat).unwrap();
+        let (mut remote_cat, mut remote_view) = remote_cache(&p);
+        assert_eq!(remote_view.len(), 2);
+
+        // New course + teacher at the source: the second base gram makes
+        // one row visible through the mapping's join.
+        p.propagate(&mut cat, &Updategram::inserts("B.course", vec![vec!["c3".into(), "Greece".into()]]))
+            .unwrap();
+        let virtual_gram = p
+            .propagate(&mut cat, &Updategram::inserts("B.teaches", vec![vec!["eve".into(), "c3".into()]]))
+            .unwrap();
+        assert_eq!(virtual_gram.insert.len(), 1);
+        let mut link = ReliableLink::new("M", FaultPlan::zero());
+        let mut inbox = GramInbox::new();
+        let sealed = link.seal(virtual_gram);
+
+        // Deliver the SAME sealed gram twice: second copy is a no-op.
+        let first = link.ship(&sealed, &mut inbox, &mut remote_cat, &mut remote_view).unwrap();
+        let second = link.ship(&sealed, &mut inbox, &mut remote_cat, &mut remote_view).unwrap();
+        assert!(first.acknowledged && first.applied);
+        assert!(second.acknowledged && !second.applied);
+        assert_eq!(inbox.duplicates_ignored, 1);
+        assert_eq!(inbox.applied_count(), 1);
+        assert_eq!(link.stats.duplicated, 1);
+        // Cache state is what ONE application produces.
+        let mut fresh = MaterializedView::new("chk", remote_view.definition.clone());
+        fresh.refresh_full(&remote_cat).unwrap();
+        assert_eq!(remote_view.as_relation().rows(), fresh.as_relation().rows());
+    }
+
+    #[test]
+    fn lossy_link_converges_to_the_clean_state() {
+        // Ship every virtual gram over a very lossy, duplicating link; the
+        // remote cache must end up exactly where clean delivery ends up.
+        let mut cat = source();
+        let mut p = MappingPropagator::new(mapping(), &cat).unwrap();
+        let (mut remote_cat, mut remote_view) = remote_cache(&p);
+
+        let plan = FaultPlan::new(revere_util::fault::FaultSpec {
+            seed: 1003,
+            drop_prob: 0.5,
+            flaky_prob: 0.3,
+            duplicate_prob: 0.5,
+            ..Default::default()
+        });
+        let mut link = ReliableLink::new("M", plan);
+        let mut inbox = GramInbox::new();
+
+        let base_grams = [
+            Updategram::inserts("B.course", vec![vec!["c3".into(), "Greece".into()]]),
+            Updategram::inserts("B.teaches", vec![vec!["eve".into(), "c3".into()]]),
+            Updategram::deletes("B.teaches", vec![vec!["bob".into(), "c2".into()]]),
+        ];
+        for g in base_grams {
+            let virtual_gram = p.propagate(&mut cat, &g).unwrap();
+            let sealed = link.seal(virtual_gram);
+            let d = link
+                .ship_until_acknowledged(&sealed, &mut inbox, &mut remote_cat, &mut remote_view, 64)
+                .unwrap();
+            assert!(d.acknowledged, "lossy link failed to deliver in 64 rounds");
+        }
+        // Converged: remote cache == current virtual extension.
+        let mut want = Catalog::new();
+        want.register(p.current());
+        let mut fresh = MaterializedView::new("chk", remote_view.definition.clone());
+        fresh.refresh_full(&want).unwrap();
+        assert_eq!(remote_view.as_relation().rows(), fresh.as_relation().rows());
+        // The weather actually did something, and we rode it out.
+        assert!(link.stats.dropped > 0 || link.stats.duplicated > 0, "{:?}", link.stats);
+        assert_eq!(link.stats.delivered, 3);
+    }
+
+    #[test]
+    fn link_replay_is_deterministic_per_seed() {
+        let run = || {
+            let mut cat = source();
+            let mut p = MappingPropagator::new(mapping(), &cat).unwrap();
+            let (mut remote_cat, mut remote_view) = remote_cache(&p);
+            let plan = FaultPlan::new(revere_util::fault::FaultSpec {
+                seed: 7,
+                drop_prob: 0.4,
+                duplicate_prob: 0.4,
+                ..Default::default()
+            });
+            let mut link = ReliableLink::new("M", plan);
+            let mut inbox = GramInbox::new();
+            let vg = p
+                .propagate(&mut cat, &Updategram::deletes("B.teaches", vec![vec!["bob".into(), "c2".into()]]))
+                .unwrap();
+            let sealed = link.seal(vg);
+            link.ship_until_acknowledged(&sealed, &mut inbox, &mut remote_cat, &mut remote_view, 32)
+                .unwrap();
+            (link.stats.clone(), remote_view.as_relation().rows().to_vec())
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -52,6 +52,23 @@ impl Updategram {
     pub fn size(&self) -> usize {
         self.insert.len() + self.delete.len()
     }
+
+    /// Stamp this gram with a delivery id, making it a unit of
+    /// at-least-once propagation (see [`crate::propagation`]).
+    pub fn sequenced(self, id: u64) -> SequencedGram {
+        SequencedGram { id, gram: self }
+    }
+}
+
+/// An updategram stamped with a link-unique delivery id. Duplicated
+/// deliveries of the same id are deduplicated at the receiver (idempotent
+/// apply), which is what makes at-least-once shipping safe.
+#[derive(Debug, Clone)]
+pub struct SequencedGram {
+    /// Delivery id, unique per propagation link.
+    pub id: u64,
+    /// The payload.
+    pub gram: Updategram,
 }
 
 /// How the optimizer decided to bring the view up to date.

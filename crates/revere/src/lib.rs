@@ -64,9 +64,11 @@ pub mod prelude {
         CleaningPolicy, CourseCalendar, CrawlBaseline, Mangrove, MangroveSchema, PhoneDirectory,
         WhosWho,
     };
+    pub use revere_pdms::fault::{FaultPlan, FaultSpec, RetryPolicy};
     pub use revere_pdms::{
-        maintain, MaintenanceChoice, MaterializedView, PdmsNetwork, Peer, ReformulateOptions,
-        Reformulator, Updategram, XmlMapping,
+        apply_once, maintain, CompletenessReport, GramInbox, MaintenanceChoice, MaterializedView,
+        PdmsNetwork, Peer, QueryBudget, QueryOutcome, ReformulateOptions, Reformulator,
+        ReliableLink, SequencedGram, Updategram, XmlMapping,
     };
     pub use revere_query::{
         contained_in, eval_cq, eval_union, minimize, parse_query, ConjunctiveQuery, GlavMapping,

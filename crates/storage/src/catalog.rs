@@ -193,4 +193,51 @@ mod tests {
         shared.write(|c| c.insert("t", vec![Value::Int(2)]));
         assert_eq!(shared.snapshot("t").unwrap().len(), 2);
     }
+
+    #[test]
+    fn writers_contending_with_a_panicking_writer_all_land() {
+        // The chaos scenario: one peer thread dies mid-write while others
+        // keep updating the same catalog. Every surviving writer's insert
+        // must land, whether it acquired the lock before or after the
+        // poisoning.
+        let shared = SharedCatalog::new(Catalog::new());
+        shared.write(|c| c.create(RelSchema::text("t", &["v"])));
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let s = shared.clone();
+            handles.push(std::thread::spawn(move || {
+                s.write(|c| {
+                    c.insert("t", vec![Value::Int(i)]);
+                    if i == 3 {
+                        panic!("peer thread dies holding the write guard");
+                    }
+                });
+            }));
+        }
+        let panicked = handles.into_iter().map(|h| h.join()).filter(Result::is_err).count();
+        assert_eq!(panicked, 1, "exactly the one deliberate panic");
+        assert_eq!(shared.read(|c| c.get("t").unwrap().len()), 8);
+    }
+
+    #[test]
+    fn panicking_read_closure_does_not_block_writers() {
+        // Reads recover from (and do not themselves prevent) progress: a
+        // panic inside a read closure leaves the lock usable for both
+        // subsequent readers and writers.
+        let shared = SharedCatalog::new(Catalog::new());
+        shared.write(|c| c.create(RelSchema::text("t", &["v"])));
+        shared.write(|c| c.insert("t", vec![Value::Int(1)]));
+        let clone = shared.clone();
+        let joined = std::thread::spawn(move || {
+            clone.read(|c| {
+                assert_eq!(c.get("t").unwrap().len(), 1);
+                panic!("reader dies while holding the lock");
+            })
+        })
+        .join();
+        assert!(joined.is_err(), "the reader really did panic");
+        shared.write(|c| c.insert("t", vec![Value::Int(2)]));
+        assert_eq!(shared.read(|c| c.get("t").unwrap().len()), 2);
+        assert_eq!(shared.snapshot("t").unwrap().len(), 2);
+    }
 }

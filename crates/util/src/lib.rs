@@ -15,11 +15,17 @@
 //!   median/p95) with a `criterion`-shaped API (`Criterion`, groups,
 //!   `BenchmarkId`, `criterion_group!`/`criterion_main!`) so the bench
 //!   files keep their structure.
+//! * [`fault`] — deterministic fault injection for the simulated peer
+//!   overlay: a seeded [`fault::FaultPlan`] (outages, drops, flaky
+//!   responses, latency, duplication) whose verdicts are pure functions
+//!   of `(seed, peer, key, attempt)`, plus capped-exponential
+//!   [`fault::RetryPolicy`].
 //!
 //! Everything here is deterministic given a seed, allocation-light, and
 //! uses only `std`.
 
 pub mod criterion;
+pub mod fault;
 pub mod prop;
 pub mod rng;
 

@@ -9,7 +9,7 @@
 
 use revere_util::rngs::StdRng;
 use revere_util::{RngExt, SeedableRng};
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
 /// Shape of the mapping graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,20 +116,39 @@ impl Topology {
 
     /// BFS hop distance from `from` to every peer (`None` = unreachable).
     pub fn distances(&self, from: usize) -> Vec<Option<usize>> {
-        let adj = self.adjacency();
+        self.distances_avoiding(from, &BTreeSet::new())
+    }
+
+    /// BFS hop distances with the peers in `down` treated as absent —
+    /// the structural reachability bound a chaos run degrades toward.
+    /// A `down` source reaches nothing (not even itself).
+    pub fn distances_avoiding(&self, from: usize, down: &BTreeSet<usize>) -> Vec<Option<usize>> {
         let mut dist = vec![None; self.n];
+        if down.contains(&from) {
+            return dist;
+        }
+        let adj = self.adjacency();
         dist[from] = Some(0);
         let mut q = VecDeque::from([from]);
         while let Some(u) = q.pop_front() {
             let du = dist[u].expect("queued nodes have distances");
             for &v in &adj[u] {
-                if dist[v].is_none() {
+                if dist[v].is_none() && !down.contains(&v) {
                     dist[v] = Some(du + 1);
                     q.push_back(v);
                 }
             }
         }
         dist
+    }
+
+    /// How many peers `from` can still reach (itself included) when the
+    /// peers in `down` have left.
+    pub fn reachable_avoiding(&self, from: usize, down: &BTreeSet<usize>) -> usize {
+        self.distances_avoiding(from, down)
+            .iter()
+            .filter(|d| d.is_some())
+            .count()
     }
 
     /// True when every peer can reach every other.
@@ -210,6 +229,20 @@ mod tests {
         assert_eq!(t.mapping_count(), 49);
         assert_eq!(t.pairwise_mapping_count(), 50 * 49 / 2);
         assert_eq!(t.mediated_mapping_count(), 50);
+    }
+
+    #[test]
+    fn down_peers_partition_reachability() {
+        // Chain 0-1-2-3-4 with peer 2 down: 0 reaches {0, 1} only.
+        let t = Topology::generate(TopologyKind::Chain, 5, 0);
+        let down = BTreeSet::from([2]);
+        assert_eq!(t.reachable_avoiding(0, &down), 2);
+        assert_eq!(t.distances_avoiding(0, &down)[1], Some(1));
+        assert_eq!(t.distances_avoiding(0, &down)[3], None);
+        // A down source reaches nothing.
+        assert_eq!(t.reachable_avoiding(2, &down), 0);
+        // No down peers: identical to plain distances.
+        assert_eq!(t.distances_avoiding(0, &BTreeSet::new()), t.distances(0));
     }
 
     #[test]

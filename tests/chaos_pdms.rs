@@ -1,0 +1,202 @@
+//! Integration: the PDMS under deterministic chaos (spanning revere-util's
+//! fault substrate, revere-pdms networking and propagation).
+//!
+//! Every test reads its seed from `REVERE_CHAOS_SEED` (default 7) and must
+//! hold for *any* seed: assertions are about invariants (determinism,
+//! reported gaps, exactly-once application, budget honoring), never about
+//! which specific peers a given seed happens to down.
+//!
+//! `scripts/verify.sh` runs this suite under several seeds; override the
+//! set with `REVERE_CHAOS_SEEDS="1 2 3" scripts/verify.sh`.
+
+use revere::prelude::*;
+use revere::storage::Attribute;
+
+/// The seed under test: `REVERE_CHAOS_SEED` or 7.
+fn chaos_seed() -> u64 {
+    std::env::var("REVERE_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(7)
+}
+
+/// An `n`-peer PDMS over `topology`, one course row per peer.
+fn build_network(kind: TopologyKind, n: usize, seed: u64) -> PdmsNetwork {
+    let topology = Topology::generate(kind, n, seed);
+    let mut net = PdmsNetwork::new();
+    for i in 0..n {
+        let mut p = Peer::new(format!("P{i}"));
+        let mut r = Relation::new(RelSchema::new(
+            "course",
+            vec![Attribute::text("title"), Attribute::int("enrollment")],
+        ));
+        r.insert(vec![Value::str(format!("Course at P{i}")), Value::Int(10 + i as i64)]);
+        p.add_relation(r);
+        net.add_peer(p);
+    }
+    for (idx, (a, b)) in topology.edges.iter().enumerate() {
+        net.add_mapping(
+            GlavMapping::parse(
+                format!("m{idx}"),
+                format!("P{a}"),
+                format!("P{b}"),
+                &format!("m(T, E) :- P{a}.course(T, E) ==> m(T, E) :- P{b}.course(T, E)"),
+            )
+            .expect("mapping parses"),
+        );
+    }
+    net
+}
+
+fn sorted_rows(out: &QueryOutcome) -> Vec<Vec<Value>> {
+    let mut rows = out.answers.rows().to_vec();
+    rows.sort();
+    rows
+}
+
+#[test]
+fn same_seed_chaos_runs_are_identical() {
+    let run = || {
+        let mut net = build_network(TopologyKind::Random { extra: 2 }, 10, 3);
+        net.faults = FaultPlan::new(FaultSpec::chaos(chaos_seed(), 0.3));
+        net.query_str("P0", "q(T, E) :- P0.course(T, E)").unwrap()
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(sorted_rows(&a), sorted_rows(&b));
+    assert_eq!(a.messages, b.messages);
+    assert_eq!(a.tuples_shipped, b.tuples_shipped);
+    assert_eq!(a.completeness, b.completeness);
+}
+
+#[test]
+fn downed_peer_yields_partial_answer_naming_it() {
+    let mut net = build_network(TopologyKind::Chain, 4, 0);
+    // Probabilities stay zero; P2 is forced down regardless of seed.
+    net.faults = FaultPlan::new(
+        FaultSpec { seed: chaos_seed(), ..FaultSpec::default() }.with_down_peer("P2"),
+    );
+    let out = net.query_str("P0", "q(T, E) :- P0.course(T, E)").unwrap();
+    // The other three peers still answer (reformulation composes the
+    // mappings, so P3 is fetched directly — not routed through P2)...
+    assert_eq!(out.answers.len(), 3, "{}", out.answers);
+    assert!(!out.answers.iter().any(|r| r[0] == Value::str("Course at P2")));
+    // ...and the gap is named, not silently absorbed.
+    assert!(!out.completeness.is_complete());
+    assert!(out.completeness.peers_unreachable.contains("P2"));
+    assert!(out.completeness.relations_missing.contains("P2.course"));
+    assert!(out.completeness.retries > 0, "down peer should have been retried");
+    assert!(out.completeness.messages_dropped > 0);
+}
+
+#[test]
+fn zero_fault_plan_matches_default_network_bit_for_bit() {
+    let plain = build_network(TopologyKind::Random { extra: 2 }, 8, 11);
+    let mut zeroed = build_network(TopologyKind::Random { extra: 2 }, 8, 11);
+    zeroed.faults = FaultPlan::new(FaultSpec::chaos(chaos_seed(), 0.0));
+    assert!(zeroed.faults.is_zero());
+    let a = plain.query_str("P0", "q(T, E) :- P0.course(T, E)").unwrap();
+    let b = zeroed.query_str("P0", "q(T, E) :- P0.course(T, E)").unwrap();
+    assert_eq!(a.answers.rows(), b.answers.rows());
+    assert_eq!(a.messages, b.messages);
+    assert_eq!(a.tuples_shipped, b.tuples_shipped);
+    assert_eq!(a.peers_contacted, b.peers_contacted);
+    assert!(b.completeness.is_complete());
+    assert_eq!(b.completeness.retries, 0);
+    assert_eq!(b.completeness.latency_ticks, 0);
+}
+
+#[test]
+fn sequential_and_parallel_agree_under_chaos() {
+    let mut net = build_network(TopologyKind::Random { extra: 3 }, 9, 5);
+    net.faults = FaultPlan::new(FaultSpec::chaos(chaos_seed(), 0.35));
+    let q = parse_query("q(T, E) :- P1.course(T, E)").unwrap();
+    let seq = net.query("P1", &q).unwrap();
+    let par = net.query_parallel("P1", &q).unwrap();
+    assert_eq!(sorted_rows(&seq), sorted_rows(&par));
+    assert_eq!(seq.messages, par.messages);
+    assert_eq!(seq.tuples_shipped, par.tuples_shipped);
+    assert_eq!(seq.completeness, par.completeness);
+}
+
+#[test]
+fn message_budget_is_honored_and_reported() {
+    let mut net = build_network(TopologyKind::Chain, 6, 0);
+    net.budget = QueryBudget { max_messages: Some(4), deadline_ticks: None };
+    let out = net.query_str("P0", "q(T, E) :- P0.course(T, E)").unwrap();
+    assert!(out.messages <= 4, "spent {} messages", out.messages);
+    assert!(out.completeness.budget_exhausted);
+    assert!(!out.completeness.is_complete());
+    // The local row plus whatever fit in the budget.
+    assert!(!out.answers.is_empty());
+    assert!(out.answers.len() < 6, "{}", out.answers);
+    assert!(!out.completeness.peers_unreachable.is_empty());
+}
+
+/// A one-relation remote cache: catalog holding `feed`, view caching it.
+fn remote_cache() -> (Catalog, MaterializedView) {
+    let mut rel = Relation::new(RelSchema::text("feed", &["title"]));
+    rel.insert(vec!["Databases".into()]);
+    let mut cat = Catalog::new();
+    cat.register(rel);
+    let mut view = MaterializedView::new("cache", parse_query("cache(T) :- feed(T)").unwrap());
+    view.refresh_full(&cat).unwrap();
+    (cat, view)
+}
+
+#[test]
+fn duplicate_updategram_applies_exactly_once() {
+    let (mut cat, mut view) = remote_cache();
+    let mut inbox = GramInbox::new();
+    let mut link = ReliableLink::new("M", FaultPlan::zero());
+    let sealed = link.seal(Updategram::inserts("feed", vec![vec!["Greece".into()]]));
+    // Shipped twice (sender crashed before recording the ack, say): the
+    // second delivery is acknowledged but a no-op at the receiver.
+    let first = link.ship(&sealed, &mut inbox, &mut cat, &mut view).unwrap();
+    let second = link.ship(&sealed, &mut inbox, &mut cat, &mut view).unwrap();
+    assert!(first.acknowledged && first.applied);
+    assert!(second.acknowledged && !second.applied);
+    assert_eq!(inbox.duplicates_ignored, 1);
+    assert_eq!(inbox.applied_count(), 1);
+    assert_eq!(cat.get("feed").unwrap().len(), 2, "insert applied exactly once");
+    assert_eq!(view.len(), 2);
+}
+
+#[test]
+fn lossy_link_still_delivers_exactly_once_to_the_cache() {
+    let (mut cat, mut view) = remote_cache();
+    let mut inbox = GramInbox::new();
+    // Heavy drop/flaky/duplicate weather, but no outage: at-least-once
+    // shipping converges for any seed within the round budget.
+    let spec = FaultSpec {
+        seed: chaos_seed(),
+        drop_prob: 0.6,
+        flaky_prob: 0.3,
+        duplicate_prob: 0.4,
+        ..FaultSpec::default()
+    };
+    let mut link = ReliableLink::new("M", FaultPlan::new(spec));
+    let sealed = link.seal(Updategram::inserts("feed", vec![vec!["Greece".into()]]));
+    let d = link
+        .ship_until_acknowledged(&sealed, &mut inbox, &mut cat, &mut view, 64)
+        .unwrap();
+    assert!(d.acknowledged, "lossy link never converged: {:?}", link.stats);
+    assert!(d.applied);
+    // However many copies the weather produced, the cache saw one apply.
+    assert_eq!(inbox.applied_count(), 1);
+    assert_eq!(cat.get("feed").unwrap().len(), 2);
+    assert_eq!(view.len(), 2);
+}
+
+#[test]
+fn raising_the_dial_never_creates_answers() {
+    // Fixed dice, moving thresholds: with one seed, a higher failure rate
+    // can only shrink the answer set.
+    let mut counts = Vec::new();
+    for rate in [0.0, 0.2, 0.4, 0.6] {
+        let mut net = build_network(TopologyKind::Random { extra: 2 }, 10, 3);
+        net.faults = FaultPlan::new(FaultSpec::chaos(chaos_seed(), rate));
+        let out = net.query_str("P0", "q(T, E) :- P0.course(T, E)").unwrap();
+        counts.push(out.answers.len());
+    }
+    assert!(counts.windows(2).all(|w| w[1] <= w[0]), "{counts:?}");
+}
