@@ -18,7 +18,7 @@ fn main() {
         ids.iter()
             .map(|id| {
                 experiments::run_one(id)
-                    .unwrap_or_else(|| panic!("unknown experiment {id:?} (use E1..E12)"))
+                    .unwrap_or_else(|| panic!("unknown experiment {id:?} (use E1..E13)"))
             })
             .collect()
     };

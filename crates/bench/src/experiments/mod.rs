@@ -1,10 +1,11 @@
-//! The E1–E12 experiments (see DESIGN.md §2 for the paper anchors).
+//! The E1–E13 experiments (see DESIGN.md §2 for the paper anchors).
 
 pub mod e_chaos;
 pub mod e_corpus;
 pub mod e_mangrove;
 pub mod e_pdms;
 pub mod e_placement;
+pub mod e_plancache;
 pub mod e_views;
 
 use crate::table::Table;
@@ -24,10 +25,11 @@ pub fn run_all() -> Vec<Table> {
         e_corpus::e10_join_effort(),
         e_placement::e11_placement(),
         e_chaos::e12_chaos(),
+        e_plancache::e13_plan_cache(),
     ]
 }
 
-/// Run one experiment by id (`"E1"`..`"E12"`).
+/// Run one experiment by id (`"E1"`..`"E13"`).
 pub fn run_one(id: &str) -> Option<Table> {
     match id.to_ascii_uppercase().as_str() {
         "E1" => Some(e_pdms::e1_reachability()),
@@ -42,6 +44,7 @@ pub fn run_one(id: &str) -> Option<Table> {
         "E10" => Some(e_corpus::e10_join_effort()),
         "E11" => Some(e_placement::e11_placement()),
         "E12" => Some(e_chaos::e12_chaos()),
+        "E13" => Some(e_plancache::e13_plan_cache()),
         _ => None,
     }
 }

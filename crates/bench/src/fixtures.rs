@@ -16,6 +16,13 @@ pub fn course_network(kind: TopologyKind, n: usize, rows_per_peer: usize, seed: 
 
 /// Same, from an explicit topology.
 pub fn network_from_topology(topology: &Topology, rows_per_peer: usize) -> PdmsNetwork {
+    network_with_rows(topology, |_| rows_per_peer)
+}
+
+/// Same, with a per-peer row count. Heterogeneous data sizes are what
+/// make join-order choices observable (E13): with uniform sizes every
+/// ordering heuristic degenerates to the same tie-break.
+pub fn network_with_rows(topology: &Topology, rows_for: impl Fn(usize) -> usize) -> PdmsNetwork {
     let mut net = PdmsNetwork::new();
     // The transitive closure must span the whole graph: bound the
     // rule-goal depth by the topology size, not the default.
@@ -26,7 +33,7 @@ pub fn network_from_topology(topology: &Topology, rows_per_peer: usize) -> PdmsN
             "course",
             vec![Attribute::text("title"), Attribute::int("enrollment")],
         ));
-        for k in 0..rows_per_peer {
+        for k in 0..rows_for(i) {
             r.insert(vec![
                 Value::str(format!("Course {k} at P{i}")),
                 Value::Int((10 + (i * 7 + k * 13) % 300) as i64),

@@ -11,9 +11,10 @@
 //!   mappings: rule-goal expansion mixing GAV unfolding with MiniCon view
 //!   rewriting, with the pruning heuristics §3.1.1 mentions.
 //! * [`network`] — the simulated overlay: message/hop accounting, query
-//!   routing, optional multi-threaded disjunct execution, and degraded
+//!   routing, optional multi-threaded disjunct execution, degraded
 //!   execution under a seeded fault plan (retry/backoff, query budgets,
-//!   partial-answer completeness reports).
+//!   partial-answer completeness reports), and epoch-invalidated
+//!   reformulation/plan caches ("plan once, run many").
 //! * [`xmlmap`] — the Figure 4 mapping-template language for XML peers:
 //!   a target-schema template annotated with binding queries, applied to
 //!   source documents.
@@ -39,7 +40,7 @@ pub mod xmlmap;
 /// [`fault::FaultPlan`] the network and propagation layers execute under.
 pub use revere_util::fault;
 
-pub use network::{CompletenessReport, PdmsNetwork, QueryBudget, QueryOutcome};
+pub use network::{CacheStats, CompletenessReport, PdmsNetwork, QueryBudget, QueryOutcome};
 pub use peer::Peer;
 pub use placement::{answer_with_plan, plan_placement, PlacementPlan, WorkloadEntry};
 pub use propagation::{

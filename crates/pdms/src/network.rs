@@ -24,13 +24,15 @@
 use crate::peer::{split_qualified, Peer};
 use crate::reformulate::{ReformulateOptions, ReformulationResult, Reformulator};
 use revere_query::glav::GlavMapping;
+use revere_query::plan::{plan_cq, Plan};
 use revere_query::{parse_query, ConjunctiveQuery, Source, UnionQuery};
 use revere_storage::{Catalog, Relation};
 use revere_util::fault::{Fate, FaultPlan, RetryPolicy};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Mutex;
 
 /// The PDMS: peers plus the shared mapping graph.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PdmsNetwork {
     peers: BTreeMap<String, Peer>,
     mappings: Vec<GlavMapping>,
@@ -42,6 +44,63 @@ pub struct PdmsNetwork {
     pub retry: RetryPolicy,
     /// Per-query spend limits.
     pub budget: QueryBudget,
+    /// Reuse reformulations and query plans across queries (default on).
+    /// Turning it off makes every query plan from scratch — the baseline
+    /// the cache-invalidation tests compare byte-for-byte against.
+    pub caching: bool,
+    /// Bumped on every membership or mapping-graph change; part of the
+    /// cache validity epoch (peer data changes are caught separately via
+    /// each peer catalog's stats epoch).
+    topology_epoch: u64,
+    caches: Mutex<Caches>,
+}
+
+impl Default for PdmsNetwork {
+    fn default() -> Self {
+        PdmsNetwork {
+            peers: BTreeMap::new(),
+            mappings: Vec::new(),
+            options: ReformulateOptions::default(),
+            faults: FaultPlan::default(),
+            retry: RetryPolicy::default(),
+            budget: QueryBudget::default(),
+            caching: true,
+            topology_epoch: 0,
+            caches: Mutex::new(Caches::default()),
+        }
+    }
+}
+
+/// Hit/miss counters for the network's reformulation and plan caches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered with a cached reformulation.
+    pub reformulation_hits: usize,
+    /// Queries that had to reformulate from scratch.
+    pub reformulation_misses: usize,
+    /// Disjuncts executed under a cached plan.
+    pub plan_hits: usize,
+    /// Disjuncts planned from scratch.
+    pub plan_misses: usize,
+}
+
+/// The epoch-guarded caches behind [`PdmsNetwork::query`]. Entries are
+/// only served while `valid_for` equals the network's current
+/// [`PdmsNetwork::cache_epoch`]; any membership, mapping, or peer-data
+/// change shifts the epoch and the next lookup clears everything.
+#[derive(Debug, Default)]
+struct Caches {
+    valid_for: u64,
+    /// Keyed by options fingerprint + the query's exact textual form.
+    /// NOT the rename-invariant canonical key: a reformulation carries
+    /// the query's own head variables into every disjunct, so serving it
+    /// for a merely-isomorphic query would change the answer schema.
+    reformulations: HashMap<String, ReformulationResult>,
+    /// Keyed by disjunct canonical key — plans *do* transfer across
+    /// isomorphic disjuncts, because the executor re-projects from the
+    /// query it is given ([`revere_query::eval_cq_bag_planned`]).
+    plans: HashMap<String, Plan>,
+    stats: CacheStats,
 }
 
 /// Per-query spend limits. `None` means unlimited (the default).
@@ -133,6 +192,7 @@ impl PdmsNetwork {
 
     /// Add a peer. Replaces any existing peer of the same name.
     pub fn add_peer(&mut self, peer: Peer) {
+        self.topology_epoch += 1;
         self.peers.insert(peer.name.clone(), peer);
     }
 
@@ -140,6 +200,7 @@ impl PdmsNetwork {
     /// Mappings naming it stay in the graph; subsequent queries report the
     /// gap in their [`CompletenessReport`] instead of failing.
     pub fn remove_peer(&mut self, name: &str) -> Option<Peer> {
+        self.topology_epoch += 1;
         self.peers.remove(name)
     }
 
@@ -153,6 +214,7 @@ impl PdmsNetwork {
         if !self.peers.contains_key(&mapping.target_peer) {
             return Err(format!("unknown target peer {}", mapping.target_peer));
         }
+        self.topology_epoch += 1;
         self.mappings.push(mapping);
         Ok(())
     }
@@ -174,8 +236,13 @@ impl PdmsNetwork {
         self.peers.get(name)
     }
 
-    /// Mutably borrow a peer.
+    /// Mutably borrow a peer. Conservatively treated as a topology change
+    /// for cache purposes — the caller may swap the peer's entire storage,
+    /// which the per-catalog stats epoch alone would not reliably detect.
     pub fn peer_mut(&mut self, name: &str) -> Option<&mut Peer> {
+        if self.peers.contains_key(name) {
+            self.topology_epoch += 1;
+        }
         self.peers.get_mut(name)
     }
 
@@ -204,6 +271,97 @@ impl PdmsNetwork {
     pub fn query_str(&self, at_peer: &str, query: &str) -> Result<QueryOutcome, String> {
         let q = parse_query(query).map_err(|e| e.to_string())?;
         self.query(at_peer, &q)
+    }
+
+    /// The current cache validity epoch: a deterministic mix of the
+    /// topology epoch, the peer count, and every peer catalog's stats
+    /// epoch (in `BTreeMap` order). Any membership change, mapping change,
+    /// `peer_mut` access, or peer-data mutation — inserts, updategram
+    /// application, `analyze` — shifts it, and cached entries computed
+    /// under a different epoch are never served.
+    pub fn cache_epoch(&self) -> u64 {
+        let mut e = self.topology_epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        e = e.wrapping_mul(31).wrapping_add(self.peers.len() as u64);
+        for p in self.peers.values() {
+            e = e.wrapping_mul(31).wrapping_add(p.storage.epoch());
+        }
+        e
+    }
+
+    /// Snapshot the cache hit/miss counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.lock_caches().stats
+    }
+
+    /// Drop every cached reformulation and plan and zero the counters.
+    pub fn clear_caches(&self) {
+        let mut caches = self.lock_caches();
+        *caches = Caches::default();
+    }
+
+    fn lock_caches(&self) -> std::sync::MutexGuard<'_, Caches> {
+        // A panic while holding the lock leaves plain data; recover it.
+        self.caches.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Reformulate through the cache. On an epoch mismatch the whole cache
+    /// is cleared first, so a stale entry can never be served.
+    fn reformulate_cached(&self, q: &ConjunctiveQuery) -> ReformulationResult {
+        if !self.caching {
+            return Reformulator::new(self.mappings.clone(), self.options.clone()).reformulate(q);
+        }
+        let epoch = self.cache_epoch();
+        let key = format!("{:?}|{q}", self.options);
+        {
+            let mut caches = self.lock_caches();
+            if caches.valid_for != epoch {
+                caches.reformulations.clear();
+                caches.plans.clear();
+                caches.valid_for = epoch;
+            }
+            if let Some(r) = caches.reformulations.get(&key).cloned() {
+                caches.stats.reformulation_hits += 1;
+                return r;
+            }
+            caches.stats.reformulation_misses += 1;
+        }
+        // Reformulation can be expensive; don't hold the lock for it.
+        let r = Reformulator::new(self.mappings.clone(), self.options.clone()).reformulate(q);
+        let mut caches = self.lock_caches();
+        if caches.valid_for == epoch {
+            caches.reformulations.insert(key, r.clone());
+        }
+        r
+    }
+
+    /// Plan a disjunct through the cache. `cacheable` is false when the
+    /// fetch phase was incomplete: a plan costed against partial staging
+    /// data executes correctly but would poison the cache with statistics
+    /// from a degraded view of the network.
+    fn plan_for(&self, d: &ConjunctiveQuery, staging: &Catalog, epoch: u64, cacheable: bool) -> Plan {
+        if !self.caching {
+            return plan_cq(d, staging);
+        }
+        {
+            let mut caches = self.lock_caches();
+            if caches.valid_for == epoch {
+                if let Some(p) = caches.plans.get(&d.canonical_key()).cloned() {
+                    if p.applies_to(d) {
+                        caches.stats.plan_hits += 1;
+                        return p;
+                    }
+                }
+            }
+            caches.stats.plan_misses += 1;
+        }
+        let p = plan_cq(d, staging);
+        if cacheable {
+            let mut caches = self.lock_caches();
+            if caches.valid_for == epoch {
+                caches.plans.insert(p.key().to_string(), p.clone());
+            }
+        }
+        p
     }
 
     /// Fetch phase, shared by [`PdmsNetwork::query`] and
@@ -330,13 +488,18 @@ impl PdmsNetwork {
         if !self.peers.contains_key(at_peer) {
             return Err(format!("unknown peer {at_peer:?}"));
         }
-        let reformulator = Reformulator::new(self.mappings.clone(), self.options.clone());
-        let reformulation = reformulator.reformulate(q);
+        let epoch = self.cache_epoch();
+        let reformulation = self.reformulate_cached(q);
         let fetched = self.fetch_phase(at_peer, &reformulation.union);
+        let cacheable = fetched.completeness.is_complete();
 
-        // Evaluate disjuncts (those whose relations are all staged).
-        let answers = revere_query::eval_union(&reformulation.union, &fetched.staging)
-            .map_err(|e| e.to_string())?;
+        // Evaluate disjuncts (those whose relations are all staged),
+        // each under a cached-or-fresh plan.
+        let answers = revere_query::eval_union_with(&reformulation.union, &fetched.staging, |d, s| {
+            let plan = self.plan_for(d, s, epoch, cacheable);
+            revere_query::eval_cq_bag_planned(d, &plan, s).map(|r| r.distinct())
+        })
+        .map_err(|e| e.to_string())?;
         Ok(QueryOutcome {
             answers,
             reformulation,
@@ -355,9 +518,10 @@ impl PdmsNetwork {
         if !self.peers.contains_key(at_peer) {
             return Err(format!("unknown peer {at_peer:?}"));
         }
-        let reformulator = Reformulator::new(self.mappings.clone(), self.options.clone());
-        let reformulation = reformulator.reformulate(q);
+        let epoch = self.cache_epoch();
+        let reformulation = self.reformulate_cached(q);
         let fetched = self.fetch_phase(at_peer, &reformulation.union);
+        let cacheable = fetched.completeness.is_complete();
 
         let union = &reformulation.union;
         let staging = &fetched.staging;
@@ -365,7 +529,14 @@ impl PdmsNetwork {
             let handles: Vec<_> = union
                 .disjuncts
                 .iter()
-                .map(|d| s.spawn(move || revere_query::eval_cq(d, staging).ok()))
+                .map(|d| {
+                    s.spawn(move || {
+                        let plan = self.plan_for(d, staging, epoch, cacheable);
+                        revere_query::eval_cq_bag_planned(d, &plan, staging)
+                            .map(|r| r.distinct())
+                            .ok()
+                    })
+                })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("disjunct worker panicked")).collect()
         });
@@ -696,6 +867,143 @@ mod tests {
         assert_eq!(a.tuples_shipped, b.tuples_shipped);
         assert_eq!(a.peers_contacted, b.peers_contacted);
         assert_eq!(a.completeness, b.completeness);
+    }
+
+    #[test]
+    fn warm_cache_answers_are_byte_identical_and_counted() {
+        let net = university_network();
+        let q = parse_query("q(T, E) :- MIT.subject(T, E)").unwrap();
+        let cold = net.query("MIT", &q).unwrap();
+        let stats = net.cache_stats();
+        assert_eq!(stats.reformulation_hits, 0);
+        assert_eq!(stats.reformulation_misses, 1);
+        assert!(stats.plan_misses > 0);
+        for _ in 0..3 {
+            let warm = net.query("MIT", &q).unwrap();
+            assert_eq!(cold.answers.rows(), warm.answers.rows());
+            assert_eq!(cold.completeness, warm.completeness);
+        }
+        let stats = net.cache_stats();
+        assert_eq!(stats.reformulation_hits, 3);
+        assert_eq!(stats.reformulation_misses, 1);
+        // Every disjunct of every warm query came from the plan cache.
+        assert_eq!(stats.plan_hits, 3 * cold.reformulation.union.disjuncts.len());
+    }
+
+    #[test]
+    fn caching_disabled_is_byte_identical() {
+        let cached = university_network();
+        let mut plain = university_network();
+        plain.caching = false;
+        let q = parse_query("q(T, E) :- MIT.subject(T, E), E > 30").unwrap();
+        for _ in 0..2 {
+            let a = cached.query("MIT", &q).unwrap();
+            let b = plain.query("MIT", &q).unwrap();
+            assert_eq!(a.answers.rows(), b.answers.rows());
+            assert_eq!(a.completeness, b.completeness);
+        }
+        assert_eq!(plain.cache_stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn adding_a_mapping_invalidates_the_caches() {
+        let mut net = university_network();
+        let q = parse_query("q(T, E) :- MIT.subject(T, E)").unwrap();
+        let before = net.query("MIT", &q).unwrap();
+        assert_eq!(before.answers.len(), 4);
+        // A new peer + mapping makes more data reachable; a stale cached
+        // reformulation would keep answering without it.
+        let mut p = Peer::new("Oxford");
+        let mut r = Relation::new(RelSchema::new(
+            "module",
+            vec![
+                revere_storage::Attribute::text("title"),
+                revere_storage::Attribute::int("enrollment"),
+            ],
+        ));
+        r.insert(vec![Value::str("Logic"), Value::Int(77)]);
+        p.add_relation(r);
+        net.add_peer(p);
+        net.add_mapping(
+            GlavMapping::parse(
+                "m_om",
+                "Oxford",
+                "MIT",
+                "m(T, E) :- Oxford.module(T, E) ==> m(T, E) :- MIT.subject(T, E)",
+            )
+            .unwrap(),
+        );
+        let after = net.query("MIT", &q).unwrap();
+        assert_eq!(after.answers.len(), 5, "{}", after.answers);
+        assert!(after.answers.iter().any(|r| r[0] == Value::str("Logic")));
+    }
+
+    #[test]
+    fn removing_a_peer_invalidates_the_caches() {
+        let mut net = university_network();
+        let q = parse_query("q(T, E) :- MIT.subject(T, E)").unwrap();
+        assert_eq!(net.query("MIT", &q).unwrap().answers.len(), 4);
+        net.remove_peer("Tsinghua");
+        let after = net.query("MIT", &q).unwrap();
+        assert_eq!(after.answers.len(), 3, "{}", after.answers);
+        assert!(!after.completeness.is_complete());
+    }
+
+    #[test]
+    fn peer_data_changes_invalidate_via_the_stats_epoch() {
+        let net = university_network();
+        let q = parse_query("q(T, E) :- MIT.subject(T, E)").unwrap();
+        assert_eq!(net.query("MIT", &q).unwrap().answers.len(), 4);
+        // Write through the peer's own storage — no network-level mutator
+        // involved, so only the catalog stats epoch can catch it.
+        net.peer("Berkeley").unwrap().storage.write(|c| {
+            c.insert("Berkeley.course", vec![Value::str("Rhetoric"), Value::Int(12)])
+        });
+        let after = net.query("MIT", &q).unwrap();
+        assert_eq!(after.answers.len(), 5, "{}", after.answers);
+    }
+
+    #[test]
+    fn incomplete_fetches_do_not_poison_the_plan_cache() {
+        let mut net = university_network();
+        net.faults = FaultPlan::new(FaultSpec::default().with_down_peer("Berkeley"));
+        let q = parse_query("q(T, E) :- MIT.subject(T, E)").unwrap();
+        let degraded = net.query("MIT", &q).unwrap();
+        assert!(!degraded.completeness.is_complete());
+        // Plans costed against the partial staging data were not cached.
+        assert_eq!(net.cache_stats().plan_hits, 0);
+        let again = net.query("MIT", &q).unwrap();
+        assert_eq!(degraded.answers.rows(), again.answers.rows());
+        // The reformulation *is* reused (it never depends on the data)...
+        assert_eq!(net.cache_stats().reformulation_hits, 1);
+        // ...but every disjunct replanned.
+        assert_eq!(net.cache_stats().plan_hits, 0);
+    }
+
+    #[test]
+    fn parallel_path_shares_the_caches() {
+        let net = university_network();
+        let q = parse_query("q(T, E) :- MIT.subject(T, E)").unwrap();
+        let seq = net.query("MIT", &q).unwrap();
+        let par = net.query_parallel("MIT", &q).unwrap();
+        assert_eq!(seq.answers.rows(), par.answers.rows());
+        let stats = net.cache_stats();
+        assert_eq!(stats.reformulation_hits, 1);
+        assert_eq!(stats.plan_hits, seq.reformulation.union.disjuncts.len());
+    }
+
+    #[test]
+    fn clear_caches_resets_entries_and_counters() {
+        let net = university_network();
+        let q = parse_query("q(T, E) :- MIT.subject(T, E)").unwrap();
+        net.query("MIT", &q).unwrap();
+        net.query("MIT", &q).unwrap();
+        assert!(net.cache_stats().reformulation_hits > 0);
+        net.clear_caches();
+        assert_eq!(net.cache_stats(), CacheStats::default());
+        let out = net.query("MIT", &q).unwrap();
+        assert_eq!(out.answers.len(), 4);
+        assert_eq!(net.cache_stats().reformulation_misses, 1);
     }
 
     #[test]

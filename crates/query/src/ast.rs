@@ -232,17 +232,30 @@ impl ConjunctiveQuery {
         }
     }
 
-    /// A canonical textual form invariant under variable renaming and body
-    /// reordering — used by the reformulator's visited-set pruning.
-    pub fn canonical_key(&self) -> String {
-        // Sort body atoms by (relation, shape), then rename variables in
-        // order of first appearance across head-then-sorted-body.
-        let mut body: Vec<&Atom> = self.body.iter().collect();
-        body.sort_by(|a, b| {
+    /// The canonical ordering of the body: indices into `body` sorted by
+    /// (relation, printed shape). Two queries with equal
+    /// [`ConjunctiveQuery::canonical_key`] have structurally identical
+    /// bodies *position by position* under this ordering, which is what
+    /// lets a cached [plan](crate::plan) built for one disjunct execute an
+    /// isomorphic one.
+    pub fn canonical_order(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.body.len()).collect();
+        idx.sort_by(|&a, &b| {
+            let (a, b) = (&self.body[a], &self.body[b]);
             a.relation
                 .cmp(&b.relation)
                 .then_with(|| format!("{a}").cmp(&format!("{b}")))
         });
+        idx
+    }
+
+    /// A canonical textual form invariant under variable renaming and body
+    /// reordering — used by the reformulator's visited-set pruning and as
+    /// the cache key of the PDMS reformulation/plan caches.
+    pub fn canonical_key(&self) -> String {
+        // Sort body atoms canonically, then rename variables in order of
+        // first appearance across head-then-sorted-body.
+        let body: Vec<&Atom> = self.canonical_order().into_iter().map(|i| &self.body[i]).collect();
         let mut names: std::collections::HashMap<String, String> = Default::default();
         let mut next = 0usize;
         let mut key = String::new();

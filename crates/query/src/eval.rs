@@ -2,14 +2,21 @@
 //!
 //! The evaluator is the execution layer behind every peer's "query
 //! answering ... with respect to its peer schema" service (§3.1) and behind
-//! MANGROVE's RDF-style queries. It performs a greedy-ordered series of
-//! hash joins over variable bindings: at each step it picks the atom
-//! sharing the most variables with those already bound (breaking ties by
-//! smaller relation), builds a hash index on the shared columns, and
-//! extends the binding set.
+//! MANGROVE's RDF-style queries. It executes an explicit [`Plan`] (see
+//! [`crate::plan`]): a statistics-costed join order over the query's
+//! canonical body, performing one hash join per step with constant and
+//! repeated-variable filters pushed into the hash build. Callers that
+//! already hold a cached plan use [`eval_cq_bag_planned`]; the plain
+//! entry points plan on the fly.
+//!
+//! [`eval_naive`] is the differential oracle: a nested-loop evaluator in
+//! textual body order with no indexes and no reordering, slow and
+//! obviously correct. `tests/differential_query.rs` holds every planned
+//! path to `planned ≡ naive` on generated inputs.
 
 use crate::ast::{Atom, ConjunctiveQuery, Term, UnionQuery};
-use revere_storage::{Catalog, Relation, RelSchema, Tuple, Value};
+use crate::plan::{plan_cq, Plan};
+use revere_storage::{Catalog, RelStats, Relation, RelSchema, Tuple, Value};
 use std::collections::HashMap;
 
 /// Anything the evaluator can read relations from.
@@ -20,11 +27,22 @@ use std::collections::HashMap;
 pub trait Source {
     /// Borrow the named relation, if present.
     fn relation(&self, name: &str) -> Option<&Relation>;
+
+    /// Statistics for the named relation, when the source keeps them.
+    /// Estimates only — the planner must survive `None` (and does, by
+    /// falling back to raw row counts).
+    fn stats(&self, _name: &str) -> Option<&RelStats> {
+        None
+    }
 }
 
 impl Source for Catalog {
     fn relation(&self, name: &str) -> Option<&Relation> {
         self.get(name)
+    }
+
+    fn stats(&self, name: &str) -> Option<&RelStats> {
+        self.rel_stats(name)
     }
 }
 
@@ -44,38 +62,14 @@ impl std::fmt::Display for EvalError {
 
 impl std::error::Error for EvalError {}
 
-/// Evaluate a conjunctive query, returning a relation named after the
-/// query head whose columns are the head terms in order (set semantics).
-pub fn eval_cq<S: Source>(q: &ConjunctiveQuery, catalog: &S) -> Result<Relation, EvalError> {
-    Ok(eval_cq_bag(q, catalog)?.distinct())
-}
-
-/// Evaluate under *bag* semantics: one output row per derivation (binding
-/// of the body). The counting-based incremental view maintenance in the
-/// PDMS needs derivation multiplicities, not just the answer set.
-pub fn eval_cq_bag<S: Source>(q: &ConjunctiveQuery, catalog: &S) -> Result<Relation, EvalError> {
-    // Binding table: column per variable, row per partial assignment.
-    let mut var_cols: Vec<String> = Vec::new();
-    let mut rows: Vec<Tuple> = vec![Vec::new()]; // one empty binding
-    let mut remaining: Vec<&Atom> = q.body.iter().collect();
-
-    while !remaining.is_empty() {
-        // Greedy choice: most shared variables, then smallest relation.
-        let (pos, _) = remaining
-            .iter()
-            .enumerate()
-            .map(|(i, a)| {
-                let shared = a
-                    .vars()
-                    .iter()
-                    .filter(|v| var_cols.iter().any(|c| c == **v))
-                    .count();
-                let size = catalog.relation(&a.relation).map(Relation::len).unwrap_or(usize::MAX);
-                (i, (std::cmp::Reverse(shared), size))
-            })
-            .min_by_key(|(_, k)| *k)
-            .expect("remaining non-empty");
-        let atom = remaining.remove(pos);
+/// Check every body atom up front: the relation must exist at the right
+/// arity. Centralized so the planned, traced, and naive evaluators agree
+/// *exactly* on which queries error — error behavior must not depend on
+/// join order (it used to: a query could return an empty `Ok` or an `Err`
+/// for the same missing relation depending on where the greedy order put
+/// it).
+fn validate<S: Source>(q: &ConjunctiveQuery, catalog: &S) -> Result<(), EvalError> {
+    for atom in &q.body {
         let rel = catalog.relation(&atom.relation).ok_or_else(|| EvalError {
             message: format!("unknown relation {:?}", atom.relation),
         })?;
@@ -89,68 +83,154 @@ pub fn eval_cq_bag<S: Source>(q: &ConjunctiveQuery, catalog: &S) -> Result<Relat
                 ),
             });
         }
+    }
+    Ok(())
+}
 
-        // Split the atom's columns into: constants (filter), join vars
-        // (already bound), new vars (extend).
-        let mut const_checks: Vec<(usize, &Value)> = Vec::new();
-        let mut join_cols: Vec<(usize, usize)> = Vec::new(); // (atom col, binding col)
-        let mut new_vars: Vec<(usize, String)> = Vec::new();
-        let mut self_joins: Vec<(usize, usize)> = Vec::new(); // repeated var inside atom
+/// How one atom's columns relate to the current binding table: constants
+/// to check, repeated variables *within* the atom, join columns (variables
+/// already bound) and new variables. One analysis drives both the hash
+/// build and the probe, so a repeated variable is keyed and filtered
+/// identically wherever the plan places the atom.
+struct AtomSplit {
+    /// (atom column, required constant).
+    const_checks: Vec<(usize, Value)>,
+    /// (atom column, earlier atom column holding the same variable).
+    self_joins: Vec<(usize, usize)>,
+    /// (atom column, binding-table column) for already-bound variables.
+    join_cols: Vec<(usize, usize)>,
+    /// (atom column, variable) for variables this atom binds first.
+    new_vars: Vec<(usize, String)>,
+}
+
+impl AtomSplit {
+    fn analyze(atom: &Atom, var_cols: &[String]) -> Self {
+        let mut split = AtomSplit {
+            const_checks: Vec::new(),
+            self_joins: Vec::new(),
+            join_cols: Vec::new(),
+            new_vars: Vec::new(),
+        };
         let mut seen_in_atom: HashMap<&str, usize> = HashMap::new();
         for (i, t) in atom.terms.iter().enumerate() {
             match t {
-                Term::Const(c) => const_checks.push((i, c)),
+                Term::Const(c) => split.const_checks.push((i, c.clone())),
                 Term::Var(v) => {
                     if let Some(&first) = seen_in_atom.get(v.as_str()) {
-                        self_joins.push((i, first));
+                        split.self_joins.push((i, first));
                     } else {
                         seen_in_atom.insert(v, i);
                         if let Some(bcol) = var_cols.iter().position(|c| c == v) {
-                            join_cols.push((i, bcol));
+                            split.join_cols.push((i, bcol));
                         } else {
-                            new_vars.push((i, v.clone()));
+                            split.new_vars.push((i, v.clone()));
                         }
                     }
                 }
             }
         }
+        split
+    }
 
-        // Pre-filter the relation's rows by constants and self-joins, and
-        // build a hash index keyed by the join columns.
+    /// Does a stored row survive the filters pushed into the hash build?
+    fn row_passes(&self, row: &Tuple) -> bool {
+        self.const_checks.iter().all(|(i, c)| &row[*i] == c)
+            && self.self_joins.iter().all(|(i, j)| row[*i] == row[*j])
+    }
+}
+
+/// Evaluate a conjunctive query, returning a relation named after the
+/// query head whose columns are the head terms in order (set semantics).
+pub fn eval_cq<S: Source>(q: &ConjunctiveQuery, catalog: &S) -> Result<Relation, EvalError> {
+    Ok(eval_cq_bag(q, catalog)?.distinct())
+}
+
+/// Evaluate under *bag* semantics: one output row per derivation (binding
+/// of the body). The counting-based incremental view maintenance in the
+/// PDMS needs derivation multiplicities, not just the answer set.
+pub fn eval_cq_bag<S: Source>(q: &ConjunctiveQuery, catalog: &S) -> Result<Relation, EvalError> {
+    let plan = plan_cq(q, catalog);
+    eval_cq_bag_planned(q, &plan, catalog)
+}
+
+/// Bag evaluation under a caller-supplied (possibly cached) plan. The
+/// plan must apply to `q` (same canonical key); the output is always
+/// projected from `q`'s own head, so a plan cached from an isomorphic
+/// disjunct yields byte-identical answers to planning fresh.
+pub fn eval_cq_bag_planned<S: Source>(
+    q: &ConjunctiveQuery,
+    plan: &Plan,
+    catalog: &S,
+) -> Result<Relation, EvalError> {
+    Ok(eval_cq_bag_traced(q, plan, catalog)?.0)
+}
+
+/// Like [`eval_cq_bag_planned`], also returning the binding-table size
+/// after each join step (parallel to `plan.order`) — the measured
+/// counterpart of the plan's estimates, used by EXPLAIN-style reporting
+/// and the E13 experiment.
+pub fn eval_cq_bag_traced<S: Source>(
+    q: &ConjunctiveQuery,
+    plan: &Plan,
+    catalog: &S,
+) -> Result<(Relation, Vec<usize>), EvalError> {
+    if !plan.applies_to(q) {
+        return Err(EvalError {
+            message: format!("plan for {:?} does not apply to {:?}", plan.key(), q.canonical_key()),
+        });
+    }
+    validate(q, catalog)?;
+    let canonical = q.canonical_order();
+
+    // Binding table: column per variable, row per partial assignment.
+    let mut var_cols: Vec<String> = Vec::new();
+    let mut rows: Vec<Tuple> = vec![Vec::new()]; // one empty binding
+    let mut trace = Vec::with_capacity(plan.order.len());
+
+    for &ci in &plan.order {
+        let atom = &q.body[canonical[ci]];
+        let rel = catalog.relation(&atom.relation).expect("validated above");
+        let split = AtomSplit::analyze(atom, &var_cols);
+
+        // Build the step's hash index: rows surviving the pushed-down
+        // filters (constants, within-atom repeats), keyed by the columns
+        // of already-bound variables. The same split drives both the
+        // build and the probe keys, so a repeated variable is filtered
+        // identically wherever the plan places the atom.
         let mut index: HashMap<Vec<&Value>, Vec<&Tuple>> = HashMap::new();
         for row in rel.iter() {
-            if const_checks.iter().any(|(i, c)| &row[*i] != *c) {
+            if !split.row_passes(row) {
                 continue;
             }
-            if self_joins.iter().any(|(i, j)| row[*i] != row[*j]) {
-                continue;
-            }
-            let key: Vec<&Value> = join_cols.iter().map(|(i, _)| &row[*i]).collect();
+            let key: Vec<&Value> = split.join_cols.iter().map(|(i, _)| &row[*i]).collect();
             index.entry(key).or_default().push(row);
         }
 
         // Probe with every current binding.
         let mut next_rows: Vec<Tuple> = Vec::new();
         for binding in &rows {
-            let key: Vec<&Value> = join_cols.iter().map(|(_, b)| &binding[*b]).collect();
+            let key: Vec<&Value> = split.join_cols.iter().map(|(_, b)| &binding[*b]).collect();
             if let Some(matches) = index.get(&key) {
                 for m in matches {
                     let mut extended = binding.clone();
-                    for (i, _) in &new_vars {
+                    for (i, _) in &split.new_vars {
                         extended.push(m[*i].clone());
                     }
                     next_rows.push(extended);
                 }
             }
         }
-        for (_, v) in new_vars {
+        for (_, v) in split.new_vars {
             var_cols.push(v);
         }
         rows = next_rows;
+        trace.push(rows.len());
         if rows.is_empty() {
             break;
         }
     }
+    // An empty binding table short-circuits; later steps see 0 bindings.
+    trace.resize(plan.order.len(), 0);
 
     // Apply comparisons.
     let resolve = |t: &Term, binding: &Tuple| -> Option<Value> {
@@ -172,22 +252,7 @@ pub fn eval_cq_bag<S: Source>(q: &ConjunctiveQuery, catalog: &S) -> Result<Relat
     }
 
     // Project the head.
-    let schema = RelSchema::text(
-        q.head.relation.clone(),
-        &q.head
-            .terms
-            .iter()
-            .enumerate()
-            .map(|(i, t)| match t {
-                Term::Var(v) => v.clone(),
-                Term::Const(_) => format!("c{i}"),
-            })
-            .collect::<Vec<_>>()
-            .iter()
-            .map(String::as_str)
-            .collect::<Vec<_>>(),
-    );
-    let mut out = Relation::new(schema);
+    let mut out = Relation::new(a_schema(q));
     'row: for b in &rows {
         let mut tuple = Vec::with_capacity(q.head.terms.len());
         for t in &q.head.terms {
@@ -198,7 +263,7 @@ pub fn eval_cq_bag<S: Source>(q: &ConjunctiveQuery, catalog: &S) -> Result<Relat
         }
         out.insert(tuple);
     }
-    Ok(out)
+    Ok((out, trace))
 }
 
 /// Evaluate a union of conjunctive queries (set semantics across
@@ -207,6 +272,23 @@ pub fn eval_cq_bag<S: Source>(q: &ConjunctiveQuery, catalog: &S) -> Result<Relat
 /// a peer whose data is unavailable, and "the system should make use of
 /// relevant data anywhere" that *is* reachable.
 pub fn eval_union<S: Source>(u: &UnionQuery, catalog: &S) -> Result<Relation, EvalError> {
+    eval_union_with(u, catalog, eval_cq)
+}
+
+/// Union evaluation through the naive oracle: same skip-unavailable and
+/// dedup semantics as [`eval_union`], different per-disjunct evaluator.
+pub fn eval_naive_union<S: Source>(u: &UnionQuery, catalog: &S) -> Result<Relation, EvalError> {
+    eval_union_with(u, catalog, eval_naive)
+}
+
+/// Union evaluation with a caller-supplied per-disjunct evaluator —
+/// the hook the PDMS uses to execute each disjunct under a cached plan
+/// while keeping [`eval_union`]'s skip-unavailable and dedup semantics.
+pub fn eval_union_with<S, F>(u: &UnionQuery, catalog: &S, eval_one: F) -> Result<Relation, EvalError>
+where
+    S: Source,
+    F: Fn(&ConjunctiveQuery, &S) -> Result<Relation, EvalError>,
+{
     let Some(first) = u.disjuncts.first() else {
         return Err(EvalError { message: "empty union".into() });
     };
@@ -215,7 +297,7 @@ pub fn eval_union<S: Source>(u: &UnionQuery, catalog: &S) -> Result<Relation, Ev
         if d.head.terms.len() != first.head.terms.len() {
             return Err(EvalError { message: "union disjuncts have different head arity".into() });
         }
-        match eval_cq(d, catalog) {
+        match eval_one(d, catalog) {
             Ok(r) => {
                 acc = Some(match acc {
                     None => r,
@@ -237,6 +319,77 @@ pub fn eval_union<S: Source>(u: &UnionQuery, catalog: &S) -> Result<Relation, Ev
             Ok(Relation::new(a_schema(first)))
         }
     }
+}
+
+/// Set-semantics naive evaluation: [`eval_naive_bag`] then distinct.
+pub fn eval_naive<S: Source>(q: &ConjunctiveQuery, catalog: &S) -> Result<Relation, EvalError> {
+    Ok(eval_naive_bag(q, catalog)?.distinct())
+}
+
+/// The differential oracle: nested-loop evaluation in *textual* body
+/// order — no planner, no indexes, no pushed filters, one environment
+/// per derivation. Quadratically slow and obviously correct; any
+/// divergence from [`eval_cq_bag`] (up to row order) is a planner or
+/// executor bug.
+pub fn eval_naive_bag<S: Source>(q: &ConjunctiveQuery, catalog: &S) -> Result<Relation, EvalError> {
+    validate(q, catalog)?;
+    let mut envs: Vec<HashMap<String, Value>> = vec![HashMap::new()];
+    for atom in &q.body {
+        let rel = catalog.relation(&atom.relation).expect("validated above");
+        let mut next: Vec<HashMap<String, Value>> = Vec::new();
+        for env in &envs {
+            'row: for row in rel.iter() {
+                let mut ext = env.clone();
+                for (i, t) in atom.terms.iter().enumerate() {
+                    match t {
+                        Term::Const(c) => {
+                            if &row[i] != c {
+                                continue 'row;
+                            }
+                        }
+                        Term::Var(v) => match ext.get(v) {
+                            Some(bound) => {
+                                if bound != &row[i] {
+                                    continue 'row;
+                                }
+                            }
+                            None => {
+                                ext.insert(v.clone(), row[i].clone());
+                            }
+                        },
+                    }
+                }
+                next.push(ext);
+            }
+        }
+        envs = next;
+    }
+
+    let resolve = |t: &Term, env: &HashMap<String, Value>| -> Option<Value> {
+        match t {
+            Term::Const(c) => Some(c.clone()),
+            Term::Var(v) => env.get(v).cloned(),
+        }
+    };
+    for c in &q.comparisons {
+        envs.retain(|e| match (resolve(&c.left, e), resolve(&c.right, e)) {
+            (Some(l), Some(r)) => c.op.apply(&l, &r),
+            _ => false,
+        });
+    }
+
+    let mut out = Relation::new(a_schema(q));
+    'env: for e in &envs {
+        let mut tuple = Vec::with_capacity(q.head.terms.len());
+        for t in &q.head.terms {
+            match resolve(t, e) {
+                Some(v) => tuple.push(v),
+                None => continue 'env,
+            }
+        }
+        out.insert(tuple);
+    }
+    Ok(out)
 }
 
 fn a_schema(q: &ConjunctiveQuery) -> RelSchema {
@@ -401,5 +554,82 @@ mod tests {
         let r = eval_cq(&q, &catalog()).unwrap();
         assert!(r.is_empty());
         assert_eq!(r.schema.arity(), 2);
+    }
+
+    #[test]
+    fn naive_oracle_agrees_on_the_basics() {
+        let c = catalog();
+        for text in [
+            "q(T) :- course(I, T, D)",
+            "q(P, T) :- teaches(P, I), course(I, T, D)",
+            "q(T) :- course(I, T, 'cs')",
+            "q(T) :- course(I, T, D), enrollment(I, N), N > 50",
+            "q(P, N) :- teaches(P, 'c1'), enrollment('c2', N)",
+        ] {
+            let q = parse_query(text).unwrap();
+            let planned = eval_cq_bag(&q, &c).unwrap().sorted();
+            let naive = eval_naive_bag(&q, &c).unwrap().sorted();
+            assert_eq!(planned.rows(), naive.rows(), "{text}");
+        }
+    }
+
+    #[test]
+    fn naive_errors_match_planned_errors() {
+        let c = catalog();
+        // Even when the *first* atom would already empty the binding
+        // table, a later bad atom must error in both evaluators.
+        let q = parse_query("q(T) :- course(I, T, 'nope'), ghost(T)").unwrap();
+        assert!(eval_cq_bag(&q, &c).is_err());
+        assert!(eval_naive_bag(&q, &c).is_err());
+    }
+
+    #[test]
+    fn cached_plan_executes_isomorphic_query_with_its_own_head() {
+        let c = catalog();
+        let a = parse_query("q(P, T) :- teaches(P, I), course(I, T, D)").unwrap();
+        let b = parse_query("q(X, U) :- teaches(X, C), course(C, U, E)").unwrap();
+        let plan = crate::plan::plan_cq(&a, &c);
+        let via_cache = eval_cq_bag_planned(&b, &plan, &c).unwrap();
+        let fresh = eval_cq_bag(&b, &c).unwrap();
+        assert_eq!(via_cache.sorted().rows(), fresh.sorted().rows());
+        assert_eq!(
+            via_cache.schema.attr_names().collect::<Vec<_>>(),
+            fresh.schema.attr_names().collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn planned_rejects_non_isomorphic_query() {
+        let c = catalog();
+        let a = parse_query("q(T) :- course(I, T, D)").unwrap();
+        let b = parse_query("q(P) :- teaches(P, I)").unwrap();
+        let plan = crate::plan::plan_cq(&a, &c);
+        assert!(eval_cq_bag_planned(&b, &plan, &c).is_err());
+    }
+
+    #[test]
+    fn trace_reports_per_step_binding_counts() {
+        let c = catalog();
+        let q = parse_query("q(T) :- course(I, T, 'cs'), teaches(P, I)").unwrap();
+        let plan = crate::plan::plan_cq(&q, &c);
+        let (r, trace) = eval_cq_bag_traced(&q, &plan, &c).unwrap();
+        assert_eq!(trace.len(), plan.order.len());
+        assert_eq!(*trace.last().unwrap(), r.len());
+    }
+
+    #[test]
+    fn naive_union_matches_planned_union() {
+        let c = catalog();
+        let u = UnionQuery {
+            disjuncts: vec![
+                parse_query("q(T) :- gone.course(I, T)").unwrap(),
+                parse_query("q(T) :- course(I, T, 'cs')").unwrap(),
+                parse_query("q(T) :- course(I, T, D)").unwrap(),
+            ],
+        };
+        assert_eq!(
+            eval_union(&u, &c).unwrap().sorted().rows(),
+            eval_naive_union(&u, &c).unwrap().sorted().rows(),
+        );
     }
 }

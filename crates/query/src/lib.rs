@@ -12,8 +12,12 @@
 //! * [`unify`] — substitutions and homomorphism search between atom sets.
 //! * [`containment`] — query containment and equivalence via containment
 //!   mappings (the canonical-database test), plus query [`minimize`].
-//! * [`eval`] — evaluation of (unions of) conjunctive queries over a
-//!   [`revere_storage::Catalog`], with greedy join ordering.
+//! * [`plan`] — statistics-driven join planning: explainable, cacheable
+//!   [`Plan`]s costed from catalog statistics, with the historical greedy
+//!   heuristic kept as an ablation baseline.
+//! * [`eval`] — plan-driven evaluation of (unions of) conjunctive queries
+//!   over a [`revere_storage::Catalog`], plus the nested-loop
+//!   [`eval_naive`] differential oracle.
 //! * [`unfold`] — global-as-view unfolding of defined relations.
 //! * [`minicon`] — the MiniCon algorithm for answering queries using views
 //!   (local-as-view rewriting).
@@ -29,12 +33,17 @@ pub mod eval;
 pub mod glav;
 pub mod minicon;
 pub mod parse;
+pub mod plan;
 pub mod unfold;
 pub mod unify;
 
 pub use ast::{Atom, CmpOp, Comparison, ConjunctiveQuery, Term, UnionQuery};
 pub use containment::{contained_in, equivalent, minimize};
-pub use eval::{eval_cq, eval_cq_bag, eval_union, Source};
+pub use eval::{
+    eval_cq, eval_cq_bag, eval_cq_bag_planned, eval_cq_bag_traced, eval_naive, eval_naive_bag,
+    eval_naive_union, eval_union, eval_union_with, Source,
+};
+pub use plan::{plan_cq, plan_cq_with, Plan, PlanStep, Strategy};
 pub use glav::GlavMapping;
 pub use minicon::rewrite_using_views;
 pub use parse::parse_query;

@@ -66,19 +66,22 @@ pub mod prelude {
     };
     pub use revere_pdms::fault::{FaultPlan, FaultSpec, RetryPolicy};
     pub use revere_pdms::{
-        apply_once, maintain, CompletenessReport, GramInbox, MaintenanceChoice, MaterializedView,
-        PdmsNetwork, Peer, QueryBudget, QueryOutcome, ReformulateOptions, Reformulator,
-        ReliableLink, SequencedGram, Updategram, XmlMapping,
+        apply_once, maintain, CacheStats, CompletenessReport, GramInbox, MaintenanceChoice,
+        MaterializedView, PdmsNetwork, Peer, QueryBudget, QueryOutcome, ReformulateOptions,
+        Reformulator, ReliableLink, SequencedGram, Updategram, XmlMapping,
     };
     pub use revere_query::{
-        contained_in, eval_cq, eval_union, minimize, parse_query, ConjunctiveQuery, GlavMapping,
-        UnionQuery,
+        contained_in, eval_cq, eval_cq_bag, eval_cq_bag_planned, eval_cq_bag_traced, eval_naive,
+        eval_naive_bag, eval_naive_union, eval_union, minimize, parse_query, plan_cq, plan_cq_with,
+        rewrite_using_views, unfold_with, ConjunctiveQuery, GlavMapping, Plan, Strategy,
+        UnionQuery, ViewDef,
     };
     pub use revere_storage::{
         Catalog, DbSchema, RelSchema, Relation, TripleStore, Value,
     };
     pub use revere_workload::{
-        PageGenerator, Topology, TopologyKind, University, UniversityGenerator,
+        course_templates, PageGenerator, QueryMix, Topology, TopologyKind, University,
+        UniversityGenerator,
     };
     pub use revere_xml::{parse as parse_xml, Document, Dtd, Path as XmlPath};
 }

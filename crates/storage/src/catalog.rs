@@ -22,14 +22,26 @@
 
 use crate::relation::Relation;
 use crate::schema::{DbSchema, RelSchema};
+use crate::stats::RelStats;
 use crate::value::Value;
 use std::collections::BTreeMap;
 use std::sync::{Arc, RwLock};
 
 /// A named collection of relations.
+///
+/// The catalog also owns the planner-facing metadata for its relations:
+/// incremental [`RelStats`] per relation (see [`crate::stats`]) and a
+/// *stats epoch*, a counter bumped on every mutation. Plan caches key on
+/// the epoch, so a cached plan can never outlive the statistics it was
+/// costed against.
 #[derive(Debug, Default, Clone)]
 pub struct Catalog {
     relations: BTreeMap<String, Relation>,
+    /// Clean statistics per relation. A relation mutated through
+    /// [`Catalog::get_mut`] loses its entry (the mutation is opaque) until
+    /// the next [`Catalog::analyze`] or re-registration.
+    stats: BTreeMap<String, RelStats>,
+    epoch: u64,
 }
 
 impl Catalog {
@@ -38,9 +50,13 @@ impl Catalog {
         Self::default()
     }
 
-    /// Register (or replace) a relation under its schema name.
+    /// Register (or replace) a relation under its schema name. Statistics
+    /// are computed in the same pass that hands the relation over.
     pub fn register(&mut self, rel: Relation) {
-        self.relations.insert(rel.schema.name.clone(), rel);
+        let name = rel.schema.name.clone();
+        self.stats.insert(name.clone(), RelStats::compute(&rel));
+        self.relations.insert(name, rel);
+        self.epoch += 1;
     }
 
     /// Create an empty relation under the given schema.
@@ -54,20 +70,62 @@ impl Catalog {
     }
 
     /// Mutably borrow a relation.
+    ///
+    /// The caller may mutate arbitrarily, so the relation's cached
+    /// statistics are invalidated and the stats epoch bumped; call
+    /// [`Catalog::analyze`] afterwards to rebuild them (the planner falls
+    /// back to raw row counts in the meantime).
     pub fn get_mut(&mut self, name: &str) -> Option<&mut Relation> {
-        self.relations.get_mut(name)
+        let r = self.relations.get_mut(name);
+        if r.is_some() {
+            self.stats.remove(name);
+            self.epoch += 1;
+        }
+        r
     }
 
     /// Insert a row into a named relation. Returns `false` if the relation
-    /// does not exist.
+    /// does not exist. Statistics follow incrementally — no rescan.
     pub fn insert(&mut self, rel: &str, row: Vec<Value>) -> bool {
         match self.relations.get_mut(rel) {
             Some(r) => {
+                if let Some(s) = self.stats.get_mut(rel) {
+                    s.note_insert(&row);
+                }
                 r.insert(row);
+                self.epoch += 1;
                 true
             }
             None => false,
         }
+    }
+
+    /// Current statistics for a relation, if clean. `None` for unknown
+    /// relations and for relations dirtied via [`Catalog::get_mut`].
+    pub fn rel_stats(&self, name: &str) -> Option<&RelStats> {
+        self.stats.get(name)
+    }
+
+    /// Recompute statistics for every relation that lacks a clean entry.
+    /// Returns how many relations were (re)analyzed.
+    pub fn analyze(&mut self) -> usize {
+        let mut analyzed = 0;
+        for (name, rel) in &self.relations {
+            if !self.stats.contains_key(name) {
+                self.stats.insert(name.clone(), RelStats::compute(rel));
+                analyzed += 1;
+            }
+        }
+        if analyzed > 0 {
+            self.epoch += 1;
+        }
+        analyzed
+    }
+
+    /// The stats epoch: strictly increases with every catalog mutation
+    /// (register/create/insert/`get_mut`/analyze). Cache keys include it.
+    pub fn stats_epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Relation names in sorted order.
@@ -127,6 +185,11 @@ impl SharedCatalog {
     pub fn snapshot(&self, rel: &str) -> Option<Relation> {
         self.read(|c| c.get(rel).cloned())
     }
+
+    /// The wrapped catalog's stats epoch (see [`Catalog::stats_epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.read(Catalog::stats_epoch)
+    }
 }
 
 #[cfg(test)]
@@ -142,6 +205,56 @@ mod tests {
         assert!(!c.insert("nope", vec![Value::str("x")]));
         assert_eq!(c.get("course").unwrap().len(), 1);
         assert_eq!(c.total_rows(), 1);
+    }
+
+    #[test]
+    fn stats_follow_inserts_incrementally() {
+        let mut c = Catalog::new();
+        c.create(RelSchema::text("t", &["v"]));
+        let e0 = c.stats_epoch();
+        c.insert("t", vec![Value::str("a")]);
+        c.insert("t", vec![Value::str("a")]);
+        c.insert("t", vec![Value::str("b")]);
+        let s = c.rel_stats("t").expect("clean stats");
+        assert_eq!(s.rows, 3);
+        assert_eq!(s.distinct(0), 2);
+        assert_eq!(s.columns[0].count_of(&Value::str("a")), 2);
+        assert!(c.stats_epoch() > e0, "mutations bump the epoch");
+        assert!(c.rel_stats("missing").is_none());
+    }
+
+    #[test]
+    fn get_mut_dirties_stats_and_analyze_rebuilds() {
+        let mut c = Catalog::new();
+        c.create(RelSchema::text("t", &["v"]));
+        c.insert("t", vec![Value::str("a")]);
+        let before = c.stats_epoch();
+        c.get_mut("t").unwrap().insert(vec![Value::str("b")]);
+        assert!(c.rel_stats("t").is_none(), "opaque mutation dirties stats");
+        assert!(c.stats_epoch() > before);
+        assert_eq!(c.analyze(), 1);
+        let s = c.rel_stats("t").unwrap();
+        assert_eq!(s.rows, 2);
+        assert_eq!(s.distinct(0), 2);
+        // A second analyze is a no-op and leaves the epoch alone.
+        let stable = c.stats_epoch();
+        assert_eq!(c.analyze(), 0);
+        assert_eq!(c.stats_epoch(), stable);
+    }
+
+    #[test]
+    fn register_computes_stats_in_one_pass() {
+        let mut c = Catalog::new();
+        let mut r = Relation::new(RelSchema::text("t", &["v"]));
+        r.insert(vec![Value::str("x")]);
+        r.insert(vec![Value::str("x")]);
+        c.register(r);
+        assert_eq!(c.rel_stats("t").unwrap().columns[0].count_of(&Value::str("x")), 2);
+        // SharedCatalog exposes the epoch for cache keys.
+        let shared = SharedCatalog::new(c);
+        let e = shared.epoch();
+        shared.write(|c| c.insert("t", vec![Value::str("y")]));
+        assert!(shared.epoch() > e);
     }
 
     #[test]

@@ -16,12 +16,16 @@
 //!   annotations into, with SPO/POS/OSP indexes (our stand-in for Jena \[33\]).
 //! * [`catalog`] — a named collection of relations, plus a thread-safe
 //!   shared wrapper used by the PDMS peers.
+//! * [`stats`] — incremental per-relation/per-column statistics (row,
+//!   distinct and value-frequency counts) behind the catalog's stats
+//!   epoch; what the query planner costs join orders with.
 
 pub mod catalog;
 pub mod engine;
 pub mod index;
 pub mod relation;
 pub mod schema;
+pub mod stats;
 pub mod triples;
 pub mod value;
 
@@ -30,5 +34,6 @@ pub use engine::{AggFn, Predicate};
 pub use index::HashIndex;
 pub use relation::{Relation, Tuple};
 pub use schema::{AttrType, Attribute, DbSchema, RelSchema};
+pub use stats::{ColumnStats, RelStats};
 pub use triples::{Triple, TripleStore};
 pub use value::Value;

@@ -97,6 +97,15 @@ impl Relation {
         self.rows.iter().any(|r| r == row)
     }
 
+    /// Bag-preserving sorted copy: same multiset of rows in a canonical
+    /// order. Two evaluations are bag-equivalent iff their `sorted()`
+    /// rows are equal — what the differential query oracle compares.
+    pub fn sorted(&self) -> Relation {
+        let mut rows = self.rows.clone();
+        rows.sort();
+        Relation { schema: self.schema.clone(), rows }
+    }
+
     /// Set-semantics copy: duplicates removed, rows sorted.
     pub fn distinct(&self) -> Relation {
         let set: BTreeSet<&Tuple> = self.rows.iter().collect();

@@ -1,0 +1,193 @@
+//! Per-relation / per-column data statistics.
+//!
+//! §3.1.2 sketches a cost-based choice between maintenance strategies;
+//! the same discipline applies to join ordering: "answering queries most
+//! efficiently" needs estimates of how many tuples each subgoal will
+//! produce. [`RelStats`] keeps, for every column of a relation, the row
+//! count, the distinct-value count, and the full value-frequency
+//! histogram (whose top-k projection is the classic most-common-values
+//! list). Statistics are maintained *incrementally* on insert/delete —
+//! the planner never pays a scan to stay informed — and exposed through
+//! [`crate::Catalog`], which also carries a monotonically increasing
+//! *stats epoch* so plan caches can tell fresh estimates from stale ones.
+
+use crate::relation::{Relation, Tuple};
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// Frequency statistics for one column.
+///
+/// The histogram is exact (this is an in-memory engine; relations are
+/// small enough that a full value→count map is cheaper than the sketches
+/// a disk-based system would use). [`ColumnStats::most_common`] projects
+/// the MCV list a traditional optimizer would persist.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ColumnStats {
+    counts: BTreeMap<Value, usize>,
+}
+
+impl ColumnStats {
+    /// Number of distinct values currently in the column.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Occurrences of `v` in the column (0 if absent).
+    pub fn count_of(&self, v: &Value) -> usize {
+        self.counts.get(v).copied().unwrap_or(0)
+    }
+
+    /// The `k` most common values with their counts, most frequent first
+    /// (ties broken by value order, so the list is deterministic).
+    pub fn most_common(&self, k: usize) -> Vec<(&Value, usize)> {
+        let mut all: Vec<(&Value, usize)> = self.counts.iter().map(|(v, &c)| (v, c)).collect();
+        all.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        all.truncate(k);
+        all
+    }
+
+    fn note(&mut self, v: &Value, delta: isize) {
+        let c = self.counts.entry(v.clone()).or_insert(0);
+        if delta >= 0 {
+            *c += delta as usize;
+        } else {
+            *c = c.saturating_sub((-delta) as usize);
+            if *c == 0 {
+                self.counts.remove(v);
+            }
+        }
+    }
+}
+
+/// Statistics for one relation: row count plus per-column histograms.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RelStats {
+    /// Current row count (bag cardinality).
+    pub rows: usize,
+    /// One [`ColumnStats`] per schema column, in schema order.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl RelStats {
+    /// Compute statistics from scratch with one scan.
+    pub fn compute(rel: &Relation) -> RelStats {
+        let mut s = RelStats {
+            rows: 0,
+            columns: vec![ColumnStats::default(); rel.schema.arity()],
+        };
+        for row in rel.iter() {
+            s.note_insert(row);
+        }
+        s
+    }
+
+    /// Account for one appended row.
+    pub fn note_insert(&mut self, row: &Tuple) {
+        self.rows += 1;
+        for (col, v) in self.columns.iter_mut().zip(row) {
+            col.note(v, 1);
+        }
+    }
+
+    /// Account for one removed row.
+    pub fn note_delete(&mut self, row: &Tuple) {
+        self.rows = self.rows.saturating_sub(1);
+        for (col, v) in self.columns.iter_mut().zip(row) {
+            col.note(v, -1);
+        }
+    }
+
+    /// Distinct values in column `col` (0 for out-of-range columns).
+    pub fn distinct(&self, col: usize) -> usize {
+        self.columns.get(col).map(ColumnStats::distinct).unwrap_or(0)
+    }
+
+    /// Estimated fraction of rows whose column `col` equals `v`.
+    ///
+    /// The histogram is exact, so a present value gets its true
+    /// frequency. An absent value truly matches nothing *right now*, but
+    /// the estimate stays a small positive floor rather than zero: the
+    /// planner uses these numbers to rank join orders, and a hard zero
+    /// would make every order look equally (and misleadingly) free.
+    pub fn selectivity_eq(&self, col: usize, v: &Value) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        match self.columns.get(col).map(|c| c.count_of(v)) {
+            Some(n) if n > 0 => n as f64 / self.rows as f64,
+            _ => 0.5 / self.rows as f64,
+        }
+    }
+
+    /// Estimated fraction of rows where columns `a` and `b` hold the same
+    /// value (a within-atom self-join): `1 / max(distinct(a), distinct(b))`.
+    pub fn selectivity_self_join(&self, a: usize, b: usize) -> f64 {
+        let d = self.distinct(a).max(self.distinct(b)).max(1);
+        1.0 / d as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelSchema;
+
+    fn rel() -> Relation {
+        let mut r = Relation::new(RelSchema::text("t", &["a", "b"]));
+        r.insert(vec!["x".into(), "1".into()]);
+        r.insert(vec!["x".into(), "2".into()]);
+        r.insert(vec!["y".into(), "1".into()]);
+        r
+    }
+
+    #[test]
+    fn compute_counts_rows_and_distincts() {
+        let s = RelStats::compute(&rel());
+        assert_eq!(s.rows, 3);
+        assert_eq!(s.distinct(0), 2);
+        assert_eq!(s.distinct(1), 2);
+        assert_eq!(s.columns[0].count_of(&"x".into()), 2);
+    }
+
+    #[test]
+    fn incremental_matches_recompute() {
+        let mut r = rel();
+        let mut s = RelStats::compute(&r);
+        let row = vec![Value::str("z"), Value::str("1")];
+        r.insert(row.clone());
+        s.note_insert(&row);
+        assert_eq!(s, RelStats::compute(&r));
+        let gone = vec![Value::str("x"), Value::str("1")];
+        r.delete(&gone);
+        s.note_delete(&gone);
+        assert_eq!(s, RelStats::compute(&r));
+    }
+
+    #[test]
+    fn most_common_is_deterministic_and_sorted() {
+        let s = RelStats::compute(&rel());
+        let mcv = s.columns[0].most_common(2);
+        assert_eq!(mcv[0], (&Value::str("x"), 2));
+        assert_eq!(mcv[1], (&Value::str("y"), 1));
+        assert_eq!(s.columns[0].most_common(1).len(), 1);
+    }
+
+    #[test]
+    fn selectivities() {
+        let s = RelStats::compute(&rel());
+        assert!((s.selectivity_eq(0, &"x".into()) - 2.0 / 3.0).abs() < 1e-9);
+        // Absent value: small positive floor, not zero.
+        let absent = s.selectivity_eq(0, &"nope".into());
+        assert!(absent > 0.0 && absent < 0.2);
+        assert!((s.selectivity_self_join(0, 1) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_relation_stats() {
+        let r = Relation::new(RelSchema::text("t", &["a"]));
+        let s = RelStats::compute(&r);
+        assert_eq!(s.rows, 0);
+        assert_eq!(s.distinct(0), 0);
+        assert_eq!(s.selectivity_eq(0, &"x".into()), 0.0);
+    }
+}

@@ -14,13 +14,17 @@
 //!   tree, connected random) for the Figure 2 experiments.
 //! * [`htmlgen`] — annotated course / people HTML pages with controlled
 //!   heterogeneity and dirty-data injection for the MANGROVE experiments.
+//! * [`querymix`] — Zipf-skewed repeated-query traces for the caching
+//!   experiments ("plan once, run many").
 
 pub mod htmlgen;
 pub mod ontology;
+pub mod querymix;
 pub mod topology;
 pub mod univ;
 
 pub use htmlgen::{DirtSpec, GeneratedPage, PageGenerator};
 pub use ontology::{Concept, Ontology};
+pub use querymix::{course_templates, QueryMix};
 pub use topology::{Topology, TopologyKind};
 pub use univ::{GroundTruth, University, UniversityGenerator};

@@ -1,0 +1,139 @@
+//! Skewed repeated-query workloads.
+//!
+//! Real query traffic repeats: a few information needs dominate while a
+//! long tail is asked once. That repetition is exactly what the PDMS's
+//! reformulation/plan caches exploit, so the E13 experiment needs a
+//! workload whose repetition is controlled. [`QueryMix`] draws query
+//! *templates* under a Zipf(s) distribution over their rank —
+//! `P(rank i) ∝ 1/(i+1)^s` — deterministically from a seed, like every
+//! other generator in this crate.
+
+use revere_util::{RngExt, SeedableRng, StdRng};
+
+/// A seeded Zipf-skewed sampler over query template strings.
+#[derive(Debug, Clone)]
+pub struct QueryMix {
+    templates: Vec<String>,
+    /// Cumulative (unnormalized) Zipf weights, parallel to `templates`.
+    cumulative: Vec<f64>,
+    rng: StdRng,
+}
+
+impl QueryMix {
+    /// A mix over `templates` where the template at rank `i` is drawn
+    /// with probability proportional to `1/(i+1)^s`. `s = 0.0` is the
+    /// uniform mix; `s ≥ 1.0` concentrates most draws on the head.
+    ///
+    /// # Panics
+    /// Panics when `templates` is empty.
+    pub fn zipf(templates: Vec<String>, s: f64, seed: u64) -> Self {
+        assert!(!templates.is_empty(), "QueryMix needs at least one template");
+        let mut acc = 0.0;
+        let cumulative = (0..templates.len())
+            .map(|i| {
+                acc += 1.0 / ((i + 1) as f64).powf(s);
+                acc
+            })
+            .collect();
+        QueryMix { templates, cumulative, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The templates, in rank order.
+    pub fn templates(&self) -> &[String] {
+        &self.templates
+    }
+
+    /// Draw the rank of the next query.
+    pub fn next_rank(&mut self) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x = self.rng.random_f64() * total;
+        self.cumulative.partition_point(|&c| c <= x).min(self.templates.len() - 1)
+    }
+
+    /// Draw the next query.
+    pub fn next_query(&mut self) -> &str {
+        let rank = self.next_rank();
+        &self.templates[rank]
+    }
+
+    /// Draw a trace of `n` queries.
+    pub fn sample(&mut self, n: usize) -> Vec<String> {
+        (0..n).map(|_| self.next_query().to_string()).collect()
+    }
+}
+
+/// `n` distinct course-network query templates posed at `peer` (for the
+/// fixtures' `course(title, enrollment)` relations): a rotation of scans,
+/// selections with varying thresholds, enrollment self-joins, and
+/// constant-title probes (the shape where a cost-based join order beats
+/// the greedy one — the constant atom should lead, however it is written).
+pub fn course_templates(peer: &str, n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| {
+            let threshold = 10 + (i * 290) / n.max(1);
+            match i % 4 {
+                0 => format!("q(T, E) :- {peer}.course(T, E), E > {threshold}"),
+                1 => format!("q(T) :- {peer}.course(T, E), E < {threshold}"),
+                2 => format!(
+                    "q(T, U) :- {peer}.course(T, E), {peer}.course(U, E), E > {threshold}"
+                ),
+                _ => format!(
+                    "q(U, E) :- {peer}.course(U, E), {peer}.course('Course 0 at {peer}', E), \
+                     E < {threshold}"
+                ),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix(s: f64, seed: u64) -> QueryMix {
+        QueryMix::zipf(course_templates("P0", 10), s, seed)
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let a = mix(1.2, 7).sample(100);
+        let b = mix(1.2, 7).sample(100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        assert_ne!(mix(1.2, 1).sample(100), mix(1.2, 2).sample(100));
+    }
+
+    #[test]
+    fn zipf_concentrates_on_the_head() {
+        let mut m = mix(1.5, 3);
+        let mut counts = vec![0usize; m.templates().len()];
+        for _ in 0..2000 {
+            counts[m.next_rank()] += 1;
+        }
+        assert!(counts[0] > counts[9] * 4, "{counts:?}");
+        // The head template dominates but the tail is still sampled.
+        assert!(counts.iter().filter(|&&c| c > 0).count() >= 5, "{counts:?}");
+    }
+
+    #[test]
+    fn zero_skew_is_roughly_uniform() {
+        let mut m = mix(0.0, 11);
+        let mut counts = vec![0usize; m.templates().len()];
+        for _ in 0..5000 {
+            counts[m.next_rank()] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(max - min < 300, "{counts:?}");
+    }
+
+    #[test]
+    fn templates_are_distinct_and_parse_shaped() {
+        let ts = course_templates("P3", 12);
+        let set: std::collections::BTreeSet<_> = ts.iter().collect();
+        assert_eq!(set.len(), ts.len());
+        assert!(ts.iter().all(|t| t.contains("P3.course")));
+    }
+}

@@ -17,4 +17,18 @@ for seed in ${REVERE_CHAOS_SEEDS:-7 42 1003}; do
     echo "chaos gate: seed $seed"
     REVERE_CHAOS_SEED="$seed" cargo test -q --offline -p revere --test chaos_pdms
 done
+
+# Differential gate: the planned evaluator must agree with the naive
+# oracle (answers and errors) and every rewriting layer must stay
+# containment-sound, under several fixed seeds. Override the seed set
+# with REVERE_DIFF_SEEDS="1 2 3" scripts/verify.sh
+for seed in ${REVERE_DIFF_SEEDS:-1 2 3}; do
+    echo "differential gate: seed $seed"
+    REVERE_DIFF_SEED="$seed" cargo test -q --offline -p revere --test differential_query
+done
+
+# E13 smoke: the plan/reformulation cache sweep must run end to end and
+# report a table (its internal asserts cross-check cached vs uncached
+# answers and cost-based vs greedy join work).
+cargo run --release --offline -p revere-bench --bin report E13
 echo "verify: OK"

@@ -1,0 +1,150 @@
+//! Integration: the PDMS reformulation/plan caches never serve stale
+//! answers.
+//!
+//! Every test drives two networks through the *same* sequence of queries
+//! and mutations — one with caching on (the default), one with
+//! `caching = false` — and asserts the answers stay byte-identical at
+//! every step. The mutations are exactly the ones the cache epochs must
+//! notice: adding a mapping, removing a peer, and updategram-driven data
+//! maintenance flowing through a peer's catalog.
+
+use revere::prelude::*;
+use revere::storage::Attribute;
+
+const QUERIES: [&str; 3] = [
+    "q(T, E) :- A.course(T, E)",
+    "q(T) :- A.course(T, E), E > 15",
+    "q(T, U) :- A.course(T, E), A.course(U, E)",
+];
+
+/// A three-peer line `A — B — C`, each peer holding a different-sized
+/// `course` relation; mappings are pure renamings along the line. With
+/// `last_mapping` false the `B — C` edge is left out (so a test can add
+/// it after warming the caches).
+fn build(caching: bool, last_mapping: bool) -> PdmsNetwork {
+    let mut net = PdmsNetwork::new();
+    net.caching = caching;
+    for (i, name) in ["A", "B", "C"].iter().enumerate() {
+        let mut p = Peer::new(*name);
+        let mut r = Relation::new(RelSchema::new(
+            "course",
+            vec![Attribute::text("title"), Attribute::int("enrollment")],
+        ));
+        for k in 0..3 + 2 * i {
+            r.insert(vec![
+                Value::str(format!("Course {k} at {name}")),
+                Value::Int((10 + 7 * i + 3 * k) as i64),
+            ]);
+        }
+        p.add_relation(r);
+        net.add_peer(p);
+    }
+    let edges: &[(&str, &str)] = if last_mapping { &[("A", "B"), ("B", "C")] } else { &[("A", "B")] };
+    for (i, (a, b)) in edges.iter().enumerate() {
+        net.add_mapping(
+            GlavMapping::parse(
+                format!("m{i}"),
+                *a,
+                *b,
+                &format!("m(T, E) :- {a}.course(T, E) ==> m(T, E) :- {b}.course(T, E)"),
+            )
+            .unwrap(),
+        );
+    }
+    net
+}
+
+fn rows(out: &QueryOutcome) -> Vec<Vec<Value>> {
+    out.answers.sorted().into_rows()
+}
+
+/// Run every probe query on both networks and assert byte-identical
+/// answers; returns the total row count (to assert mutations took effect).
+fn assert_identical(cached: &PdmsNetwork, plain: &PdmsNetwork, when: &str) -> usize {
+    let mut total = 0;
+    for q in QUERIES {
+        let a = cached.query_str("A", q).expect("cached query runs");
+        let b = plain.query_str("A", q).expect("uncached query runs");
+        assert_eq!(rows(&a), rows(&b), "{when}: `{q}` diverged from the uncached run");
+        total += a.answers.len();
+    }
+    total
+}
+
+#[test]
+fn warm_answers_are_byte_identical_and_actually_cached() {
+    let cached = build(true, true);
+    let plain = build(false, true);
+    let cold = assert_identical(&cached, &plain, "cold");
+    let warm = assert_identical(&cached, &plain, "warm");
+    assert_eq!(cold, warm);
+    let stats = cached.cache_stats();
+    assert_eq!(stats.reformulation_hits, QUERIES.len(), "second pass should be all hits");
+    assert!(stats.plan_hits > 0, "warm pass should reuse plans: {stats:?}");
+    // The uncached network must never have populated a cache.
+    assert_eq!(plain.cache_stats(), CacheStats::default());
+}
+
+#[test]
+fn adding_a_mapping_after_warmup_is_visible_immediately() {
+    let mut cached = build(true, false);
+    let mut plain = build(false, false);
+    let before = assert_identical(&cached, &plain, "before add_mapping");
+    for net in [&mut cached, &mut plain] {
+        net.try_add_mapping(
+            GlavMapping::parse(
+                "late",
+                "B",
+                "C",
+                "m(T, E) :- B.course(T, E) ==> m(T, E) :- C.course(T, E)",
+            )
+            .unwrap(),
+        )
+        .expect("both endpoints exist");
+    }
+    let after = assert_identical(&cached, &plain, "after add_mapping");
+    assert!(after > before, "C's rows should now reach A ({before} -> {after})");
+}
+
+#[test]
+fn removing_a_peer_after_warmup_stops_its_contribution() {
+    let mut cached = build(true, true);
+    let mut plain = build(false, true);
+    let before = assert_identical(&cached, &plain, "before remove_peer");
+    for net in [&mut cached, &mut plain] {
+        assert!(net.remove_peer("C").is_some());
+    }
+    let after = assert_identical(&cached, &plain, "after remove_peer");
+    assert!(after < before, "C's rows should be gone ({before} -> {after})");
+}
+
+#[test]
+fn updategram_maintenance_after_warmup_invalidates_warm_plans() {
+    let cached = build(true, true);
+    let plain = build(false, true);
+    let before = assert_identical(&cached, &plain, "before updategram");
+    // The same maintenance round on each network's copy of peer B: an
+    // updategram of new rows flows through `maintain`, which mutates the
+    // peer catalog (bumping its stats epoch) while bringing a local
+    // materialized view up to date.
+    let grams = vec![Updategram::inserts(
+        "B.course",
+        vec![
+            vec![Value::str("late-breaking seminar"), Value::Int(99)],
+            vec![Value::str("late-breaking colloquium"), Value::Int(12)],
+        ],
+    )];
+    for net in [&cached, &plain] {
+        let mut view = MaterializedView::new(
+            "B.popular",
+            parse_query("popular(T, E) :- B.course(T, E), E > 50").unwrap(),
+        );
+        net.peer("B").unwrap().storage.write(|c| {
+            view.refresh_full(c).expect("view refreshes");
+            maintain(c, &mut view, &grams, None).expect("maintenance applies");
+        });
+        assert_eq!(view.len(), 1, "the view saw the new row too");
+    }
+    let after = assert_identical(&cached, &plain, "after updategram");
+    assert!(after > before, "inserted rows should reach A ({before} -> {after})");
+}
