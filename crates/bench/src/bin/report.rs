@@ -16,9 +16,9 @@ fn main() {
         experiments::run_all()
     } else {
         ids.iter()
-            .map(|id| {
+            .flat_map(|id| {
                 experiments::run_one(id)
-                    .unwrap_or_else(|| panic!("unknown experiment {id:?} (use E1..E13)"))
+                    .unwrap_or_else(|| panic!("unknown experiment {id:?} (use E1..E14)"))
             })
             .collect()
     };

@@ -1,0 +1,279 @@
+//! E14: observability — estimator calibration and per-peer fetch cost.
+//!
+//! The obs layer (PR 5) exists to answer two questions the earlier
+//! experiments could only gesture at. First: *how well calibrated is the
+//! PR 3 cost model?* EXPLAIN ANALYZE records actual binding-table sizes
+//! next to the planner's estimates, so we can report the q-error
+//! distribution — `max(est/actual, actual/est)`, clamped at 1 — of every
+//! plan step the E13 workload executes, grouped by step depth (estimates
+//! compound multiplicatively, so error should grow with depth). Second:
+//! *where do the messages go under chaos?* The `pdms.fetch` spans carry
+//! per-peer attempt/message/drop/retry/latency annotations, so the E12
+//! chaos plan's cost can be broken down by owner peer instead of reported
+//! as one aggregate.
+//!
+//! Both tables are pure functions of the fixed seeds: E14a evaluates the
+//! E13 template pool against the same merged snapshot the planner's
+//! statistics describe, and E14b replays the E12 topology and fault plan
+//! with tracing enabled — the contract that enabling observability never
+//! changes answers is asserted in the sweep itself.
+
+use crate::fixtures::network_from_topology;
+use crate::table::Table;
+use revere_pdms::fault::{FaultPlan, FaultSpec};
+use revere_pdms::obs::Obs;
+use revere_query::plan::explain_analyze;
+use revere_workload::{course_templates, Topology, TopologyKind};
+use std::collections::BTreeMap;
+
+use super::e_chaos::CHAOS_SEED;
+use super::e_plancache::{plan_cache_network, PlanCacheConfig};
+
+/// The failure rate E14b replays from the E12 sweep (degraded but not
+/// collapsed: drops, retries, and unreachable peers all show up).
+pub const BREAKDOWN_RATE: f64 = 0.2;
+
+/// Calibration of the cost model on the E13 workload: every q-error of
+/// every executed plan step, as `(step depth, q_error)` with depth
+/// 1-based. Deterministic: the E13 seed fixes topology, data, and
+/// reformulation, and evaluation runs against the merged snapshot whose
+/// statistics the planner consumed.
+pub fn calibration_points() -> Vec<(usize, f64)> {
+    calibration_points_with(PlanCacheConfig::default())
+}
+
+/// Calibration at an explicit scale (tests run a smaller instance).
+pub fn calibration_points_with(cfg: PlanCacheConfig) -> Vec<(usize, f64)> {
+    let net = plan_cache_network(&cfg);
+    let snapshot = net.snapshot_all();
+    let mut points = Vec::new();
+    for q in course_templates("P0", cfg.templates) {
+        let out = net.query_str("P0", &q).expect("template query runs");
+        for d in &out.reformulation.union.disjuncts {
+            let ea = explain_analyze(d, &snapshot).expect("disjunct evaluates");
+            for (depth, q_err) in ea.q_errors().into_iter().enumerate() {
+                points.push((depth + 1, q_err));
+            }
+        }
+    }
+    points
+}
+
+/// One row of the E14a table: the q-error distribution at one step depth.
+pub struct CalibrationRow {
+    /// 1-based step depth within a plan.
+    pub depth: usize,
+    /// Executed plan steps at this depth.
+    pub steps: usize,
+    /// Median q-error.
+    pub median: f64,
+    /// 90th-percentile q-error.
+    pub p90: f64,
+    /// Worst q-error.
+    pub max: f64,
+    /// Fraction of steps with q-error ≤ 2.
+    pub within_2x: f64,
+}
+
+/// Nearest-rank percentile of a sorted slice (`p` in 0..=100).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx]
+}
+
+/// Group the calibration points by step depth.
+pub fn calibration_rows(points: &[(usize, f64)]) -> Vec<CalibrationRow> {
+    let mut by_depth: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
+    for &(depth, q) in points {
+        by_depth.entry(depth).or_default().push(q);
+    }
+    by_depth
+        .into_iter()
+        .map(|(depth, mut qs)| {
+            qs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let within = qs.iter().filter(|&&q| q <= 2.0).count();
+            CalibrationRow {
+                depth,
+                steps: qs.len(),
+                median: percentile(&qs, 50.0),
+                p90: percentile(&qs, 90.0),
+                max: *qs.last().unwrap(),
+                within_2x: within as f64 / qs.len() as f64,
+            }
+        })
+        .collect()
+}
+
+/// E14a — cost-model calibration: per-step q-error on the E13 workload.
+pub fn e14_calibration() -> Table {
+    let mut t = Table::new(
+        "E14a: cost-model calibration — q-error of estimated vs actual bindings by step depth \
+         (E13 workload)",
+        &["step depth", "steps", "median q", "p90 q", "max q", "within 2x"],
+    );
+    for r in calibration_rows(&calibration_points()) {
+        t.row(vec![
+            r.depth.to_string(),
+            r.steps.to_string(),
+            format!("{:.2}", r.median),
+            format!("{:.2}", r.p90),
+            format!("{:.2}", r.max),
+            format!("{:.0}%", r.within_2x * 100.0),
+        ]);
+    }
+    t
+}
+
+/// One `pdms.fetch` span under the chaos plan, keyed by the owner peer.
+pub struct FetchRow {
+    /// The peer that owns the fetched relation (or "-" for spans that
+    /// never resolved an owner).
+    pub owner: String,
+    /// Terminal outcome recorded on the span.
+    pub outcome: String,
+    /// Send attempts ("-" for local/unreachable-before-send outcomes).
+    pub attempts: String,
+    /// Messages charged to this fetch.
+    pub messages: String,
+    /// Requests lost in flight.
+    pub dropped: String,
+    /// Attempts beyond each first try.
+    pub retries: String,
+    /// Simulated latency ticks this fetch consumed.
+    pub latency_ticks: String,
+    /// Tuples delivered ("-" when nothing arrived).
+    pub tuples: String,
+}
+
+/// Replay the E12 query at [`BREAKDOWN_RATE`] with tracing enabled and
+/// break the fetch phase down per owner peer from the recorded spans.
+/// Also asserts the obs contract: the traced run returns exactly the
+/// answers and completeness of an untraced run.
+pub fn fetch_breakdown() -> Vec<FetchRow> {
+    let topology = Topology::generate(TopologyKind::Random { extra: 2 }, 16, 7);
+    let build = || {
+        let mut net = network_from_topology(&topology, 2);
+        net.faults = FaultPlan::new(FaultSpec::chaos(CHAOS_SEED, BREAKDOWN_RATE));
+        net
+    };
+    let q = "q(T, E) :- P0.course(T, E)";
+    let plain = build().query_str("P0", q).expect("chaos query runs");
+    let mut net = build();
+    net.obs = Obs::enabled();
+    let traced = net.query_str("P0", q).expect("chaos query runs");
+    assert_eq!(plain.answers, traced.answers, "tracing changed answers");
+    assert_eq!(plain.completeness, traced.completeness, "tracing changed completeness");
+
+    let arg = |s: &revere_pdms::obs::SpanRecord, k: &str| {
+        s.arg(k).map(str::to_string).unwrap_or_else(|| "-".into())
+    };
+    net.obs
+        .tracer()
+        .expect("obs enabled")
+        .spans()
+        .iter()
+        .filter(|s| s.name == "pdms.fetch")
+        .map(|s| FetchRow {
+            owner: arg(s, "owner"),
+            outcome: arg(s, "outcome"),
+            attempts: arg(s, "attempts"),
+            messages: arg(s, "messages"),
+            dropped: arg(s, "dropped"),
+            retries: arg(s, "retries"),
+            latency_ticks: arg(s, "latency_ticks"),
+            tuples: arg(s, "tuples"),
+        })
+        .collect()
+}
+
+/// E14b — per-peer fetch breakdown under the E12 chaos plan.
+pub fn e14_fetch_breakdown() -> Table {
+    let mut t = Table::new(
+        "E14b: per-peer fetch breakdown under chaos (E12 plan, fail rate 0.20), from pdms.fetch \
+         spans",
+        &[
+            "owner", "outcome", "attempts", "messages", "dropped", "retries", "latency ticks",
+            "tuples",
+        ],
+    );
+    for r in fetch_breakdown() {
+        t.row(vec![
+            r.owner,
+            r.outcome,
+            r.attempts,
+            r.messages,
+            r.dropped,
+            r.retries,
+            r.latency_ticks,
+            r.tuples,
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_points() -> Vec<(usize, f64)> {
+        calibration_points_with(PlanCacheConfig {
+            peers: 3,
+            rows_per_peer: 12,
+            templates: 8,
+            queries: 16,
+        })
+    }
+
+    #[test]
+    fn calibration_covers_multiple_depths_with_sane_q_errors() {
+        let rows = calibration_rows(&small_points());
+        assert!(rows.len() >= 2, "expected multi-step plans, got {} depths", rows.len());
+        for r in &rows {
+            assert!(r.steps > 0);
+            assert!(r.median >= 1.0, "q-error below 1 at depth {}", r.depth);
+            assert!(r.max >= r.p90 && r.p90 >= r.median, "unsorted stats at depth {}", r.depth);
+            assert!((0.0..=1.0).contains(&r.within_2x));
+        }
+        // Depth 1 is a plain scan: the estimator knows relation
+        // cardinalities exactly, so the first step is perfectly calibrated.
+        assert_eq!(rows[0].depth, 1);
+        assert!((rows[0].median - 1.0).abs() < 1e-9, "{}", rows[0].median);
+    }
+
+    #[test]
+    fn calibration_is_deterministic() {
+        let a = small_points();
+        let b = small_points();
+        assert_eq!(a.len(), b.len());
+        for ((da, qa), (db, qb)) in a.iter().zip(&b) {
+            assert_eq!(da, db);
+            assert_eq!(qa, qb);
+        }
+    }
+
+    #[test]
+    fn fetch_breakdown_sees_the_chaos() {
+        let rows = fetch_breakdown();
+        assert!(!rows.is_empty());
+        // The chaos dial at 0.2 actually degrades something.
+        assert!(
+            rows.iter().any(|r| r.outcome == "unreachable" || r.outcome == "owner_gone"),
+            "no degraded fetches at rate {BREAKDOWN_RATE}"
+        );
+        // And most of the overlay still delivers.
+        let delivered = rows.iter().filter(|r| r.outcome == "delivered").count();
+        assert!(delivered > rows.len() / 2, "{delivered}/{} delivered", rows.len());
+        // Remote outcomes carry the message accounting.
+        for r in rows.iter().filter(|r| r.outcome == "delivered") {
+            assert!(r.messages.parse::<usize>().unwrap() >= 2, "{}", r.messages);
+            assert!(r.latency_ticks.parse::<u64>().is_ok());
+        }
+    }
+
+    #[test]
+    fn fetch_breakdown_is_deterministic() {
+        let a = e14_fetch_breakdown();
+        let b = e14_fetch_breakdown();
+        assert_eq!(a.rows, b.rows);
+    }
+}

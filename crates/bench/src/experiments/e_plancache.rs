@@ -86,7 +86,7 @@ pub fn plan_cache_sweep() -> Vec<PlanCachePoint> {
 /// course relations (1×, 2×, 3× `rows_per_peer`, rotating) — reformulated
 /// disjuncts then mix large and small relations in one body, which is
 /// what makes join-order choices visible.
-fn plan_cache_network(cfg: &PlanCacheConfig) -> PdmsNetwork {
+pub(crate) fn plan_cache_network(cfg: &PlanCacheConfig) -> PdmsNetwork {
     let topology =
         Topology::generate(TopologyKind::Random { extra: 2 }, cfg.peers, PLANCACHE_SEED);
     network_with_rows(&topology, |i| cfg.rows_per_peer * (1 + i % 3))

@@ -1,8 +1,9 @@
-//! The E1–E13 experiments (see DESIGN.md §2 for the paper anchors).
+//! The E1–E14 experiments (see DESIGN.md §2 for the paper anchors).
 
 pub mod e_chaos;
 pub mod e_corpus;
 pub mod e_mangrove;
+pub mod e_obs;
 pub mod e_pdms;
 pub mod e_placement;
 pub mod e_plancache;
@@ -26,25 +27,30 @@ pub fn run_all() -> Vec<Table> {
         e_placement::e11_placement(),
         e_chaos::e12_chaos(),
         e_plancache::e13_plan_cache(),
+        e_obs::e14_calibration(),
+        e_obs::e14_fetch_breakdown(),
     ]
 }
 
-/// Run one experiment by id (`"E1"`..`"E13"`).
-pub fn run_one(id: &str) -> Option<Table> {
+/// Run one experiment by id (`"E1"`..`"E14"`). An experiment may produce
+/// more than one table (E14 reports calibration and the fetch breakdown).
+pub fn run_one(id: &str) -> Option<Vec<Table>> {
+    let one = |t: Table| Some(vec![t]);
     match id.to_ascii_uppercase().as_str() {
-        "E1" => Some(e_pdms::e1_reachability()),
-        "E2" => Some(e_pdms::e2_reformulation_pruning()),
-        "E3" => Some(e_pdms::e3_xml_mapping()),
-        "E4" => Some(e_mangrove::e4_instant_gratification()),
-        "E5" => Some(e_mangrove::e5_cleaning_policies()),
-        "E6" => Some(e_corpus::e6_matching_accuracy()),
-        "E7" => Some(e_corpus::e7_design_advisor()),
-        "E8" => Some(e_views::e8_updategrams()),
-        "E9" => Some(e_corpus::e9_stats_scaling()),
-        "E10" => Some(e_corpus::e10_join_effort()),
-        "E11" => Some(e_placement::e11_placement()),
-        "E12" => Some(e_chaos::e12_chaos()),
-        "E13" => Some(e_plancache::e13_plan_cache()),
+        "E1" => one(e_pdms::e1_reachability()),
+        "E2" => one(e_pdms::e2_reformulation_pruning()),
+        "E3" => one(e_pdms::e3_xml_mapping()),
+        "E4" => one(e_mangrove::e4_instant_gratification()),
+        "E5" => one(e_mangrove::e5_cleaning_policies()),
+        "E6" => one(e_corpus::e6_matching_accuracy()),
+        "E7" => one(e_corpus::e7_design_advisor()),
+        "E8" => one(e_views::e8_updategrams()),
+        "E9" => one(e_corpus::e9_stats_scaling()),
+        "E10" => one(e_corpus::e10_join_effort()),
+        "E11" => one(e_placement::e11_placement()),
+        "E12" => one(e_chaos::e12_chaos()),
+        "E13" => one(e_plancache::e13_plan_cache()),
+        "E14" => Some(vec![e_obs::e14_calibration(), e_obs::e14_fetch_breakdown()]),
         _ => None,
     }
 }

@@ -40,6 +40,11 @@ pub mod xmlmap;
 /// [`fault::FaultPlan`] the network and propagation layers execute under.
 pub use revere_util::fault;
 
+/// Observability (re-exported from `revere-util`): the [`obs::Obs`] handle
+/// the network, evaluation, and propagation layers record spans and
+/// metrics through when tracing is enabled.
+pub use revere_util::obs;
+
 pub use network::{CacheStats, CompletenessReport, PdmsNetwork, QueryBudget, QueryOutcome};
 pub use peer::Peer;
 pub use placement::{answer_with_plan, plan_placement, PlacementPlan, WorkloadEntry};

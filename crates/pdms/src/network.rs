@@ -28,7 +28,10 @@ use revere_query::plan::{plan_cq, Plan};
 use revere_query::{parse_query, ConjunctiveQuery, Source, UnionQuery};
 use revere_storage::{Catalog, Relation};
 use revere_util::fault::{Fate, FaultPlan, RetryPolicy};
+use revere_util::obs::{Obs, SpanHandle};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+use std::str::FromStr;
 use std::sync::Mutex;
 
 /// The PDMS: peers plus the shared mapping graph.
@@ -48,6 +51,11 @@ pub struct PdmsNetwork {
     /// Turning it off makes every query plan from scratch — the baseline
     /// the cache-invalidation tests compare byte-for-byte against.
     pub caching: bool,
+    /// Observability handle. [`Obs::disabled`] (the default) records
+    /// nothing; an enabled handle collects per-query spans
+    /// (reformulation, per-relation fetch, per-disjunct evaluation) and
+    /// `pdms.*` metrics. Enabling it never changes answers.
+    pub obs: Obs,
     /// Bumped on every membership or mapping-graph change; part of the
     /// cache validity epoch (peer data changes are caught separately via
     /// each peer catalog's stats epoch).
@@ -65,6 +73,7 @@ impl Default for PdmsNetwork {
             retry: RetryPolicy::default(),
             budget: QueryBudget::default(),
             caching: true,
+            obs: Obs::disabled(),
             topology_epoch: 0,
             caches: Mutex::new(Caches::default()),
         }
@@ -82,6 +91,44 @@ pub struct CacheStats {
     pub plan_hits: usize,
     /// Disjuncts planned from scratch.
     pub plan_misses: usize,
+}
+
+impl fmt::Display for CacheStats {
+    /// Canonical `key=value` line; [`CacheStats::from_str`] is the exact
+    /// inverse.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reformulation_hits={} reformulation_misses={} plan_hits={} plan_misses={}",
+            self.reformulation_hits, self.reformulation_misses, self.plan_hits, self.plan_misses
+        )
+    }
+}
+
+impl FromStr for CacheStats {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut out = CacheStats::default();
+        for (key, value) in kv_fields(s)? {
+            let n: usize = value.parse().map_err(|_| format!("bad count in {key}={value}"))?;
+            match key {
+                "reformulation_hits" => out.reformulation_hits = n,
+                "reformulation_misses" => out.reformulation_misses = n,
+                "plan_hits" => out.plan_hits = n,
+                "plan_misses" => out.plan_misses = n,
+                other => return Err(format!("unknown CacheStats field {other:?}")),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Split a canonical `k=v k=v ...` line into pairs.
+fn kv_fields(s: &str) -> Result<Vec<(&str, &str)>, String> {
+    s.split_whitespace()
+        .map(|field| field.split_once('=').ok_or_else(|| format!("field {field:?} is not key=value")))
+        .collect()
 }
 
 /// The epoch-guarded caches behind [`PdmsNetwork::query`]. Entries are
@@ -153,6 +200,57 @@ impl CompletenessReport {
         } else {
             (self.disjuncts_total - self.disjuncts_dropped) as f64 / self.disjuncts_total as f64
         }
+    }
+}
+
+impl fmt::Display for CompletenessReport {
+    /// Canonical single-line `key=value` serialization;
+    /// [`CompletenessReport::from_str`] is the exact inverse. Set fields
+    /// render comma-joined (peer and relation names never contain commas
+    /// or whitespace in this workspace), empty sets as an empty value.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let join = |set: &BTreeSet<String>| set.iter().cloned().collect::<Vec<_>>().join(",");
+        write!(
+            f,
+            "disjuncts_total={} disjuncts_dropped={} peers_unreachable={} relations_missing={} \
+             retries={} messages_dropped={} latency_ticks={} budget_exhausted={} deadline_exceeded={}",
+            self.disjuncts_total,
+            self.disjuncts_dropped,
+            join(&self.peers_unreachable),
+            join(&self.relations_missing),
+            self.retries,
+            self.messages_dropped,
+            self.latency_ticks,
+            self.budget_exhausted,
+            self.deadline_exceeded,
+        )
+    }
+}
+
+impl FromStr for CompletenessReport {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let split_set = |v: &str| -> BTreeSet<String> {
+            v.split(',').filter(|p| !p.is_empty()).map(str::to_string).collect()
+        };
+        let mut out = CompletenessReport::default();
+        for (key, value) in kv_fields(s)? {
+            let bad = || format!("bad value in {key}={value}");
+            match key {
+                "disjuncts_total" => out.disjuncts_total = value.parse().map_err(|_| bad())?,
+                "disjuncts_dropped" => out.disjuncts_dropped = value.parse().map_err(|_| bad())?,
+                "peers_unreachable" => out.peers_unreachable = split_set(value),
+                "relations_missing" => out.relations_missing = split_set(value),
+                "retries" => out.retries = value.parse().map_err(|_| bad())?,
+                "messages_dropped" => out.messages_dropped = value.parse().map_err(|_| bad())?,
+                "latency_ticks" => out.latency_ticks = value.parse().map_err(|_| bad())?,
+                "budget_exhausted" => out.budget_exhausted = value.parse().map_err(|_| bad())?,
+                "deadline_exceeded" => out.deadline_exceeded = value.parse().map_err(|_| bad())?,
+                other => return Err(format!("unknown CompletenessReport field {other:?}")),
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -305,10 +403,13 @@ impl PdmsNetwork {
     }
 
     /// Reformulate through the cache. On an epoch mismatch the whole cache
-    /// is cleared first, so a stale entry can never be served.
-    fn reformulate_cached(&self, q: &ConjunctiveQuery) -> ReformulationResult {
+    /// is cleared first, so a stale entry can never be served. The second
+    /// return is the cache verdict ("hit" / "miss" / "bypass"), recorded
+    /// on the query's reformulation span.
+    fn reformulate_cached(&self, q: &ConjunctiveQuery) -> (ReformulationResult, &'static str) {
         if !self.caching {
-            return Reformulator::new(self.mappings.clone(), self.options.clone()).reformulate(q);
+            let r = Reformulator::new(self.mappings.clone(), self.options.clone()).reformulate(q);
+            return (r, "bypass");
         }
         let epoch = self.cache_epoch();
         let key = format!("{:?}|{q}", self.options);
@@ -321,7 +422,7 @@ impl PdmsNetwork {
             }
             if let Some(r) = caches.reformulations.get(&key).cloned() {
                 caches.stats.reformulation_hits += 1;
-                return r;
+                return (r, "hit");
             }
             caches.stats.reformulation_misses += 1;
         }
@@ -331,16 +432,22 @@ impl PdmsNetwork {
         if caches.valid_for == epoch {
             caches.reformulations.insert(key, r.clone());
         }
-        r
+        (r, "miss")
     }
 
     /// Plan a disjunct through the cache. `cacheable` is false when the
     /// fetch phase was incomplete: a plan costed against partial staging
     /// data executes correctly but would poison the cache with statistics
     /// from a degraded view of the network.
-    fn plan_for(&self, d: &ConjunctiveQuery, staging: &Catalog, epoch: u64, cacheable: bool) -> Plan {
+    fn plan_for(
+        &self,
+        d: &ConjunctiveQuery,
+        staging: &Catalog,
+        epoch: u64,
+        cacheable: bool,
+    ) -> (Plan, &'static str) {
         if !self.caching {
-            return plan_cq(d, staging);
+            return (plan_cq(d, staging), "bypass");
         }
         {
             let mut caches = self.lock_caches();
@@ -348,7 +455,7 @@ impl PdmsNetwork {
                 if let Some(p) = caches.plans.get(&d.canonical_key()).cloned() {
                     if p.applies_to(d) {
                         caches.stats.plan_hits += 1;
-                        return p;
+                        return (p, "hit");
                     }
                 }
             }
@@ -361,14 +468,14 @@ impl PdmsNetwork {
                 caches.plans.insert(p.key().to_string(), p.clone());
             }
         }
-        p
+        (p, "miss")
     }
 
     /// Fetch phase, shared by [`PdmsNetwork::query`] and
     /// [`PdmsNetwork::query_parallel`]: snapshot every referenced relation
     /// that survives the network weather, accounting for every message,
     /// retry, and gap along the way.
-    fn fetch_phase(&self, at_peer: &str, union: &UnionQuery) -> Fetched {
+    fn fetch_phase(&self, at_peer: &str, union: &UnionQuery, parent: &SpanHandle) -> Fetched {
         let mut f = Fetched {
             staging: Catalog::new(),
             peers_contacted: BTreeSet::new(),
@@ -383,16 +490,27 @@ impl PdmsNetwork {
                 if !fetched.insert(a.relation.clone()) {
                     continue;
                 }
+                let span = parent.child("pdms.fetch");
+                span.set("relation", &a.relation);
+                // Per-relation accounting deltas, stamped on the span when
+                // the fetch resolves.
+                let msg0 = f.messages;
+                let dropped0 = f.completeness.messages_dropped;
+                let retries0 = f.completeness.retries;
+                let clock0 = clock;
                 let Some((owner, _)) = split_qualified(&a.relation) else {
                     // Unqualified relations have no owner to ask.
                     f.completeness.relations_missing.insert(a.relation.clone());
+                    span.set("outcome", "unqualified");
                     continue;
                 };
+                span.set("owner", owner);
                 let Some(peer) = self.peers.get(owner) else {
                     // Unknown or departed owner: the gap is reported, not
                     // silently absorbed into a smaller answer.
                     f.completeness.relations_missing.insert(a.relation.clone());
                     f.completeness.peers_unreachable.insert(owner.to_string());
+                    span.set("outcome", "owner_gone");
                     continue;
                 };
                 if owner == at_peer {
@@ -400,10 +518,13 @@ impl PdmsNetwork {
                     match peer.snapshot(&a.relation) {
                         Some(rel) => {
                             f.peers_contacted.insert(owner.to_string());
+                            span.set("outcome", "local");
+                            span.set("tuples", rel.len());
                             f.staging.register(rel);
                         }
                         None => {
                             f.completeness.relations_missing.insert(a.relation.clone());
+                            span.set("outcome", "local_missing");
                         }
                     }
                     continue;
@@ -413,24 +534,29 @@ impl PdmsNetwork {
                 // gap is recorded).
                 if !peer.stores(&a.relation) {
                     f.completeness.relations_missing.insert(a.relation.clone());
+                    span.set("outcome", "not_advertised");
                     continue;
                 }
                 // Remote fetch under the fault plan, with retry/backoff
                 // and the per-query budget.
                 let mut delivered = false;
+                let mut attempts = 0u32;
                 for attempt in 0..self.retry.attempts() {
                     if let Some(max) = self.budget.max_messages {
                         if f.messages >= max {
                             f.completeness.budget_exhausted = true;
+                            span.set("budget_exhausted", true);
                             break;
                         }
                     }
                     if let Some(deadline) = self.budget.deadline_ticks {
                         if clock >= deadline {
                             f.completeness.deadline_exceeded = true;
+                            span.set("deadline_exceeded", true);
                             break;
                         }
                     }
+                    attempts = attempt + 1;
                     if attempt > 0 {
                         f.completeness.retries += 1;
                     }
@@ -438,26 +564,34 @@ impl PdmsNetwork {
                         // Request into the void; wait out the timeout.
                         f.messages += 1;
                         f.completeness.messages_dropped += 1;
-                        clock += self.retry.backoff(attempt);
+                        let wait = self.retry.backoff(attempt);
+                        clock += wait;
+                        self.obs.advance(wait);
                         continue;
                     }
                     match self.faults.fate(owner, &a.relation, attempt) {
                         Fate::Dropped => {
                             f.messages += 1;
                             f.completeness.messages_dropped += 1;
-                            clock += self.retry.backoff(attempt);
+                            let wait = self.retry.backoff(attempt);
+                            clock += wait;
+                            self.obs.advance(wait);
                         }
                         Fate::Flaky => {
                             // Transient error response: request + error.
                             f.messages += 2;
-                            clock += self.retry.backoff(attempt);
+                            let wait = self.retry.backoff(attempt);
+                            clock += wait;
+                            self.obs.advance(wait);
                         }
                         Fate::Delivered { latency } => {
                             f.messages += 2;
                             clock += latency;
+                            self.obs.advance(latency);
                             if let Some(rel) = peer.snapshot(&a.relation) {
                                 f.peers_contacted.insert(owner.to_string());
                                 f.tuples_shipped += rel.len();
+                                span.set("tuples", rel.len());
                                 f.staging.register(rel);
                             }
                             delivered = true;
@@ -469,6 +603,18 @@ impl PdmsNetwork {
                     f.completeness.relations_missing.insert(a.relation.clone());
                     f.completeness.peers_unreachable.insert(owner.to_string());
                 }
+                if span.is_recording() {
+                    span.set("outcome", if delivered { "delivered" } else { "unreachable" });
+                    span.set("attempts", attempts);
+                    span.set("messages", f.messages - msg0);
+                    span.set("dropped", f.completeness.messages_dropped - dropped0);
+                    span.set("retries", f.completeness.retries - retries0);
+                    span.set("latency_ticks", clock - clock0);
+                }
+                self.obs.inc("pdms.fetch.messages", (f.messages - msg0) as u64);
+                self.obs.inc("pdms.fetch.dropped", (f.completeness.messages_dropped - dropped0) as u64);
+                self.obs.inc("pdms.fetch.retries", (f.completeness.retries - retries0) as u64);
+                self.obs.observe("pdms.fetch.latency_ticks", clock - clock0);
             }
         }
         f.completeness.latency_ticks = clock;
@@ -488,18 +634,41 @@ impl PdmsNetwork {
         if !self.peers.contains_key(at_peer) {
             return Err(format!("unknown peer {at_peer:?}"));
         }
+        let root = self.obs.span("pdms.query");
+        root.set("peer", at_peer);
+        root.set("query", q);
         let epoch = self.cache_epoch();
-        let reformulation = self.reformulate_cached(q);
-        let fetched = self.fetch_phase(at_peer, &reformulation.union);
+        let rspan = root.child("pdms.reformulate");
+        let (reformulation, verdict) = self.reformulate_cached(q);
+        rspan.set("cache", verdict);
+        rspan.set("disjuncts", reformulation.union.disjuncts.len());
+        rspan.finish();
+        let fetched = self.fetch_phase(at_peer, &reformulation.union, &root);
         let cacheable = fetched.completeness.is_complete();
 
         // Evaluate disjuncts (those whose relations are all staged),
         // each under a cached-or-fresh plan.
         let answers = revere_query::eval_union_with(&reformulation.union, &fetched.staging, |d, s| {
-            let plan = self.plan_for(d, s, epoch, cacheable);
-            revere_query::eval_cq_bag_planned(d, &plan, s).map(|r| r.distinct())
+            let span = root.child("pdms.eval.disjunct");
+            if span.is_recording() {
+                // The canonical form, not `d` itself: reformulation mints
+                // fresh variable names from a process-wide counter, so the
+                // raw text varies run to run while the canonical key is
+                // byte-stable — the golden-trace contract needs the latter.
+                span.set("disjunct", d.canonical_key());
+            }
+            let (plan, verdict) = self.plan_for(d, s, epoch, cacheable);
+            span.set("plan_cache", verdict);
+            let r = revere_query::eval_cq_bag_traced_obs(d, &plan, s, &self.obs, &span)
+                .map(|(r, _)| r.distinct());
+            if let Ok(rel) = &r {
+                span.set("answers", rel.len());
+            }
+            r
         })
         .map_err(|e| e.to_string())?;
+        root.set("answers", answers.len());
+        root.set("complete", fetched.completeness.is_complete());
         Ok(QueryOutcome {
             answers,
             reformulation,
@@ -518,20 +687,31 @@ impl PdmsNetwork {
         if !self.peers.contains_key(at_peer) {
             return Err(format!("unknown peer {at_peer:?}"));
         }
+        let root = self.obs.span("pdms.query_parallel");
+        root.set("peer", at_peer);
+        root.set("query", q);
         let epoch = self.cache_epoch();
-        let reformulation = self.reformulate_cached(q);
-        let fetched = self.fetch_phase(at_peer, &reformulation.union);
+        let rspan = root.child("pdms.reformulate");
+        let (reformulation, verdict) = self.reformulate_cached(q);
+        rspan.set("cache", verdict);
+        rspan.set("disjuncts", reformulation.union.disjuncts.len());
+        rspan.finish();
+        let fetched = self.fetch_phase(at_peer, &reformulation.union, &root);
         let cacheable = fetched.completeness.is_complete();
 
         let union = &reformulation.union;
         let staging = &fetched.staging;
+        // Workers record no spans: span order would depend on thread
+        // scheduling and break trace determinism. (Metrics counters are
+        // commutative, but per-step eval accounting lives on the
+        // sequential path only.)
         let results: Vec<Option<Relation>> = std::thread::scope(|s| {
             let handles: Vec<_> = union
                 .disjuncts
                 .iter()
                 .map(|d| {
                     s.spawn(move || {
-                        let plan = self.plan_for(d, staging, epoch, cacheable);
+                        let (plan, _) = self.plan_for(d, staging, epoch, cacheable);
                         revere_query::eval_cq_bag_planned(d, &plan, staging)
                             .map(|r| r.distinct())
                             .ok()
@@ -562,6 +742,8 @@ impl PdmsNetwork {
             // correctly-shaped empty relation.
             None => revere_query::eval_union(union, staging).map_err(|e| e.to_string())?,
         };
+        root.set("answers", answers.len());
+        root.set("complete", fetched.completeness.is_complete());
         Ok(QueryOutcome {
             answers,
             reformulation,
@@ -570,6 +752,40 @@ impl PdmsNetwork {
             tuples_shipped: fetched.tuples_shipped,
             completeness: fetched.completeness,
         })
+    }
+
+    /// `EXPLAIN ANALYZE` for a query posed at a peer: reformulate and
+    /// fetch exactly as [`PdmsNetwork::query`] would, then render each
+    /// disjunct's plan with estimated vs measured per-step cardinalities
+    /// and q-error (see [`revere_query::plan::explain_analyze`]).
+    /// Disjuncts that cannot be evaluated against the staged data are
+    /// reported inline rather than dropped.
+    pub fn explain_analyze(&self, at_peer: &str, q: &ConjunctiveQuery) -> Result<String, String> {
+        if !self.peers.contains_key(at_peer) {
+            return Err(format!("unknown peer {at_peer:?}"));
+        }
+        let (reformulation, _) = self.reformulate_cached(q);
+        let fetched = self.fetch_phase(at_peer, &reformulation.union, &SpanHandle::none());
+        let mut out = format!(
+            "explain analyze at {at_peer}: {q}\n{} disjunct(s), fetch {}\n",
+            reformulation.union.disjuncts.len(),
+            fetched.completeness,
+        );
+        for (i, d) in reformulation.union.disjuncts.iter().enumerate() {
+            out.push_str(&format!("disjunct {}: {d}\n", i + 1));
+            match revere_query::plan::explain_analyze(d, &fetched.staging) {
+                Ok(ea) => out.push_str(&ea.to_string()),
+                Err(e) => out.push_str(&format!("  (not evaluable: {e})\n")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// `EXPLAIN ANALYZE` for a textual query (see
+    /// [`PdmsNetwork::explain_analyze`]).
+    pub fn explain_analyze_str(&self, at_peer: &str, query: &str) -> Result<String, String> {
+        let q = parse_query(query).map_err(|e| e.to_string())?;
+        self.explain_analyze(at_peer, &q)
     }
 
     /// Expose the whole network as a query [`Source`] (used by tests and
@@ -1004,6 +1220,115 @@ mod tests {
         let out = net.query("MIT", &q).unwrap();
         assert_eq!(out.answers.len(), 4);
         assert_eq!(net.cache_stats().reformulation_misses, 1);
+    }
+
+    #[test]
+    fn cache_stats_display_round_trips() {
+        let stats = CacheStats {
+            reformulation_hits: 3,
+            reformulation_misses: 1,
+            plan_hits: 12,
+            plan_misses: 4,
+        };
+        let text = stats.to_string();
+        assert_eq!(text.parse::<CacheStats>().unwrap(), stats);
+        // The default round-trips too, and garbage is rejected.
+        let d = CacheStats::default();
+        assert_eq!(d.to_string().parse::<CacheStats>().unwrap(), d);
+        assert!("plan_hits=x".parse::<CacheStats>().is_err());
+        assert!("no_such_field=1".parse::<CacheStats>().is_err());
+        assert!("not a field".parse::<CacheStats>().is_err());
+    }
+
+    #[test]
+    fn completeness_report_display_round_trips() {
+        let mut report = CompletenessReport {
+            disjuncts_total: 5,
+            disjuncts_dropped: 2,
+            peers_unreachable: ["Berkeley", "Tsinghua"].iter().map(|s| s.to_string()).collect(),
+            relations_missing: ["Berkeley.course"].iter().map(|s| s.to_string()).collect(),
+            retries: 7,
+            messages_dropped: 3,
+            latency_ticks: 42,
+            budget_exhausted: true,
+            deadline_exceeded: false,
+        };
+        let text = report.to_string();
+        assert_eq!(text.parse::<CompletenessReport>().unwrap(), report);
+        // Empty sets serialize as empty values and still round-trip.
+        report.peers_unreachable.clear();
+        report.relations_missing.clear();
+        let text = report.to_string();
+        assert_eq!(text.parse::<CompletenessReport>().unwrap(), report);
+        let d = CompletenessReport::default();
+        assert_eq!(d.to_string().parse::<CompletenessReport>().unwrap(), d);
+        assert!("latency_ticks=abc".parse::<CompletenessReport>().is_err());
+    }
+
+    #[test]
+    fn live_completeness_reports_round_trip() {
+        // The serialization holds for reports the system actually
+        // produces, not just hand-built ones.
+        let mut net = university_network();
+        net.faults = FaultPlan::new(FaultSpec::default().with_down_peer("Berkeley"));
+        let out = net.query_str("MIT", "q(T, E) :- MIT.subject(T, E)").unwrap();
+        let text = out.completeness.to_string();
+        assert_eq!(text.parse::<CompletenessReport>().unwrap(), out.completeness);
+    }
+
+    #[test]
+    fn explain_analyze_renders_per_disjunct_tables() {
+        let net = university_network();
+        let text = net.explain_analyze_str("MIT", "q(T, E) :- MIT.subject(T, E)").unwrap();
+        assert!(text.contains("explain analyze at MIT"), "{text}");
+        assert!(text.contains("disjunct 1:"), "{text}");
+        assert!(text.contains("act bind"), "{text}");
+        assert!(text.contains("q-err"), "{text}");
+        assert!(text.contains("max q-error"), "{text}");
+        assert!(net.explain_analyze_str("Oxford", "q(T) :- Oxford.c(T)").is_err());
+    }
+
+    #[test]
+    fn enabling_obs_never_changes_answers() {
+        let plain = university_network();
+        let mut traced = university_network();
+        traced.obs = Obs::enabled();
+        let q = parse_query("q(T, E) :- MIT.subject(T, E)").unwrap();
+        let a = plain.query("MIT", &q).unwrap();
+        let b = traced.query("MIT", &q).unwrap();
+        assert_eq!(a.answers.rows(), b.answers.rows());
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.completeness, b.completeness);
+        // And the trace actually recorded the pipeline.
+        let spans = traced.obs.tracer().unwrap().spans();
+        assert!(spans.iter().any(|s| s.name == "pdms.query"));
+        assert!(spans.iter().any(|s| s.name == "pdms.reformulate"));
+        assert!(spans.iter().any(|s| s.name == "pdms.fetch"));
+        assert!(spans.iter().any(|s| s.name == "pdms.eval.disjunct"));
+        assert!(spans.iter().any(|s| s.name == "eval.step"));
+        assert!(traced.obs.metrics().unwrap().counter("pdms.fetch.messages") > 0);
+    }
+
+    #[test]
+    fn obs_trace_mirrors_simulated_latency() {
+        let mut net = university_network();
+        net.obs = Obs::enabled();
+        net.faults = FaultPlan::new(FaultSpec::default().with_down_peer("Berkeley"));
+        let out = net.query_str("MIT", "q(T, E) :- MIT.subject(T, E)").unwrap();
+        assert!(out.completeness.latency_ticks > 0);
+        // The tracer clock advanced by at least the simulated latency
+        // (span starts/ends consume extra ticks on top).
+        let now = net.obs.tracer().unwrap().now();
+        assert!(now >= out.completeness.latency_ticks, "{now}");
+        // The down peer's fetch span carries its fault annotations.
+        let spans = net.obs.tracer().unwrap().spans();
+        let fetch = spans
+            .iter()
+            .find(|s| s.name == "pdms.fetch" && s.arg("owner") == Some("Berkeley"))
+            .expect("fetch span for Berkeley");
+        assert_eq!(fetch.arg("outcome"), Some("unreachable"));
+        assert!(fetch.arg("dropped").is_some());
+        assert!(fetch.arg("latency_ticks").is_some());
     }
 
     #[test]

@@ -29,6 +29,7 @@ use revere_query::glav::GlavMapping;
 use revere_query::ConjunctiveQuery;
 use revere_storage::Catalog;
 use revere_util::fault::{Fate, FaultPlan, RetryPolicy};
+use revere_util::obs::Obs;
 use std::collections::BTreeSet;
 
 /// Stateful propagator for one mapping edge: owns the materialized state
@@ -177,6 +178,10 @@ pub struct ReliableLink {
     pub target: String,
     /// Delivery accounting.
     pub stats: LinkStats,
+    /// Observability handle: one `pdms.ship` span per [`ReliableLink::ship`]
+    /// round plus `pdms.ship.*` counters when enabled (default disabled).
+    /// Enabling it never changes delivery behavior.
+    pub obs: Obs,
     next_id: u64,
     epoch: u64,
 }
@@ -189,6 +194,7 @@ impl ReliableLink {
             retry: RetryPolicy::default(),
             target: target.into(),
             stats: LinkStats::default(),
+            obs: Obs::disabled(),
             next_id: 0,
             epoch: 0,
         }
@@ -218,9 +224,24 @@ impl ReliableLink {
         self.stats.shipped += 1;
         self.epoch += 1;
         let key = format!("gram:{}:epoch:{}", gram.id, self.epoch);
+        let span = self.obs.span("pdms.ship");
+        if span.is_recording() {
+            span.set("gram", gram.id.to_string());
+            span.set("target", self.target.clone());
+        }
+        // Baselines so the span reports this round's cost, not lifetime
+        // totals (the `LinkStats` fields are cumulative).
+        let (messages0, dropped0, retries0, duplicated0) = (
+            self.stats.messages,
+            self.stats.dropped,
+            self.stats.retries,
+            self.stats.duplicated,
+        );
+        let mut attempts_used: u32 = 0;
         let mut applied = false;
         let mut acknowledged = false;
         for attempt in 0..self.retry.attempts() {
+            attempts_used += 1;
             if attempt > 0 {
                 self.stats.retries += 1;
             }
@@ -268,6 +289,20 @@ impl ReliableLink {
         } else {
             self.stats.unacknowledged += 1;
         }
+        if span.is_recording() {
+            span.set("attempts", attempts_used.to_string());
+            span.set("messages", (self.stats.messages - messages0).to_string());
+            span.set("dropped", (self.stats.dropped - dropped0).to_string());
+            span.set("retries", (self.stats.retries - retries0).to_string());
+            span.set("duplicated", (self.stats.duplicated - duplicated0).to_string());
+            span.set("acknowledged", acknowledged.to_string());
+            span.set("applied", applied.to_string());
+        }
+        self.obs.inc("pdms.ship.messages", (self.stats.messages - messages0) as u64);
+        self.obs.inc("pdms.ship.dropped", (self.stats.dropped - dropped0) as u64);
+        self.obs.inc("pdms.ship.retries", (self.stats.retries - retries0) as u64);
+        self.obs.inc("pdms.ship.duplicated", (self.stats.duplicated - duplicated0) as u64);
+        self.obs.observe("pdms.ship.attempts", attempts_used as u64);
         Ok(Delivery { id: gram.id, acknowledged, applied })
     }
 
@@ -535,6 +570,52 @@ mod tests {
             (link.stats.clone(), remote_view.as_relation().rows().to_vec())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn instrumented_link_ships_identically_and_records_spans() {
+        let run = |obs: Obs| {
+            let mut cat = source();
+            let mut p = MappingPropagator::new(mapping(), &cat).unwrap();
+            let (mut remote_cat, mut remote_view) = remote_cache(&p);
+            let plan = FaultPlan::new(revere_util::fault::FaultSpec {
+                seed: 7,
+                drop_prob: 0.4,
+                duplicate_prob: 0.4,
+                ..Default::default()
+            });
+            let mut link = ReliableLink::new("M", plan);
+            link.obs = obs;
+            let mut inbox = GramInbox::new();
+            let vg = p
+                .propagate(&mut cat, &Updategram::deletes("B.teaches", vec![vec!["bob".into(), "c2".into()]]))
+                .unwrap();
+            let sealed = link.seal(vg);
+            link.ship_until_acknowledged(&sealed, &mut inbox, &mut remote_cat, &mut remote_view, 32)
+                .unwrap();
+            (link.stats.clone(), remote_view.as_relation().rows().to_vec())
+        };
+        let plain = run(Obs::disabled());
+        let obs = Obs::enabled();
+        let traced = run(obs.clone());
+        // The contract: observability never changes delivery behavior.
+        assert_eq!(plain, traced);
+
+        let spans = obs.tracer().unwrap().spans();
+        assert!(!spans.is_empty(), "no pdms.ship spans recorded");
+        assert!(spans.iter().all(|s| s.name == "pdms.ship"));
+        // Per-round message accounting in span args sums to the link total.
+        let messages: usize = spans
+            .iter()
+            .map(|s| s.arg("messages").unwrap().parse::<usize>().unwrap())
+            .sum();
+        assert_eq!(messages, traced.0.messages);
+        let last = spans.last().unwrap();
+        assert_eq!(last.arg("acknowledged").as_deref(), Some("true"));
+        assert_eq!(last.arg("target").as_deref(), Some("M"));
+        let metrics = obs.metrics().unwrap();
+        assert_eq!(metrics.counter("pdms.ship.messages"), traced.0.messages as u64);
+        assert_eq!(metrics.counter("pdms.ship.dropped"), traced.0.dropped as u64);
     }
 
     #[test]

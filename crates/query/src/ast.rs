@@ -287,7 +287,20 @@ impl ConjunctiveQuery {
             }
             key.push(')');
         }
-        let mut cmps: Vec<String> = self.comparisons.iter().map(|c| c.to_string()).collect();
+        // Comparisons go through the same renaming (a raw `to_string`
+        // here would leak the original variable names, breaking the
+        // renaming invariance the reformulation/plan caches key on).
+        let canon_term = |t: &Term, names: &std::collections::HashMap<String, String>| match t {
+            // Safety guarantees comparison variables are body-bound, so
+            // every variable already has a canonical name by now.
+            Term::Var(v) => names.get(v).cloned().unwrap_or_else(|| v.clone()),
+            Term::Const(c) => format!("#{c}"),
+        };
+        let mut cmps: Vec<String> = self
+            .comparisons
+            .iter()
+            .map(|c| format!("{} {} {}", canon_term(&c.left, &names), c.op, canon_term(&c.right, &names)))
+            .collect();
         cmps.sort();
         for c in cmps {
             key.push('|');
@@ -394,6 +407,17 @@ mod tests {
         assert_eq!(a.canonical_key(), b.canonical_key());
         let c = parse_query("q(A) :- s(A), r(A, B)").unwrap();
         assert_ne!(a.canonical_key(), c.canonical_key());
+    }
+
+    #[test]
+    fn canonical_key_renames_comparison_variables_too() {
+        let a = parse_query("q(X) :- r(X, Y), Y > 20").unwrap();
+        let b = parse_query("q(A) :- r(A, B), B > 20").unwrap();
+        assert_eq!(a.canonical_key(), b.canonical_key());
+        let c = parse_query("q(A) :- r(A, B), A > 20").unwrap();
+        assert_ne!(a.canonical_key(), c.canonical_key());
+        // And the key carries no raw variable names at all.
+        assert!(!a.canonical_key().contains('Y'), "{}", a.canonical_key());
     }
 
     #[test]

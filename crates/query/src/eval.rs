@@ -17,6 +17,7 @@
 use crate::ast::{Atom, ConjunctiveQuery, Term, UnionQuery};
 use crate::plan::{plan_cq, Plan};
 use revere_storage::{Catalog, RelStats, Relation, RelSchema, Tuple, Value};
+use revere_util::obs::{Obs, SpanHandle};
 use std::collections::HashMap;
 
 /// Anything the evaluator can read relations from.
@@ -174,6 +175,22 @@ pub fn eval_cq_bag_traced<S: Source>(
     plan: &Plan,
     catalog: &S,
 ) -> Result<(Relation, Vec<usize>), EvalError> {
+    eval_cq_bag_traced_obs(q, plan, catalog, &Obs::disabled(), &SpanHandle::none())
+}
+
+/// [`eval_cq_bag_traced`] with full observability: one child span of
+/// `parent` per executed join step (relation, rows scanned, build rows,
+/// probes, output bindings) and `query.eval.*` counters in `obs`.
+/// Execution is identical whether or not `obs`/`parent` record anything —
+/// instrumentation must never change answers (the `trace_obs`
+/// integration test holds this to byte-identity).
+pub fn eval_cq_bag_traced_obs<S: Source>(
+    q: &ConjunctiveQuery,
+    plan: &Plan,
+    catalog: &S,
+    obs: &Obs,
+    parent: &SpanHandle,
+) -> Result<(Relation, Vec<usize>), EvalError> {
     if !plan.applies_to(q) {
         return Err(EvalError {
             message: format!("plan for {:?} does not apply to {:?}", plan.key(), q.canonical_key()),
@@ -187,10 +204,13 @@ pub fn eval_cq_bag_traced<S: Source>(
     let mut rows: Vec<Tuple> = vec![Vec::new()]; // one empty binding
     let mut trace = Vec::with_capacity(plan.order.len());
 
-    for &ci in &plan.order {
+    for (step_no, &ci) in plan.order.iter().enumerate() {
         let atom = &q.body[canonical[ci]];
         let rel = catalog.relation(&atom.relation).expect("validated above");
         let split = AtomSplit::analyze(atom, &var_cols);
+        let span = parent.child("eval.step");
+        span.set("step", step_no + 1);
+        span.set("relation", &atom.relation);
 
         // Build the step's hash index: rows surviving the pushed-down
         // filters (constants, within-atom repeats), keyed by the columns
@@ -198,10 +218,12 @@ pub fn eval_cq_bag_traced<S: Source>(
         // build and the probe keys, so a repeated variable is filtered
         // identically wherever the plan places the atom.
         let mut index: HashMap<Vec<&Value>, Vec<&Tuple>> = HashMap::new();
+        let mut build_rows = 0usize;
         for row in rel.iter() {
             if !split.row_passes(row) {
                 continue;
             }
+            build_rows += 1;
             let key: Vec<&Value> = split.join_cols.iter().map(|(i, _)| &row[*i]).collect();
             index.entry(key).or_default().push(row);
         }
@@ -220,6 +242,17 @@ pub fn eval_cq_bag_traced<S: Source>(
                 }
             }
         }
+        obs.inc("query.eval.steps", 1);
+        obs.inc("query.eval.rows_scanned", rel.len() as u64);
+        obs.inc("query.eval.build_rows", build_rows as u64);
+        obs.inc("query.eval.probes", rows.len() as u64);
+        obs.observe("query.eval.step_bindings", next_rows.len() as u64);
+        span.set("rows_scanned", rel.len());
+        span.set("build_rows", build_rows);
+        span.set("probes", rows.len());
+        span.set("est_bindings", format!("{:.1}", plan.steps[step_no].est_bindings));
+        span.set("bindings", next_rows.len());
+        span.finish();
         for (_, v) in split.new_vars {
             var_cols.push(v);
         }

@@ -96,32 +96,135 @@ impl Plan {
     }
 }
 
-impl fmt::Display for Plan {
-    /// An `EXPLAIN`-style dump: one line per join step with estimates.
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "plan [{}] est cost {:.1}", self.strategy, self.est_cost)?;
+impl Plan {
+    /// Render the plan as an `EXPLAIN`-style table, one aligned line per
+    /// join step. With `actuals` (per-step binding counts from
+    /// [`crate::eval::eval_cq_bag_traced`], parallel to `order`) each
+    /// line gains `act bind` and `q-err` columns — `EXPLAIN ANALYZE`.
+    /// Column widths are computed from the estimate side only, so the
+    /// shared prefix of every line is byte-identical with and without
+    /// actuals and the two renderings diff cleanly.
+    pub fn render(&self, actuals: Option<&[usize]>) -> String {
+        let mut out = format!("plan [{}] est cost {:.1}\n", self.strategy, self.est_cost);
+        let access: Vec<String> = self
+            .steps
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let how = if s.join_width > 0 {
+                    format!("probe on {} bound var(s)", s.join_width)
+                } else if i == 0 {
+                    "scan".to_string()
+                } else {
+                    "cartesian".to_string()
+                };
+                format!("{how} {}", s.relation)
+            })
+            .collect();
+        let width = |it: &mut dyn Iterator<Item = usize>| it.max().unwrap_or(1);
+        let w_access = width(&mut access.iter().map(String::len));
+        let w_rows = width(&mut self.steps.iter().map(|s| s.rows.to_string().len()));
+        let w_pushed = width(&mut self.steps.iter().map(|s| s.pushed_filters.to_string().len()));
+        let w_est_rows = width(&mut self.steps.iter().map(|s| format!("{:.1}", s.est_rows).len()));
+        let w_est_bind =
+            width(&mut self.steps.iter().map(|s| format!("{:.1}", s.est_bindings).len()));
         for (i, s) in self.steps.iter().enumerate() {
-            let access = if s.join_width > 0 {
-                format!("probe on {} bound var(s)", s.join_width)
-            } else if i == 0 {
-                "scan".to_string()
-            } else {
-                "cartesian".to_string()
-            };
-            writeln!(
-                f,
-                "  {}. {} {} ({} rows, {} filter(s) pushed, ~{:.1} match) -> ~{:.1} bindings",
+            out.push_str(&format!(
+                "  {}. {:<w_access$}  rows {:>w_rows$}  pushed {:>w_pushed$}  est rows ~{:>w_est_rows$.1}  est bind ~{:>w_est_bind$.1}",
                 i + 1,
-                access,
-                s.relation,
+                access[i],
                 s.rows,
                 s.pushed_filters,
                 s.est_rows,
                 s.est_bindings,
-            )?;
+            ));
+            if let Some(acts) = actuals {
+                let act = acts.get(i).copied().unwrap_or(0);
+                out.push_str(&format!(
+                    "  act bind {act:>8}  q-err {:>8.2}",
+                    q_error(s.est_bindings, act)
+                ));
+            }
+            out.push('\n');
         }
-        Ok(())
+        out
     }
+}
+
+impl fmt::Display for Plan {
+    /// An `EXPLAIN`-style dump: [`Plan::render`] without actuals.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render(None))
+    }
+}
+
+/// The q-error of an estimate against a measured cardinality:
+/// `max(est/actual, actual/est)` with both sides clamped to ≥ 1, so a
+/// perfect estimate scores 1.0 and the score is symmetric in over- and
+/// under-estimation. The clamp keeps "estimated 0.3, got 0" from
+/// reading as a miss.
+pub fn q_error(est: f64, actual: usize) -> f64 {
+    let e = est.max(1.0);
+    let a = (actual as f64).max(1.0);
+    (e / a).max(a / e)
+}
+
+/// The result of `EXPLAIN ANALYZE`: a plan plus the measured per-step
+/// binding counts from actually executing it. `Display` renders the
+/// aligned est-vs-actual table (see [`Plan::render`]).
+#[derive(Debug, Clone)]
+pub struct ExplainAnalyze {
+    /// The executed plan.
+    pub plan: Plan,
+    /// Binding-table size after each step, parallel to `plan.order`.
+    pub actual_bindings: Vec<usize>,
+    /// Derivations produced (bag semantics).
+    pub derivations: usize,
+    /// Distinct answers (set semantics).
+    pub answers: usize,
+}
+
+impl ExplainAnalyze {
+    /// Per-step q-error of the planner's binding estimates.
+    pub fn q_errors(&self) -> Vec<f64> {
+        self.plan
+            .steps
+            .iter()
+            .zip(&self.actual_bindings)
+            .map(|(s, &a)| q_error(s.est_bindings, a))
+            .collect()
+    }
+
+    /// The worst per-step q-error (1.0 for an empty plan).
+    pub fn max_q_error(&self) -> f64 {
+        self.q_errors().into_iter().fold(1.0, f64::max)
+    }
+}
+
+impl fmt::Display for ExplainAnalyze {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.plan.render(Some(&self.actual_bindings)))?;
+        writeln!(
+            f,
+            "  => {} answer(s), {} derivation(s), max q-error {:.2}",
+            self.answers,
+            self.derivations,
+            self.max_q_error()
+        )
+    }
+}
+
+/// Plan `q`, execute it, and pair the estimates with measured per-step
+/// cardinalities — `EXPLAIN ANALYZE` as a library call.
+pub fn explain_analyze<S: Source>(
+    q: &ConjunctiveQuery,
+    source: &S,
+) -> Result<ExplainAnalyze, crate::eval::EvalError> {
+    let plan = plan_cq(q, source);
+    let (rel, actual_bindings) = crate::eval::eval_cq_bag_traced(q, &plan, source)?;
+    let derivations = rel.len();
+    let answers = rel.distinct().len();
+    Ok(ExplainAnalyze { plan, actual_bindings, derivations, answers })
 }
 
 /// What the planner knows about one candidate atom against the current
@@ -345,6 +448,50 @@ mod tests {
         assert!(text.contains("cost-based"), "{text}");
         assert!(text.contains("scan big"), "{text}");
         assert!(text.contains("probe on 1 bound var(s)"), "{text}");
+    }
+
+    #[test]
+    fn q_error_is_symmetric_and_clamped() {
+        assert_eq!(q_error(10.0, 10), 1.0);
+        assert_eq!(q_error(100.0, 10), 10.0);
+        assert_eq!(q_error(10.0, 100), 10.0);
+        // Sub-1 estimates and zero actuals clamp to 1 on both sides.
+        assert_eq!(q_error(0.3, 0), 1.0);
+    }
+
+    #[test]
+    fn explain_and_analyze_share_an_aligned_prefix() {
+        let c = skewed_catalog();
+        let q = parse_query("q(V) :- small(K, V), big(K, 'rare')").unwrap();
+        let ea = explain_analyze(&q, &c).unwrap();
+        let explain = ea.plan.render(None);
+        let analyze = ea.plan.render(Some(&ea.actual_bindings));
+        // Every ANALYZE line extends the matching EXPLAIN line verbatim.
+        for (e, a) in explain.lines().zip(analyze.lines()) {
+            assert!(a.starts_with(e), "not a prefix:\n{e}\n{a}");
+        }
+        // The appended columns are aligned: every line's suffix starts at
+        // the same offset.
+        let offsets: Vec<usize> = analyze
+            .lines()
+            .skip(1)
+            .map(|l| l.find("  act bind ").expect("analyze column"))
+            .collect();
+        assert!(offsets.windows(2).all(|w| w[0] == w[1]), "{analyze}");
+        assert!(analyze.contains("q-err"), "{analyze}");
+    }
+
+    #[test]
+    fn explain_analyze_reports_actuals_and_q_error() {
+        let c = skewed_catalog();
+        let q = parse_query("q(V) :- small(K, V), big(K, 'rare')").unwrap();
+        let ea = explain_analyze(&q, &c).unwrap();
+        assert_eq!(ea.actual_bindings.len(), ea.plan.order.len());
+        assert_eq!(ea.q_errors().len(), ea.plan.order.len());
+        assert!(ea.max_q_error() >= 1.0);
+        let text = ea.to_string();
+        assert!(text.contains("act bind"), "{text}");
+        assert!(text.contains("max q-error"), "{text}");
     }
 
     #[test]

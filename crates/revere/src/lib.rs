@@ -65,6 +65,7 @@ pub mod prelude {
         WhosWho,
     };
     pub use revere_pdms::fault::{FaultPlan, FaultSpec, RetryPolicy};
+    pub use revere_pdms::obs::{LogSink, Metrics, Obs, SpanHandle, Tracer};
     pub use revere_pdms::{
         apply_once, maintain, CacheStats, CompletenessReport, GramInbox, MaintenanceChoice,
         MaterializedView, PdmsNetwork, Peer, QueryBudget, QueryOutcome, ReformulateOptions,
@@ -72,9 +73,9 @@ pub mod prelude {
     };
     pub use revere_query::{
         contained_in, eval_cq, eval_cq_bag, eval_cq_bag_planned, eval_cq_bag_traced, eval_naive,
-        eval_naive_bag, eval_naive_union, eval_union, minimize, parse_query, plan_cq, plan_cq_with,
-        rewrite_using_views, unfold_with, ConjunctiveQuery, GlavMapping, Plan, Strategy,
-        UnionQuery, ViewDef,
+        eval_naive_bag, eval_naive_union, eval_union, explain_analyze, minimize, parse_query,
+        plan_cq, plan_cq_with, q_error, rewrite_using_views, unfold_with, ConjunctiveQuery,
+        ExplainAnalyze, GlavMapping, Plan, Strategy, UnionQuery, ViewDef,
     };
     pub use revere_storage::{
         Catalog, DbSchema, RelSchema, Relation, TripleStore, Value,

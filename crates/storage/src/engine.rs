@@ -9,6 +9,7 @@ use crate::index::HashIndex;
 use crate::relation::{Relation, Tuple};
 use crate::schema::{AttrType, Attribute, RelSchema};
 use crate::value::Value;
+use revere_util::obs::Obs;
 
 /// A selection predicate over a single tuple.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,7 +45,16 @@ impl Predicate {
 
 /// σ — keep the rows satisfying `pred`.
 pub fn select(rel: &Relation, pred: &Predicate) -> Relation {
-    let rows = rel.iter().filter(|r| pred.matches(r)).cloned().collect();
+    select_obs(rel, pred, &Obs::disabled())
+}
+
+/// [`select`] with scan accounting: counts `storage.scan.rows_read` /
+/// `storage.scan.rows_out` into `obs`. Output is identical to
+/// [`select`] whether or not `obs` is enabled.
+pub fn select_obs(rel: &Relation, pred: &Predicate, obs: &Obs) -> Relation {
+    let rows: Vec<Tuple> = rel.iter().filter(|r| pred.matches(r)).cloned().collect();
+    obs.inc("storage.scan.rows_read", rel.len() as u64);
+    obs.inc("storage.scan.rows_out", rows.len() as u64);
     Relation::with_rows(rel.schema.clone(), rows)
 }
 
@@ -70,6 +80,20 @@ pub fn hash_join(
     left_cols: &[usize],
     right_cols: &[usize],
 ) -> Relation {
+    hash_join_obs(left, right, left_cols, right_cols, &Obs::disabled())
+}
+
+/// [`hash_join`] with join accounting: counts `storage.join.build_rows`,
+/// `storage.join.probe_rows`, `storage.join.index_hits` (per-probe index
+/// matches) and `storage.join.rows_out` into `obs`. Output is identical
+/// to [`hash_join`] whether or not `obs` is enabled.
+pub fn hash_join_obs(
+    left: &Relation,
+    right: &Relation,
+    left_cols: &[usize],
+    right_cols: &[usize],
+    obs: &Obs,
+) -> Relation {
     assert_eq!(left_cols.len(), right_cols.len(), "join key arity mismatch");
     // Build on the smaller side.
     let (build, probe, build_cols, probe_cols, build_is_left) = if left.len() <= right.len() {
@@ -78,14 +102,21 @@ pub fn hash_join(
         (right, left, right_cols, left_cols, false)
     };
     let idx = HashIndex::build(build, build_cols);
+    obs.inc("storage.join.build_rows", build.len() as u64);
+    obs.inc("storage.join.probe_rows", probe.len() as u64);
     let mut attrs =
         Vec::with_capacity(left.schema.arity() + right.schema.arity());
     attrs.extend(left.schema.attrs.iter().cloned());
     attrs.extend(right.schema.attrs.iter().cloned());
     let schema = RelSchema::new(format!("{}_{}", left.schema.name, right.schema.name), attrs);
     let mut out = Relation::new(schema);
+    let mut hits = 0u64;
     for probe_row in probe.iter() {
-        for &pos in idx.probe(probe_row, probe_cols) {
+        let matches = idx.probe(probe_row, probe_cols);
+        if !matches.is_empty() {
+            hits += 1;
+        }
+        for &pos in matches {
             let build_row = &build.rows()[pos];
             let mut joined = Vec::with_capacity(probe_row.len() + build_row.len());
             if build_is_left {
@@ -98,6 +129,8 @@ pub fn hash_join(
             out.insert(joined);
         }
     }
+    obs.inc("storage.join.index_hits", hits);
+    obs.inc("storage.join.rows_out", out.len() as u64);
     out
 }
 
@@ -324,6 +357,24 @@ mod tests {
         let c = cross(&courses(), &depts());
         let matched = select(&c, &Predicate::ColEq(1, 3));
         assert_eq!(matched.len(), 3);
+    }
+
+    #[test]
+    fn obs_variants_count_rows_without_changing_output() {
+        let obs = Obs::enabled();
+        let plain = select(&courses(), &Predicate::Gt(2, Value::Int(50)));
+        let counted = select_obs(&courses(), &Predicate::Gt(2, Value::Int(50)), &obs);
+        assert_eq!(plain.rows(), counted.rows());
+        let m = obs.metrics().unwrap();
+        assert_eq!(m.counter("storage.scan.rows_read"), 3);
+        assert_eq!(m.counter("storage.scan.rows_out"), 2);
+
+        let j = hash_join_obs(&courses(), &depts(), &[1], &[0], &obs);
+        assert_eq!(j.rows(), hash_join(&courses(), &depts(), &[1], &[0]).rows());
+        assert_eq!(m.counter("storage.join.build_rows"), 2); // depts is smaller
+        assert_eq!(m.counter("storage.join.probe_rows"), 3);
+        assert_eq!(m.counter("storage.join.index_hits"), 3);
+        assert_eq!(m.counter("storage.join.rows_out"), 3);
     }
 
     #[test]

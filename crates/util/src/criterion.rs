@@ -11,10 +11,13 @@
 //!
 //! Measurement model: one warmup phase sizes an iteration batch so a
 //! sample takes roughly [`TARGET_SAMPLE`], then `sample_size` samples are
-//! timed and per-iteration **median** and **p95** are reported to stdout.
-//! No plotting, no statistics files, no outlier analysis — numbers you
-//! can read in CI output.
+//! timed and per-iteration **median** and **p95** are reported through a
+//! [`LogSink`] (stdout by default, a capture sink in tests). Each
+//! measurement also emits a machine-parseable `key=value` record on the
+//! `bench` stream, so CI can grep results out of interleaved output. No
+//! plotting, no statistics files, no outlier analysis.
 
+use crate::obs::LogSink;
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
@@ -146,8 +149,21 @@ impl BenchmarkGroup<'_> {
     }
 
     fn report(&mut self, id: &str, samples: &[f64]) {
-        let line = summarize(&format!("{}/{}", self.name, id), samples);
-        println!("{line}");
+        let name = format!("{}/{}", self.name, id);
+        let line = summarize(&name, samples);
+        self.criterion.sink.emit("bench", &line);
+        if !samples.is_empty() {
+            let (median, p95) = percentiles(samples);
+            self.criterion.sink.emit_kv(
+                "bench.kv",
+                &[
+                    ("name", name),
+                    ("median_s", format!("{median:.9}")),
+                    ("p95_s", format!("{p95:.9}")),
+                    ("samples", samples.len().to_string()),
+                ],
+            );
+        }
         self.criterion.lines.push(line);
     }
 
@@ -160,31 +176,47 @@ impl BenchmarkGroup<'_> {
 pub struct Criterion {
     sample_size: usize,
     lines: Vec<String>,
+    sink: LogSink,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20, lines: Vec::new() }
+        Criterion { sample_size: 20, lines: Vec::new(), sink: LogSink::stdout() }
     }
 }
 
 impl Criterion {
+    /// Route this driver's reporting through `sink` instead of stdout.
+    pub fn with_sink(mut self, sink: LogSink) -> Self {
+        self.sink = sink;
+        self
+    }
+
     /// Open a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let sample_size = self.sample_size;
         BenchmarkGroup { criterion: self, name: name.into(), sample_size }
     }
 
-    /// Re-print every measurement at the end of the run.
+    /// Re-emit every measurement at the end of the run.
     pub fn final_summary(&self) {
         if self.lines.is_empty() {
             return;
         }
-        println!("\n== bench summary ({} measurements) ==", self.lines.len());
+        self.sink.emit("bench", &format!("== bench summary ({} measurements) ==", self.lines.len()));
         for l in &self.lines {
-            println!("{l}");
+            self.sink.emit("bench", l);
         }
     }
+}
+
+/// Median and p95 of a non-empty sample set (seconds).
+fn percentiles(samples: &[f64]) -> (f64, f64) {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+    let median = sorted[sorted.len() / 2];
+    let p95 = sorted[((sorted.len() as f64 * 0.95) as usize).min(sorted.len() - 1)];
+    (median, p95)
 }
 
 /// Render one measurement line: `name  median <t>  p95 <t>  (n samples)`.
@@ -192,15 +224,12 @@ fn summarize(name: &str, samples: &[f64]) -> String {
     if samples.is_empty() {
         return format!("{name:<52} (no samples)");
     }
-    let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
-    let median = sorted[sorted.len() / 2];
-    let p95 = sorted[((sorted.len() as f64 * 0.95) as usize).min(sorted.len() - 1)];
+    let (median, p95) = percentiles(samples);
     format!(
         "{name:<52} median {:>10}  p95 {:>10}  ({} samples)",
         fmt_duration(median),
         fmt_duration(p95),
-        sorted.len()
+        samples.len()
     )
 }
 
@@ -270,6 +299,24 @@ mod tests {
         assert_eq!(fmt_duration(0.0025), "2.500 ms");
         assert_eq!(fmt_duration(2.5e-6), "2.500 µs");
         assert_eq!(fmt_duration(2.5e-9), "2.5 ns");
+    }
+
+    #[test]
+    fn reporting_routes_through_the_sink() {
+        let sink = LogSink::capture();
+        let mut c = Criterion::default().with_sink(sink.clone());
+        {
+            let mut g = c.benchmark_group("sinked");
+            g.sample_size(2);
+            g.bench_function("f", |b| b.iter(|| black_box(2 * 2)));
+        }
+        c.final_summary();
+        let lines = sink.lines();
+        // Human line, machine line, then the summary re-emit — no stdout.
+        assert!(lines[0].starts_with("[bench] sinked/f"), "{lines:?}");
+        assert!(lines[1].starts_with("[bench.kv] name=sinked/f median_s="), "{lines:?}");
+        assert!(lines[1].contains("samples=2"), "{lines:?}");
+        assert!(lines.iter().any(|l| l.contains("bench summary (1 measurements)")), "{lines:?}");
     }
 
     #[test]

@@ -20,12 +20,18 @@
 //!   responses, latency, duplication) whose verdicts are pure functions
 //!   of `(seed, peer, key, attempt)`, plus capped-exponential
 //!   [`fault::RetryPolicy`].
+//! * [`obs`] — the observability substrate: a deterministic span-tree
+//!   tracer on a logical tick clock, a metrics registry (counters,
+//!   gauges, log2-bucket histograms), a Chrome trace-event JSON
+//!   exporter, and the [`obs::LogSink`] shared writer the harnesses
+//!   report through.
 //!
 //! Everything here is deterministic given a seed, allocation-light, and
 //! uses only `std`.
 
 pub mod criterion;
 pub mod fault;
+pub mod obs;
 pub mod prop;
 pub mod rng;
 

@@ -1,0 +1,71 @@
+//! Export a PDMS query as a Chrome trace.
+//!
+//! Builds a small faulty overlay, runs two queries with observability
+//! enabled, prints the span tree and metrics to stderr, and writes the
+//! Chrome trace-event JSON to stdout:
+//!
+//! ```text
+//! cargo run --release --example chrome_trace > trace.json
+//! ```
+//!
+//! then load `trace.json` in `chrome://tracing` or <https://ui.perfetto.dev>.
+//! The timeline's clock is the deterministic tick clock (1 tick = 1 µs in
+//! the viewer), so the same seed always renders the same picture.
+
+use revere::prelude::*;
+use revere::storage::Attribute;
+
+fn main() {
+    // A 10-peer random overlay, every edge a GLAV mapping, moderate chaos.
+    let seed = std::env::var("REVERE_TRACE_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(1003);
+    let topology = Topology::generate(TopologyKind::Random { extra: 2 }, 10, seed);
+    let mut net = PdmsNetwork::new();
+    for i in 0..10 {
+        let mut p = Peer::new(format!("P{i}"));
+        let mut r = Relation::new(RelSchema::new(
+            "course",
+            vec![Attribute::text("title"), Attribute::int("enrollment")],
+        ));
+        for k in 0..3 {
+            r.insert(vec![
+                Value::str(format!("Course {k} at P{i}")),
+                Value::Int((10 + i * 3 + k) as i64),
+            ]);
+        }
+        p.add_relation(r);
+        net.add_peer(p);
+    }
+    for (idx, (a, b)) in topology.edges.iter().enumerate() {
+        net.add_mapping(
+            GlavMapping::parse(
+                format!("m{idx}"),
+                format!("P{a}"),
+                format!("P{b}"),
+                &format!("m(T, E) :- P{a}.course(T, E) ==> m(T, E) :- P{b}.course(T, E)"),
+            )
+            .expect("mapping parses"),
+        );
+    }
+    net.faults = FaultPlan::new(FaultSpec::chaos(seed, 0.2));
+    net.obs = Obs::enabled();
+
+    for q in ["q(T, E) :- P0.course(T, E)", "q(T) :- P0.course(T, E), E > 20"] {
+        let out = net.query_str("P0", q).expect("query runs");
+        eprintln!(
+            "{q}\n  -> {} answer(s), {} message(s), {}\n",
+            out.answers.len(),
+            out.messages,
+            if out.completeness.is_complete() { "complete".to_string() } else {
+                format!("PARTIAL ({})", out.completeness)
+            }
+        );
+    }
+
+    let tracer = net.obs.tracer().expect("obs enabled");
+    eprintln!("span tree (ticks):\n{}", tracer.render_tree());
+    eprintln!("metrics:\n{}", net.obs.metrics().expect("obs enabled").snapshot());
+    println!("{}", tracer.chrome_trace());
+}

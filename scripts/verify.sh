@@ -5,7 +5,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release --offline
+RUSTFLAGS="-D warnings" cargo build --release --offline
 cargo test -q --offline
 cargo bench --no-run --offline
 
@@ -27,8 +27,20 @@ for seed in ${REVERE_DIFF_SEEDS:-1 2 3}; do
     REVERE_DIFF_SEED="$seed" cargo test -q --offline -p revere --test differential_query
 done
 
+# Observability gate: a fixed seed must produce a byte-identical Chrome
+# trace across runs, and tracing must never change answers. Held under
+# several seeds; override with REVERE_TRACE_SEEDS="1 2 3" scripts/verify.sh
+for seed in ${REVERE_TRACE_SEEDS:-1003 7 42}; do
+    echo "trace gate: seed $seed"
+    REVERE_TRACE_SEED="$seed" cargo test -q --offline -p revere --test trace_obs
+done
+
 # E13 smoke: the plan/reformulation cache sweep must run end to end and
 # report a table (its internal asserts cross-check cached vs uncached
 # answers and cost-based vs greedy join work).
 cargo run --release --offline -p revere-bench --bin report E13
+
+# E14 smoke: the observability experiment must run end to end — its
+# sweep asserts the traced run returns exactly the untraced answers.
+cargo run --release --offline -p revere-bench --bin report E14
 echo "verify: OK"

@@ -1,0 +1,155 @@
+//! Integration: end-to-end observability (spanning revere-util's obs
+//! substrate, revere-query evaluation, and revere-pdms networking).
+//!
+//! Two contracts, both seed-parametric:
+//!
+//! 1. **Golden determinism** — a fixed seed produces a byte-identical
+//!    Chrome trace across two fresh runs. The trace clock is logical
+//!    (ticks), wall-clock never appears in the export, so this holds on
+//!    any machine at any load.
+//! 2. **Answer invariance** — enabling observability never changes what a
+//!    query returns: answers, completeness, and message accounting are
+//!    identical with tracing on and off.
+//!
+//! The seed comes from `REVERE_TRACE_SEED` (default 1003);
+//! `scripts/verify.sh` runs this suite under several seeds.
+
+use revere::prelude::*;
+use revere::storage::Attribute;
+
+/// The seed under test: `REVERE_TRACE_SEED` or 1003.
+fn trace_seed() -> u64 {
+    std::env::var("REVERE_TRACE_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(1003)
+}
+
+/// A 10-peer random overlay under a moderate chaos plan: enough faults
+/// that retries, drops, and unreachable peers appear in the trace.
+fn build_network(seed: u64) -> PdmsNetwork {
+    let topology = Topology::generate(TopologyKind::Random { extra: 2 }, 10, seed);
+    let mut net = PdmsNetwork::new();
+    for i in 0..10 {
+        let mut p = Peer::new(format!("P{i}"));
+        let mut r = Relation::new(RelSchema::new(
+            "course",
+            vec![Attribute::text("title"), Attribute::int("enrollment")],
+        ));
+        for k in 0..3 {
+            r.insert(vec![
+                Value::str(format!("Course {k} at P{i}")),
+                Value::Int((10 + i * 3 + k) as i64),
+            ]);
+        }
+        p.add_relation(r);
+        net.add_peer(p);
+    }
+    for (idx, (a, b)) in topology.edges.iter().enumerate() {
+        net.add_mapping(
+            GlavMapping::parse(
+                format!("m{idx}"),
+                format!("P{a}"),
+                format!("P{b}"),
+                &format!("m(T, E) :- P{a}.course(T, E) ==> m(T, E) :- P{b}.course(T, E)"),
+            )
+            .expect("mapping parses"),
+        );
+    }
+    net.faults = FaultPlan::new(FaultSpec::chaos(seed, 0.2));
+    net
+}
+
+const QUERIES: [&str; 2] =
+    ["q(T, E) :- P0.course(T, E)", "q(T) :- P0.course(T, E), E > 20"];
+
+/// Run the workload with tracing enabled, returning the network.
+fn traced_run(seed: u64) -> PdmsNetwork {
+    let mut net = build_network(seed);
+    net.obs = Obs::enabled();
+    for q in QUERIES {
+        net.query_str("P0", q).expect("traced query runs");
+    }
+    net
+}
+
+#[test]
+fn golden_fixed_seed_trace_is_byte_identical() {
+    let seed = trace_seed();
+    let a = traced_run(seed);
+    let b = traced_run(seed);
+    let (ta, tb) = (a.obs.tracer().unwrap(), b.obs.tracer().unwrap());
+    assert_eq!(ta.chrome_trace(), tb.chrome_trace(), "chrome trace diverged under seed {seed}");
+    assert_eq!(ta.render_tree(), tb.render_tree(), "span tree diverged under seed {seed}");
+    assert_eq!(
+        a.obs.metrics().unwrap().snapshot().to_string(),
+        b.obs.metrics().unwrap().snapshot().to_string(),
+        "metrics diverged under seed {seed}"
+    );
+}
+
+#[test]
+fn trace_covers_all_three_layers() {
+    let net = traced_run(trace_seed());
+    let spans = net.obs.tracer().unwrap().spans();
+    for name in ["pdms.query", "pdms.reformulate", "pdms.fetch", "pdms.eval.disjunct", "eval.step"]
+    {
+        assert!(spans.iter().any(|s| s.name == name), "no {name} span recorded");
+    }
+    // Every span closed, and parents opened before their children.
+    for s in &spans {
+        assert!(s.end_tick.is_some(), "span {} never finished", s.name);
+        if let Some(pid) = s.parent {
+            let parent = spans.iter().find(|p| p.id == pid).expect("parent recorded");
+            assert!(parent.start_tick <= s.start_tick, "{} starts before parent", s.name);
+        }
+    }
+    // The export is one JSON array with one object per span.
+    let json = net.obs.tracer().unwrap().chrome_trace();
+    assert!(json.starts_with('[') && json.trim_end().ends_with(']'));
+    assert_eq!(json.matches("\"ph\":\"X\"").count(), spans.len());
+    // Wall-clock stays out of the deterministic export.
+    assert!(!json.contains("wall"), "wall-clock leaked into the trace export");
+}
+
+#[test]
+fn tracing_never_changes_answers() {
+    let seed = trace_seed();
+    for q in QUERIES {
+        let plain = build_network(seed).query_str("P0", q).expect("query runs");
+        let mut net = build_network(seed);
+        net.obs = Obs::enabled();
+        let traced = net.query_str("P0", q).expect("query runs");
+        assert_eq!(plain.answers, traced.answers, "answers changed under tracing: {q}");
+        assert_eq!(
+            plain.completeness, traced.completeness,
+            "completeness changed under tracing: {q}"
+        );
+        assert_eq!(plain.messages, traced.messages, "messages changed under tracing: {q}");
+        assert_eq!(
+            plain.peers_contacted, traced.peers_contacted,
+            "contacted set changed under tracing: {q}"
+        );
+    }
+}
+
+#[test]
+fn parallel_and_sequential_agree_under_tracing() {
+    // query_parallel records no per-worker spans (span order would depend
+    // on scheduling) but must still return the sequential answers.
+    let seed = trace_seed();
+    let mut net = build_network(seed);
+    net.obs = Obs::enabled();
+    for q in QUERIES {
+        let seq = net.query_str("P0", q).expect("query runs");
+        let parsed = parse_query(q).expect("query parses");
+        let par = net.query_parallel("P0", &parsed).expect("query runs");
+        let (mut a, mut b) = (seq.answers.rows().to_vec(), par.answers.rows().to_vec());
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "parallel diverged from sequential under tracing: {q}");
+    }
+    let spans = net.obs.tracer().unwrap().spans();
+    assert!(spans.iter().any(|s| s.name == "pdms.query_parallel"));
+    assert!(spans.iter().all(|s| s.name != "pdms.worker"));
+}
