@@ -1,7 +1,8 @@
-//! The E1–E14 experiments (see DESIGN.md §2 for the paper anchors).
+//! The E1–E15 experiments (see DESIGN.md §2 for the paper anchors).
 
 pub mod e_chaos;
 pub mod e_corpus;
+pub mod e_feedback;
 pub mod e_mangrove;
 pub mod e_obs;
 pub mod e_pdms;
@@ -13,7 +14,7 @@ use crate::table::Table;
 
 /// Run every experiment in order.
 pub fn run_all() -> Vec<Table> {
-    vec![
+    let mut tables = vec![
         e_pdms::e1_reachability(),
         e_pdms::e2_reformulation_pruning(),
         e_pdms::e3_xml_mapping(),
@@ -29,11 +30,14 @@ pub fn run_all() -> Vec<Table> {
         e_plancache::e13_plan_cache(),
         e_obs::e14_calibration(),
         e_obs::e14_fetch_breakdown(),
-    ]
+    ];
+    tables.extend(e_feedback::e15_tables());
+    tables
 }
 
-/// Run one experiment by id (`"E1"`..`"E14"`). An experiment may produce
-/// more than one table (E14 reports calibration and the fetch breakdown).
+/// Run one experiment by id (`"E1"`..`"E15"`). An experiment may produce
+/// more than one table (E14 reports calibration and the fetch breakdown;
+/// E15 reports calibration before/after feedback and the loop's cost).
 pub fn run_one(id: &str) -> Option<Vec<Table>> {
     let one = |t: Table| Some(vec![t]);
     match id.to_ascii_uppercase().as_str() {
@@ -51,6 +55,7 @@ pub fn run_one(id: &str) -> Option<Vec<Table>> {
         "E12" => one(e_chaos::e12_chaos()),
         "E13" => one(e_plancache::e13_plan_cache()),
         "E14" => Some(vec![e_obs::e14_calibration(), e_obs::e14_fetch_breakdown()]),
+        "E15" => Some(e_feedback::e15_tables()),
         _ => None,
     }
 }

@@ -24,8 +24,8 @@
 use crate::peer::{split_qualified, Peer};
 use crate::reformulate::{ReformulateOptions, ReformulationResult, Reformulator};
 use revere_query::glav::GlavMapping;
-use revere_query::plan::{plan_cq, Plan};
-use revere_query::{parse_query, ConjunctiveQuery, Source, UnionQuery};
+use revere_query::plan::{plan_cq, q_error, Plan};
+use revere_query::{parse_query, ConjunctiveQuery, Source, StepProfile, UnionQuery};
 use revere_storage::{Catalog, Relation};
 use revere_util::fault::{Fate, FaultPlan, RetryPolicy};
 use revere_util::obs::{Obs, SpanHandle};
@@ -56,6 +56,16 @@ pub struct PdmsNetwork {
     /// (reformulation, per-relation fetch, per-disjunct evaluation) and
     /// `pdms.*` metrics. Enabling it never changes answers.
     pub obs: Obs,
+    /// The q-error threshold of the estimator feedback loop. After each
+    /// completely-fetched (sequential) query, any executed plan whose
+    /// observed max q-error exceeds this value has its cache entry
+    /// evicted and its measured join selectivities written back into the
+    /// owning peers' statistics (see [`PdmsNetwork::cache_epoch`] — the
+    /// write shifts the epoch, so every cached plan re-plans against the
+    /// new evidence). `None` disables feedback — the E15 ablation
+    /// baseline. Well-calibrated plans never trigger it, so warm caches
+    /// stay warm on workloads the estimator already gets right.
+    pub replan_q_error: Option<f64>,
     /// Bumped on every membership or mapping-graph change; part of the
     /// cache validity epoch (peer data changes are caught separately via
     /// each peer catalog's stats epoch).
@@ -74,11 +84,17 @@ impl Default for PdmsNetwork {
             budget: QueryBudget::default(),
             caching: true,
             obs: Obs::disabled(),
+            replan_q_error: Some(REPLAN_Q_ERROR_DEFAULT),
             topology_epoch: 0,
             caches: Mutex::new(Caches::default()),
         }
     }
 }
+
+/// Default [`PdmsNetwork::replan_q_error`] threshold: a plan whose worst
+/// step misestimated cardinality by more than 4× in either direction is
+/// considered mis-calibrated and triggers feedback + re-planning.
+pub const REPLAN_Q_ERROR_DEFAULT: f64 = 4.0;
 
 /// Hit/miss counters for the network's reformulation and plan caches.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -91,6 +107,8 @@ pub struct CacheStats {
     pub plan_hits: usize,
     /// Disjuncts planned from scratch.
     pub plan_misses: usize,
+    /// Cached plans evicted by the q-error feedback loop.
+    pub plan_evictions: usize,
 }
 
 impl fmt::Display for CacheStats {
@@ -99,8 +117,13 @@ impl fmt::Display for CacheStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "reformulation_hits={} reformulation_misses={} plan_hits={} plan_misses={}",
-            self.reformulation_hits, self.reformulation_misses, self.plan_hits, self.plan_misses
+            "reformulation_hits={} reformulation_misses={} plan_hits={} plan_misses={} \
+             plan_evictions={}",
+            self.reformulation_hits,
+            self.reformulation_misses,
+            self.plan_hits,
+            self.plan_misses,
+            self.plan_evictions,
         )
     }
 }
@@ -117,6 +140,7 @@ impl FromStr for CacheStats {
                 "reformulation_misses" => out.reformulation_misses = n,
                 "plan_hits" => out.plan_hits = n,
                 "plan_misses" => out.plan_misses = n,
+                "plan_evictions" => out.plan_evictions = n,
                 other => return Err(format!("unknown CacheStats field {other:?}")),
             }
         }
@@ -471,6 +495,80 @@ impl PdmsNetwork {
         (p, "miss")
     }
 
+    /// Copy the owner's learned join-overlap statistics for `rel` into a
+    /// staging catalog, so planning against the staged snapshot sees the
+    /// same evidence the feedback loop recorded at the peer.
+    fn stage_join_stats(staging: &mut Catalog, peer: &Peer, rel: &str) {
+        let learned = peer.storage.read(|c| c.join_stats().mentioning(rel));
+        if !learned.is_empty() {
+            staging.absorb_join_stats(&learned);
+        }
+    }
+
+    /// The estimator feedback loop (sequential query path only — worker
+    /// threads would make write order, and thus last-write-wins learned
+    /// values, scheduling-dependent). When a completely-fetched plan's
+    /// observed max q-error exceeds [`PdmsNetwork::replan_q_error`]:
+    /// evict exactly that plan's cache entry, and write each
+    /// unambiguous (single-pair) join step's measured selectivity
+    /// `bindings / (probes · build_rows)` into the owning peers'
+    /// catalogs. The write bumps those catalogs' stats epochs only when
+    /// the learned value materially changed, which in turn shifts
+    /// [`PdmsNetwork::cache_epoch`] — cached plans can never outlive the
+    /// observations that justified them.
+    fn feed_back(&self, plan: &Plan, profiles: &[StepProfile]) {
+        let Some(threshold) = self.replan_q_error else { return };
+        let max_q = plan
+            .steps
+            .iter()
+            .zip(profiles)
+            .map(|(s, p)| q_error(s.est_bindings, p.bindings))
+            .fold(1.0, f64::max);
+        if max_q <= threshold {
+            return;
+        }
+        self.obs.inc("pdms.feedback.replans", 1);
+        if self.caching {
+            let mut caches = self.lock_caches();
+            if caches.plans.remove(plan.key()).is_some() {
+                caches.stats.plan_evictions += 1;
+            }
+        }
+        for (s, p) in plan.steps.iter().zip(profiles) {
+            // Only steps with exactly one join pair attribute cleanly; a
+            // multi-pair step's selectivity is a product we can't split.
+            if s.join_pairs.len() != 1 || p.probes == 0 || p.build_rows == 0 {
+                continue;
+            }
+            let pair = &s.join_pairs[0];
+            let sel = p.bindings as f64 / (p.probes as f64 * p.build_rows as f64);
+            let mut owners: Vec<&str> = Vec::new();
+            for rel in [s.relation.as_str(), pair.other_relation.as_str()] {
+                if let Some((owner, _)) = split_qualified(rel) {
+                    if !owners.contains(&owner) {
+                        owners.push(owner);
+                    }
+                }
+            }
+            for owner in owners {
+                if let Some(peer) = self.peers.get(owner) {
+                    let changed = peer.storage.write(|c| {
+                        c.note_join_overlap(
+                            &s.relation,
+                            pair.col,
+                            &pair.other_relation,
+                            pair.other_col,
+                            sel,
+                        )
+                    });
+                    if changed {
+                        self.obs.inc("pdms.feedback.observations", 1);
+                    }
+                }
+            }
+        }
+    }
+
     /// Fetch phase, shared by [`PdmsNetwork::query`] and
     /// [`PdmsNetwork::query_parallel`]: snapshot every referenced relation
     /// that survives the network weather, accounting for every message,
@@ -521,6 +619,7 @@ impl PdmsNetwork {
                             span.set("outcome", "local");
                             span.set("tuples", rel.len());
                             f.staging.register(rel);
+                            Self::stage_join_stats(&mut f.staging, peer, &a.relation);
                         }
                         None => {
                             f.completeness.relations_missing.insert(a.relation.clone());
@@ -593,6 +692,7 @@ impl PdmsNetwork {
                                 f.tuples_shipped += rel.len();
                                 span.set("tuples", rel.len());
                                 f.staging.register(rel);
+                                Self::stage_join_stats(&mut f.staging, peer, &a.relation);
                             }
                             delivered = true;
                             break;
@@ -659,8 +759,16 @@ impl PdmsNetwork {
             }
             let (plan, verdict) = self.plan_for(d, s, epoch, cacheable);
             span.set("plan_cache", verdict);
-            let r = revere_query::eval_cq_bag_traced_obs(d, &plan, s, &self.obs, &span)
-                .map(|(r, _)| r.distinct());
+            let r = revere_query::eval_cq_bag_profiled_obs(d, &plan, s, &self.obs, &span)
+                .map(|(r, profiles)| {
+                    // Feed actuals back only when the fetch was complete:
+                    // a partial staging would teach the estimator that
+                    // missing data means empty joins.
+                    if cacheable {
+                        self.feed_back(&plan, &profiles);
+                    }
+                    r.distinct()
+                });
             if let Ok(rel) = &r {
                 span.set("answers", rel.len());
             }
@@ -800,6 +908,7 @@ impl PdmsNetwork {
                         c.register(r.clone());
                     }
                 }
+                c.absorb_join_stats(cat.join_stats());
             });
         }
         c
@@ -1229,6 +1338,7 @@ mod tests {
             reformulation_misses: 1,
             plan_hits: 12,
             plan_misses: 4,
+            plan_evictions: 2,
         };
         let text = stats.to_string();
         assert_eq!(text.parse::<CacheStats>().unwrap(), stats);
@@ -1238,6 +1348,61 @@ mod tests {
         assert!("plan_hits=x".parse::<CacheStats>().is_err());
         assert!("no_such_field=1".parse::<CacheStats>().is_err());
         assert!("not a field".parse::<CacheStats>().is_err());
+    }
+
+    /// One peer, one join: `course(title, dept) ⋈ dept(name, head)`.
+    fn join_network() -> PdmsNetwork {
+        let mut net = PdmsNetwork::new();
+        let mut p = Peer::new("U");
+        let mut course = Relation::new(RelSchema::text("course", &["title", "dept"]));
+        for (t, d) in [("Databases", "cs"), ("Compilers", "cs"), ("Ethics", "phil")] {
+            course.insert(vec![Value::str(t), Value::str(d)]);
+        }
+        let mut dept = Relation::new(RelSchema::text("dept", &["name", "head"]));
+        for (n, h) in [("cs", "Stonebraker"), ("phil", "Kant")] {
+            dept.insert(vec![Value::str(n), Value::str(h)]);
+        }
+        p.add_relation(course);
+        p.add_relation(dept);
+        net.add_peer(p);
+        net
+    }
+
+    #[test]
+    fn feedback_evicts_miscalibrated_plans_and_learns_overlap() {
+        let mut net = join_network();
+        // Hair-trigger threshold: every plan's max q-error is ≥ 1, so
+        // every complete execution feeds back and evicts its own entry.
+        net.replan_q_error = Some(0.5);
+        let q = "q(T, H) :- U.course(T, D), U.dept(D, H)";
+        let out = net.query_str("U", q).unwrap();
+        assert_eq!(out.answers.len(), 3, "{}", out.answers);
+        assert!(net.cache_stats().plan_evictions >= 1, "{}", net.cache_stats());
+        // The observed selectivity landed in the owning peer's catalog...
+        let learned = net.snapshot_all();
+        assert!(!learned.join_stats().is_empty());
+        let sel = learned
+            .join_stats()
+            .overlap("U.course", 1, "U.dept", 0)
+            .expect("the join pair was observed");
+        // 3 bindings out of 3 probes × 2 build rows.
+        assert!((sel - 0.5).abs() < 1e-12, "sel {sel}");
+        // ...and answers stay correct (and identical) on the re-planned path.
+        let again = net.query_str("U", q).unwrap();
+        assert_eq!(again.answers, out.answers);
+    }
+
+    #[test]
+    fn feedback_disabled_leaves_the_estimator_alone() {
+        let mut net = join_network();
+        net.replan_q_error = None;
+        let q = "q(T, H) :- U.course(T, D), U.dept(D, H)";
+        net.query_str("U", q).unwrap();
+        net.query_str("U", q).unwrap();
+        let stats = net.cache_stats();
+        assert_eq!(stats.plan_evictions, 0, "{stats}");
+        assert!(stats.plan_hits >= 1, "{stats}");
+        assert!(net.snapshot_all().join_stats().is_empty());
     }
 
     #[test]

@@ -150,15 +150,18 @@ pub fn maintain(
     }
 }
 
+/// Apply updategrams through the catalog's insert/delete paths (not
+/// `get_mut`), so statistics stay incrementally maintained and deletes
+/// note only the rows actually removed — an updategram deleting a row the
+/// relation never held must not desync the stats (`RelStats::note_delete`
+/// used to be called unconditionally here).
 fn apply_grams(catalog: &mut Catalog, grams: &[Updategram]) {
     for g in grams {
-        if let Some(rel) = catalog.get_mut(&g.relation) {
-            for row in &g.delete {
-                rel.delete(row);
-            }
-            for row in &g.insert {
-                rel.insert(row.clone());
-            }
+        for row in &g.delete {
+            catalog.delete(&g.relation, row);
+        }
+        for row in &g.insert {
+            catalog.insert(&g.relation, row.clone());
         }
     }
 }

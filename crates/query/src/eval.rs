@@ -35,6 +35,14 @@ pub trait Source {
     fn stats(&self, _name: &str) -> Option<&RelStats> {
         None
     }
+
+    /// Learned equijoin selectivity for a column pair, when the source
+    /// carries feedback from previously executed plans (see
+    /// [`revere_storage::stats::JoinStats`]). The planner prefers this
+    /// over any model-based estimate and must survive `None`.
+    fn join_overlap(&self, _rel_a: &str, _col_a: usize, _rel_b: &str, _col_b: usize) -> Option<f64> {
+        None
+    }
 }
 
 impl Source for Catalog {
@@ -44,6 +52,10 @@ impl Source for Catalog {
 
     fn stats(&self, name: &str) -> Option<&RelStats> {
         self.rel_stats(name)
+    }
+
+    fn join_overlap(&self, rel_a: &str, col_a: usize, rel_b: &str, col_b: usize) -> Option<f64> {
+        self.join_stats().overlap(rel_a, col_a, rel_b, col_b)
     }
 }
 
@@ -178,6 +190,20 @@ pub fn eval_cq_bag_traced<S: Source>(
     eval_cq_bag_traced_obs(q, plan, catalog, &Obs::disabled(), &SpanHandle::none())
 }
 
+/// What one executed join step measured — the actuals the feedback loop
+/// compares against the plan's estimates. `bindings / (probes ·
+/// build_rows)` is the observed equijoin selectivity for the step's join
+/// columns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepProfile {
+    /// Binding-table rows after this step.
+    pub bindings: usize,
+    /// Stored rows surviving the filters pushed into the hash build.
+    pub build_rows: usize,
+    /// Binding-table rows probed into the step's hash index.
+    pub probes: usize,
+}
+
 /// [`eval_cq_bag_traced`] with full observability: one child span of
 /// `parent` per executed join step (relation, rows scanned, build rows,
 /// probes, output bindings) and `query.eval.*` counters in `obs`.
@@ -191,6 +217,21 @@ pub fn eval_cq_bag_traced_obs<S: Source>(
     obs: &Obs,
     parent: &SpanHandle,
 ) -> Result<(Relation, Vec<usize>), EvalError> {
+    let (rel, profiles) = eval_cq_bag_profiled_obs(q, plan, catalog, obs, parent)?;
+    Ok((rel, profiles.iter().map(|p| p.bindings).collect()))
+}
+
+/// The full-fidelity evaluator: like [`eval_cq_bag_traced_obs`] but
+/// returning a complete [`StepProfile`] per plan step (parallel to
+/// `plan.order`), which the PDMS feedback loop turns into observed join
+/// selectivities. The other bag evaluators are thin wrappers over this.
+pub fn eval_cq_bag_profiled_obs<S: Source>(
+    q: &ConjunctiveQuery,
+    plan: &Plan,
+    catalog: &S,
+    obs: &Obs,
+    parent: &SpanHandle,
+) -> Result<(Relation, Vec<StepProfile>), EvalError> {
     if !plan.applies_to(q) {
         return Err(EvalError {
             message: format!("plan for {:?} does not apply to {:?}", plan.key(), q.canonical_key()),
@@ -256,14 +297,16 @@ pub fn eval_cq_bag_traced_obs<S: Source>(
         for (_, v) in split.new_vars {
             var_cols.push(v);
         }
+        let probes = rows.len();
         rows = next_rows;
-        trace.push(rows.len());
+        trace.push(StepProfile { bindings: rows.len(), build_rows, probes });
         if rows.is_empty() {
             break;
         }
     }
-    // An empty binding table short-circuits; later steps see 0 bindings.
-    trace.resize(plan.order.len(), 0);
+    // An empty binding table short-circuits; later steps see 0 bindings
+    // (and no build/probe work, so feedback skips them).
+    trace.resize(plan.order.len(), StepProfile::default());
 
     // Apply comparisons.
     let resolve = |t: &Term, binding: &Tuple| -> Option<Value> {

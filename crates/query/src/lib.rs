@@ -40,11 +40,13 @@ pub mod unify;
 pub use ast::{Atom, CmpOp, Comparison, ConjunctiveQuery, Term, UnionQuery};
 pub use containment::{contained_in, equivalent, minimize};
 pub use eval::{
-    eval_cq, eval_cq_bag, eval_cq_bag_planned, eval_cq_bag_traced, eval_cq_bag_traced_obs,
-    eval_naive, eval_naive_bag, eval_naive_union, eval_union, eval_union_with, Source,
+    eval_cq, eval_cq_bag, eval_cq_bag_planned, eval_cq_bag_profiled_obs, eval_cq_bag_traced,
+    eval_cq_bag_traced_obs, eval_naive, eval_naive_bag, eval_naive_union, eval_union,
+    eval_union_with, Source, StepProfile,
 };
 pub use plan::{
-    explain_analyze, plan_cq, plan_cq_with, q_error, ExplainAnalyze, Plan, PlanStep, Strategy,
+    explain_analyze, explain_analyze_with, plan_cq, plan_cq_opts, plan_cq_with, q_error,
+    ExplainAnalyze, JoinPair, Plan, PlanStep, Selectivity, Strategy,
 };
 pub use glav::GlavMapping;
 pub use minicon::rewrite_using_views;

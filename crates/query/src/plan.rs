@@ -48,6 +48,45 @@ impl fmt::Display for Strategy {
     }
 }
 
+/// How equijoin selectivities are estimated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Selectivity {
+    /// The historical model, kept as the E15 ablation baseline: every
+    /// equijoin is `1/max(d1,d2)` (uniform values, full containment), and
+    /// joined-variable distincts are clamped by the running output
+    /// estimate — the clamp that made underestimates compound with depth.
+    Uniform,
+    /// Prefer a learned overlap fed back from executed plans
+    /// ([`Source::join_overlap`]), then the exact MCV-vs-MCV overlap
+    /// `Σ_v fA(v)·fB(v)` when both sides have histograms, and only then
+    /// the uniform assumption.
+    #[default]
+    Adaptive,
+}
+
+impl fmt::Display for Selectivity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Selectivity::Uniform => write!(f, "uniform"),
+            Selectivity::Adaptive => write!(f, "adaptive"),
+        }
+    }
+}
+
+/// One equijoin column pair a step resolves: the step's own column joined
+/// against the binding column first bound by `(other_relation,
+/// other_col)`. This is the attribution the feedback loop needs to turn a
+/// measured step selectivity into a reusable statistic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinPair {
+    /// Column index in this step's relation.
+    pub col: usize,
+    /// Relation that first bound the joined variable.
+    pub other_relation: String,
+    /// Column index in `other_relation`.
+    pub other_col: usize,
+}
+
 /// One join step of a plan (the atom at `Plan::order[i]` of the canonical
 /// body), annotated with the planner's estimates for EXPLAIN output.
 #[derive(Debug, Clone)]
@@ -67,6 +106,12 @@ pub struct PlanStep {
     /// Filters pushed down into the build: constants + repeated-variable
     /// equalities inside the atom.
     pub pushed_filters: usize,
+    /// The equijoin column pairs this step resolves (one per bound
+    /// variable with a known first binder), for feedback attribution.
+    pub join_pairs: Vec<JoinPair>,
+    /// True when the relation was absent from the source at planning
+    /// time — distinct from a genuinely empty relation (`rows == 0`).
+    pub missing: bool,
 }
 
 /// An ordered, costed, explainable join plan for one conjunctive query.
@@ -121,9 +166,13 @@ impl Plan {
                 format!("{how} {}", s.relation)
             })
             .collect();
+        // A relation absent at planning time renders as `missing`, not as
+        // `rows 0` — EXPLAIN must distinguish "not there" from "empty".
+        let rows_cell =
+            |s: &PlanStep| if s.missing { "missing".to_string() } else { s.rows.to_string() };
         let width = |it: &mut dyn Iterator<Item = usize>| it.max().unwrap_or(1);
         let w_access = width(&mut access.iter().map(String::len));
-        let w_rows = width(&mut self.steps.iter().map(|s| s.rows.to_string().len()));
+        let w_rows = width(&mut self.steps.iter().map(|s| rows_cell(s).len()));
         let w_pushed = width(&mut self.steps.iter().map(|s| s.pushed_filters.to_string().len()));
         let w_est_rows = width(&mut self.steps.iter().map(|s| format!("{:.1}", s.est_rows).len()));
         let w_est_bind =
@@ -133,7 +182,7 @@ impl Plan {
                 "  {}. {:<w_access$}  rows {:>w_rows$}  pushed {:>w_pushed$}  est rows ~{:>w_est_rows$.1}  est bind ~{:>w_est_bind$.1}",
                 i + 1,
                 access[i],
-                s.rows,
+                rows_cell(s),
                 s.pushed_filters,
                 s.est_rows,
                 s.est_bindings,
@@ -220,11 +269,33 @@ pub fn explain_analyze<S: Source>(
     q: &ConjunctiveQuery,
     source: &S,
 ) -> Result<ExplainAnalyze, crate::eval::EvalError> {
-    let plan = plan_cq(q, source);
+    explain_analyze_with(q, source, Strategy::CostBased, Selectivity::default())
+}
+
+/// [`explain_analyze`] with an explicit strategy and selectivity model —
+/// how the E15 experiment replays the historical estimator side by side
+/// with the adaptive one.
+pub fn explain_analyze_with<S: Source>(
+    q: &ConjunctiveQuery,
+    source: &S,
+    strategy: Strategy,
+    selectivity: Selectivity,
+) -> Result<ExplainAnalyze, crate::eval::EvalError> {
+    let plan = plan_cq_opts(q, source, strategy, selectivity);
     let (rel, actual_bindings) = crate::eval::eval_cq_bag_traced(q, &plan, source)?;
     let derivations = rel.len();
     let answers = rel.distinct().len();
     Ok(ExplainAnalyze { plan, actual_bindings, derivations, answers })
+}
+
+/// What the planner tracks per bound variable: the running distinct-count
+/// estimate plus which `(relation, column)` bound it first — the
+/// provenance that lets a later join look up measured or MCV overlap for
+/// the actual column pair being joined.
+#[derive(Debug, Clone)]
+struct VarBound {
+    distinct: f64,
+    origin: Option<(String, usize)>,
 }
 
 /// What the planner knows about one candidate atom against the current
@@ -240,16 +311,47 @@ struct CandidateEstimate {
     pushed: usize,
     /// Raw relation size (`usize::MAX` when missing, like the old greedy).
     raw_size: usize,
-    /// Per new variable: (name, estimated distinct count).
-    new_vars: Vec<(String, f64)>,
+    /// Per new variable: (name, estimated distinct count, atom column).
+    new_vars: Vec<(String, f64, usize)>,
     /// Per joined variable: (name, distinct estimate on the atom side).
     joined_vars: Vec<(String, f64)>,
+    /// Equijoin column pairs with known provenance (see [`JoinPair`]).
+    join_pairs: Vec<JoinPair>,
+}
+
+/// Selectivity of joining `atom`'s column `i` against an already-bound
+/// variable, best evidence first: a learned observation for the exact
+/// column pair, the MCV-vs-MCV overlap of the two histograms, and only
+/// then the uniform `1/max(d1,d2)` containment assumption.
+fn join_pair_selectivity<S: Source>(
+    source: &S,
+    selectivity: Selectivity,
+    atom_rel: &str,
+    i: usize,
+    d_atom: f64,
+    vb: &VarBound,
+) -> f64 {
+    let uniform = 1.0 / d_atom.max(vb.distinct).max(1.0);
+    if selectivity == Selectivity::Uniform {
+        return uniform;
+    }
+    let Some((o_rel, o_col)) = &vb.origin else { return uniform };
+    if let Some(learned) = source.join_overlap(atom_rel, i, o_rel, *o_col) {
+        return learned;
+    }
+    match (source.stats(atom_rel), source.stats(o_rel)) {
+        (Some(sa), Some(sb)) => {
+            revere_storage::mcv_join_overlap(sa, i, sb, *o_col).unwrap_or(uniform)
+        }
+        _ => uniform,
+    }
 }
 
 fn estimate<S: Source>(
     atom: &crate::ast::Atom,
     source: &S,
-    bound: &HashMap<String, f64>,
+    selectivity: Selectivity,
+    bound: &HashMap<String, VarBound>,
     cur_bindings: f64,
 ) -> CandidateEstimate {
     let rel = source.relation(&atom.relation);
@@ -261,8 +363,9 @@ fn estimate<S: Source>(
     let mut join_sel = 1.0f64;
     let mut join_width = 0usize;
     let mut seen_in_atom: HashMap<&str, usize> = HashMap::new();
-    let mut new_vars: Vec<(String, f64)> = Vec::new();
+    let mut new_vars: Vec<(String, f64, usize)> = Vec::new();
     let mut joined_vars: Vec<(String, f64)> = Vec::new();
+    let mut join_pairs: Vec<JoinPair> = Vec::new();
     for (i, t) in atom.terms.iter().enumerate() {
         match t {
             Term::Const(c) => {
@@ -284,30 +387,60 @@ fn estimate<S: Source>(
                     .map(|s| s.distinct(i) as f64)
                     .unwrap_or_else(|| rows.sqrt())
                     .max(1.0);
-                if let Some(&d_bound) = bound.get(v) {
-                    join_sel /= d_atom.max(d_bound).max(1.0);
+                if let Some(vb) = bound.get(v) {
+                    join_sel *=
+                        join_pair_selectivity(source, selectivity, &atom.relation, i, d_atom, vb);
                     join_width += 1;
                     joined_vars.push((v.clone(), d_atom));
+                    if let Some((o_rel, o_col)) = &vb.origin {
+                        join_pairs.push(JoinPair {
+                            col: i,
+                            other_relation: o_rel.clone(),
+                            other_col: *o_col,
+                        });
+                    }
                 } else {
-                    new_vars.push((v.clone(), d_atom));
+                    new_vars.push((v.clone(), d_atom, i));
                 }
             }
         }
     }
     let est_out = (cur_bindings * eff * join_sel).max(0.0);
-    CandidateEstimate { eff_rows: eff, est_out, join_width, pushed, raw_size, new_vars, joined_vars }
+    CandidateEstimate {
+        eff_rows: eff,
+        est_out,
+        join_width,
+        pushed,
+        raw_size,
+        new_vars,
+        joined_vars,
+        join_pairs,
+    }
 }
 
-/// Plan `q` against `source` with the default cost-based strategy.
+/// Plan `q` against `source` with the default cost-based strategy and
+/// adaptive selectivity.
 pub fn plan_cq<S: Source>(q: &ConjunctiveQuery, source: &S) -> Plan {
     plan_cq_with(q, source, Strategy::CostBased)
 }
 
-/// Plan `q` against `source` with an explicit strategy.
+/// Plan `q` against `source` with an explicit strategy (adaptive
+/// selectivity).
 pub fn plan_cq_with<S: Source>(q: &ConjunctiveQuery, source: &S, strategy: Strategy) -> Plan {
+    plan_cq_opts(q, source, strategy, Selectivity::default())
+}
+
+/// Plan `q` against `source` with an explicit strategy and selectivity
+/// model.
+pub fn plan_cq_opts<S: Source>(
+    q: &ConjunctiveQuery,
+    source: &S,
+    strategy: Strategy,
+    selectivity: Selectivity,
+) -> Plan {
     let canonical = q.canonical_order();
     let mut remaining: Vec<usize> = (0..canonical.len()).collect();
-    let mut bound: HashMap<String, f64> = HashMap::new();
+    let mut bound: HashMap<String, VarBound> = HashMap::new();
     let mut cur = 1.0f64;
     let mut order = Vec::with_capacity(canonical.len());
     let mut steps = Vec::with_capacity(canonical.len());
@@ -317,7 +450,7 @@ pub fn plan_cq_with<S: Source>(q: &ConjunctiveQuery, source: &S, strategy: Strat
         // Estimate every remaining atom against the current bindings.
         let ests: Vec<(usize, CandidateEstimate)> = remaining
             .iter()
-            .map(|&ci| (ci, estimate(&q.body[canonical[ci]], source, &bound, cur)))
+            .map(|&ci| (ci, estimate(&q.body[canonical[ci]], source, selectivity, &bound, cur)))
             .collect();
         let connected = ests.iter().any(|(_, e)| e.join_width > 0);
         let pick = match strategy {
@@ -352,11 +485,27 @@ pub fn plan_cq_with<S: Source>(q: &ConjunctiveQuery, source: &S, strategy: Strat
         // Account the step and update the planner state.
         cost += est.eff_rows + est.est_out;
         for (v, d_atom) in &est.joined_vars {
-            let d = bound.get(v).copied().unwrap_or(f64::MAX).min(*d_atom);
-            bound.insert(v.clone(), d.min(est.est_out.max(1.0)));
+            // Containment: a join never grows a variable's distinct count.
+            let prev = bound.get(v);
+            let mut d = prev.map(|b| b.distinct).unwrap_or(f64::MAX).min(*d_atom);
+            if selectivity == Selectivity::Uniform {
+                // Historical model only: also clamp by the running output
+                // estimate. With compounding underestimates this drives
+                // `d` toward 1 and every later `1/max(d1,d2)` toward the
+                // wrong side — the depth-2 q-error cliff E14a measured.
+                d = d.min(est.est_out.max(1.0));
+            }
+            let origin = prev.and_then(|b| b.origin.clone());
+            bound.insert(v.clone(), VarBound { distinct: d, origin });
         }
-        for (v, d) in &est.new_vars {
-            bound.insert(v.clone(), d.min(est.est_out.max(1.0)));
+        for (v, d, col) in &est.new_vars {
+            bound.insert(
+                v.clone(),
+                VarBound {
+                    distinct: d.min(est.est_out.max(1.0)),
+                    origin: Some((atom.relation.clone(), *col)),
+                },
+            );
         }
         steps.push(PlanStep {
             relation: atom.relation.clone(),
@@ -365,6 +514,8 @@ pub fn plan_cq_with<S: Source>(q: &ConjunctiveQuery, source: &S, strategy: Strat
             est_bindings: est.est_out,
             join_width: est.join_width,
             pushed_filters: est.pushed,
+            join_pairs: est.join_pairs.clone(),
+            missing: est.raw_size == usize::MAX,
         });
         cur = est.est_out;
         order.push(*ci);
@@ -499,6 +650,89 @@ mod tests {
         let q = parse_query("q(X) :- ghost(X), small(X, Y)").unwrap();
         let plan = plan_cq(&q, &skewed_catalog());
         assert_eq!(plan.order.len(), 2);
+        let ghost = plan.steps.iter().find(|s| s.relation == "ghost").unwrap();
+        assert!(ghost.missing);
+        assert_eq!(ghost.rows, 0);
+    }
+
+    #[test]
+    fn missing_relation_renders_as_missing_not_rows_zero() {
+        let mut c = Catalog::new();
+        // A genuinely empty relation, for contrast with a missing one.
+        c.create(RelSchema::text("empty", &["k"]));
+        let q = parse_query("q(X) :- ghost(X), empty(X)").unwrap();
+        let plan = plan_cq(&q, &c);
+        let text = plan.render(None);
+        let ghost_line = text.lines().find(|l| l.contains(" ghost")).unwrap();
+        let empty_line = text.lines().find(|l| l.contains(" empty")).unwrap();
+        assert!(ghost_line.contains("rows missing"), "{text}");
+        assert!(!empty_line.contains("missing"), "empty is not missing: {text}");
+        // The aligned-prefix invariant holds with the marker in play.
+        let analyze = plan.render(Some(&[0, 0]));
+        for (e, a) in text.lines().zip(analyze.lines()) {
+            assert!(a.starts_with(e), "not a prefix:\n{e}\n{a}");
+        }
+    }
+
+    #[test]
+    fn adaptive_estimates_use_mcv_overlap() {
+        // Two relations joining on a skewed key: `hot` is 9 of 10 rows on
+        // one side, so uniform 1/max(d1,d2) badly underestimates.
+        let mut c = Catalog::new();
+        let mut a = Relation::new(RelSchema::text("a", &["k"]));
+        let mut b = Relation::new(RelSchema::text("b", &["k", "v"]));
+        for i in 0..10i64 {
+            let k = if i < 9 { "hot".to_string() } else { format!("cold{i}") };
+            a.insert(vec![Value::str(k.clone())]);
+            b.insert(vec![Value::str(k), Value::Int(i)]);
+        }
+        c.register(a);
+        c.register(b);
+        let q = parse_query("q(K, V) :- a(K), b(K, V)").unwrap();
+        let adaptive = plan_cq_opts(&q, &c, Strategy::CostBased, Selectivity::Adaptive);
+        let uniform = plan_cq_opts(&q, &c, Strategy::CostBased, Selectivity::Uniform);
+        // True join output: 9·9 + 1·1 = 82 bindings.
+        let est_a = adaptive.steps.last().unwrap().est_bindings;
+        let est_u = uniform.steps.last().unwrap().est_bindings;
+        assert!((est_a - 82.0).abs() < 1e-6, "MCV overlap is exact here, got {est_a}");
+        assert!(est_u < 60.0, "uniform should underestimate the skewed join, got {est_u}");
+    }
+
+    #[test]
+    fn learned_overlap_beats_the_model() {
+        let mut c = skewed_catalog();
+        let q = parse_query("q(V) :- small(K, V), big(K, T)").unwrap();
+        let before = plan_cq(&q, &c);
+        // Feed back a measured selectivity for the joined pair; the next
+        // plan's estimate must reflect it exactly.
+        let (first, second) = (&before.steps[0], &before.steps[1]);
+        let pair = &second.join_pairs[0];
+        assert_eq!(pair.other_relation, first.relation);
+        assert!(c.note_join_overlap(&second.relation, pair.col, &pair.other_relation, pair.other_col, 0.5));
+        let after = plan_cq(&q, &c);
+        let probe = after.steps.iter().find(|s| s.join_width > 0).unwrap();
+        let expected = after.steps[0].est_rows * probe.est_rows * 0.5;
+        assert!(
+            (probe.est_bindings - expected).abs() < 1e-6,
+            "learned selectivity should drive the estimate: {after}"
+        );
+    }
+
+    #[test]
+    fn uniform_mode_reproduces_the_historical_estimator() {
+        let c = skewed_catalog();
+        let q = parse_query("q(V) :- small(K, V), big(K, 'rare')").unwrap();
+        let plan = plan_cq_opts(&q, &c, Strategy::CostBased, Selectivity::Uniform);
+        // Historical model: `big['rare']` leads with est 2 rows, which
+        // clamps K's distinct estimate to 2; the probe into small (50
+        // rows, d(K)=50) then gets join_sel 1/max(50, 2) = 1/50.
+        let probe = plan.steps.iter().find(|s| s.join_width > 0).unwrap();
+        let lead = plan.steps.iter().find(|s| s.join_width == 0).unwrap();
+        let expected = lead.est_rows * probe.est_rows / 50.0;
+        assert!(
+            (probe.est_bindings - expected).abs() < 1e-6,
+            "uniform containment estimate changed: {plan}"
+        );
     }
 
     #[test]

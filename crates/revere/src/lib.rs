@@ -72,10 +72,11 @@ pub mod prelude {
         Reformulator, ReliableLink, SequencedGram, Updategram, XmlMapping,
     };
     pub use revere_query::{
-        contained_in, eval_cq, eval_cq_bag, eval_cq_bag_planned, eval_cq_bag_traced, eval_naive,
-        eval_naive_bag, eval_naive_union, eval_union, explain_analyze, minimize, parse_query,
-        plan_cq, plan_cq_with, q_error, rewrite_using_views, unfold_with, ConjunctiveQuery,
-        ExplainAnalyze, GlavMapping, Plan, Strategy, UnionQuery, ViewDef,
+        contained_in, eval_cq, eval_cq_bag, eval_cq_bag_planned, eval_cq_bag_profiled_obs,
+        eval_cq_bag_traced, eval_naive, eval_naive_bag, eval_naive_union, eval_union,
+        explain_analyze, explain_analyze_with, minimize, parse_query, plan_cq, plan_cq_opts,
+        plan_cq_with, q_error, rewrite_using_views, unfold_with, ConjunctiveQuery, ExplainAnalyze,
+        GlavMapping, Plan, Selectivity, StepProfile, Strategy, UnionQuery, ViewDef,
     };
     pub use revere_storage::{
         Catalog, DbSchema, RelSchema, Relation, TripleStore, Value,

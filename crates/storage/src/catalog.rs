@@ -22,7 +22,7 @@
 
 use crate::relation::Relation;
 use crate::schema::{DbSchema, RelSchema};
-use crate::stats::RelStats;
+use crate::stats::{JoinStats, RelStats};
 use crate::value::Value;
 use std::collections::BTreeMap;
 use std::sync::{Arc, RwLock};
@@ -41,6 +41,12 @@ pub struct Catalog {
     /// [`Catalog::get_mut`] loses its entry (the mutation is opaque) until
     /// the next [`Catalog::analyze`] or re-registration.
     stats: BTreeMap<String, RelStats>,
+    /// The last clean stats of relations dirtied via [`Catalog::get_mut`],
+    /// kept so [`Catalog::analyze`] can tell a real change from a no-op
+    /// round-trip and leave the epoch alone for the latter.
+    dirty: BTreeMap<String, RelStats>,
+    /// Learned equijoin selectivities fed back from executed plans.
+    join_stats: JoinStats,
     epoch: u64,
 }
 
@@ -55,6 +61,7 @@ impl Catalog {
     pub fn register(&mut self, rel: Relation) {
         let name = rel.schema.name.clone();
         self.stats.insert(name.clone(), RelStats::compute(&rel));
+        self.dirty.remove(&name);
         self.relations.insert(name, rel);
         self.epoch += 1;
     }
@@ -78,7 +85,9 @@ impl Catalog {
     pub fn get_mut(&mut self, name: &str) -> Option<&mut Relation> {
         let r = self.relations.get_mut(name);
         if r.is_some() {
-            self.stats.remove(name);
+            if let Some(old) = self.stats.remove(name) {
+                self.dirty.insert(name.to_string(), old);
+            }
             self.epoch += 1;
         }
         r
@@ -100,6 +109,22 @@ impl Catalog {
         }
     }
 
+    /// Delete every copy of `row` from a named relation, returning how
+    /// many rows were actually removed. Statistics are noted with that
+    /// exact count (so a delete-of-absent cannot desync them), and the
+    /// epoch only moves when something really changed.
+    pub fn delete(&mut self, rel: &str, row: &[Value]) -> usize {
+        let Some(r) = self.relations.get_mut(rel) else { return 0 };
+        let removed = r.delete(row);
+        if removed > 0 {
+            if let Some(s) = self.stats.get_mut(rel) {
+                s.note_delete_n(row, removed);
+            }
+            self.epoch += 1;
+        }
+        removed
+    }
+
     /// Current statistics for a relation, if clean. `None` for unknown
     /// relations and for relations dirtied via [`Catalog::get_mut`].
     pub fn rel_stats(&self, name: &str) -> Option<&RelStats> {
@@ -108,18 +133,60 @@ impl Catalog {
 
     /// Recompute statistics for every relation that lacks a clean entry.
     /// Returns how many relations were (re)analyzed.
+    ///
+    /// The epoch moves only when some recomputed statistics actually
+    /// differ from the last clean ones: a `get_mut` round-trip that left
+    /// the data equivalent must not shift downstream cache epochs and
+    /// flush every warm reformulation/plan cache for a no-op.
     pub fn analyze(&mut self) -> usize {
         let mut analyzed = 0;
+        let mut changed = 0;
         for (name, rel) in &self.relations {
             if !self.stats.contains_key(name) {
-                self.stats.insert(name.clone(), RelStats::compute(rel));
+                let fresh = RelStats::compute(rel);
+                if self.dirty.remove(name).as_ref() != Some(&fresh) {
+                    changed += 1;
+                }
+                self.stats.insert(name.clone(), fresh);
                 analyzed += 1;
             }
         }
-        if analyzed > 0 {
+        if changed > 0 {
             self.epoch += 1;
         }
         analyzed
+    }
+
+    /// The learned join-overlap store (see [`crate::stats::JoinStats`]).
+    pub fn join_stats(&self) -> &JoinStats {
+        &self.join_stats
+    }
+
+    /// Record an observed equijoin selectivity fed back from an executed
+    /// plan. The epoch is bumped **only** when the stored estimate
+    /// materially changed — re-observing a well-calibrated join must not
+    /// flush warm plan caches keyed on the epoch. Returns whether the
+    /// store changed.
+    pub fn note_join_overlap(
+        &mut self,
+        rel_a: &str,
+        col_a: usize,
+        rel_b: &str,
+        col_b: usize,
+        sel: f64,
+    ) -> bool {
+        let changed = self.join_stats.note(rel_a, col_a, rel_b, col_b, sel);
+        if changed {
+            self.epoch += 1;
+        }
+        changed
+    }
+
+    /// Import learned join stats wholesale (e.g. into a per-query staging
+    /// catalog or a merged snapshot). Does **not** bump the epoch: the
+    /// observations were already accounted for where they were recorded.
+    pub fn absorb_join_stats(&mut self, other: &JoinStats) {
+        self.join_stats.absorb(other);
     }
 
     /// The stats epoch: strictly increases with every catalog mutation
@@ -240,6 +307,65 @@ mod tests {
         let stable = c.stats_epoch();
         assert_eq!(c.analyze(), 0);
         assert_eq!(c.stats_epoch(), stable);
+    }
+
+    #[test]
+    fn analyze_after_a_no_op_get_mut_leaves_the_epoch_alone() {
+        let mut c = Catalog::new();
+        c.create(RelSchema::text("t", &["v"]));
+        c.insert("t", vec![Value::str("a")]);
+        // Borrow mutably but change nothing observable.
+        assert_eq!(c.get_mut("t").unwrap().len(), 1);
+        let after_dirty = c.stats_epoch();
+        assert_eq!(c.analyze(), 1, "the dirtied relation is recomputed");
+        assert_eq!(c.stats_epoch(), after_dirty, "identical stats must not bump the epoch");
+        assert_eq!(c.rel_stats("t").unwrap().rows, 1);
+        // A get_mut that really changes data still bumps on analyze.
+        c.get_mut("t").unwrap().insert(vec![Value::str("b")]);
+        let dirtied = c.stats_epoch();
+        assert_eq!(c.analyze(), 1);
+        assert!(c.stats_epoch() > dirtied, "changed stats bump the epoch");
+    }
+
+    #[test]
+    fn delete_notes_only_rows_actually_removed() {
+        let mut c = Catalog::new();
+        c.create(RelSchema::text("t", &["v"]));
+        c.insert("t", vec![Value::str("a")]);
+        c.insert("t", vec![Value::str("a")]);
+        c.insert("t", vec![Value::str("b")]);
+        let e = c.stats_epoch();
+        // Deleting an absent row changes nothing — not even the epoch.
+        assert_eq!(c.delete("t", &[Value::str("ghost")]), 0);
+        assert_eq!(c.stats_epoch(), e);
+        assert_eq!(c.rel_stats("t").unwrap().rows, 3);
+        // Deleting a duplicated row removes (and notes) both copies.
+        assert_eq!(c.delete("t", &[Value::str("a")]), 2);
+        assert!(c.stats_epoch() > e);
+        let s = c.rel_stats("t").unwrap();
+        assert_eq!(s.rows, 1);
+        assert_eq!(s.distinct(0), 1);
+        assert_eq!(s, &crate::stats::RelStats::compute(c.get("t").unwrap()));
+        assert_eq!(c.delete("missing", &[Value::str("x")]), 0);
+    }
+
+    #[test]
+    fn join_overlap_feedback_bumps_the_epoch_only_on_material_change() {
+        let mut c = Catalog::new();
+        let e0 = c.stats_epoch();
+        assert!(c.note_join_overlap("A.r", 0, "B.r", 1, 0.25));
+        let e1 = c.stats_epoch();
+        assert!(e1 > e0, "a new observation shifts the epoch");
+        assert_eq!(c.join_stats().overlap("B.r", 1, "A.r", 0), Some(0.25));
+        // Re-observing the same selectivity is a no-op for the epoch.
+        assert!(!c.note_join_overlap("A.r", 0, "B.r", 1, 0.25));
+        assert_eq!(c.stats_epoch(), e1);
+        // Absorbing into a staging catalog never moves its epoch.
+        let mut staging = Catalog::new();
+        let se = staging.stats_epoch();
+        staging.absorb_join_stats(c.join_stats());
+        assert_eq!(staging.stats_epoch(), se);
+        assert_eq!(staging.join_stats().overlap("A.r", 0, "B.r", 1), Some(0.25));
     }
 
     #[test]

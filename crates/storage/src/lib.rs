@@ -34,6 +34,6 @@ pub use engine::{AggFn, Predicate};
 pub use index::HashIndex;
 pub use relation::{Relation, Tuple};
 pub use schema::{AttrType, Attribute, DbSchema, RelSchema};
-pub use stats::{ColumnStats, RelStats};
+pub use stats::{mcv_join_overlap, ColumnStats, JoinObservation, JoinStats, RelStats};
 pub use triples::{Triple, TripleStore};
 pub use value::Value;

@@ -61,9 +61,9 @@ impl Relation {
     }
 
     /// Remove every occurrence of `row`; returns how many were removed.
-    pub fn delete(&mut self, row: &Tuple) -> usize {
+    pub fn delete(&mut self, row: &[Value]) -> usize {
         let before = self.rows.len();
-        self.rows.retain(|r| r != row);
+        self.rows.retain(|r| r.as_slice() != row);
         before - self.rows.len()
     }
 

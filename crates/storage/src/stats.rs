@@ -46,6 +46,11 @@ impl ColumnStats {
         all
     }
 
+    /// Iterate over the full value→count histogram in value order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Value, usize)> {
+        self.counts.iter().map(|(v, &c)| (v, c))
+    }
+
     fn note(&mut self, v: &Value, delta: isize) {
         let c = self.counts.entry(v.clone()).or_insert(0);
         if delta >= 0 {
@@ -90,10 +95,26 @@ impl RelStats {
     }
 
     /// Account for one removed row.
-    pub fn note_delete(&mut self, row: &Tuple) {
-        self.rows = self.rows.saturating_sub(1);
+    ///
+    /// The caller must only report rows that were *actually* removed:
+    /// noting a row that was never present decrements `rows` while the
+    /// column histograms (which saturate at zero) may not shrink, silently
+    /// desyncing the stats. Delete paths that may miss should use
+    /// [`RelStats::note_delete_n`] with the count the relation reported.
+    pub fn note_delete(&mut self, row: &[Value]) {
+        self.note_delete_n(row, 1);
+    }
+
+    /// Account for `n` removed copies of `row` — `n` as reported by
+    /// [`Relation::delete`], so a delete-of-absent (`n == 0`) is a no-op
+    /// instead of a silent desync.
+    pub fn note_delete_n(&mut self, row: &[Value], n: usize) {
+        if n == 0 {
+            return;
+        }
+        self.rows = self.rows.saturating_sub(n);
         for (col, v) in self.columns.iter_mut().zip(row) {
-            col.note(v, -1);
+            col.note(v, -(n as isize));
         }
     }
 
@@ -124,6 +145,142 @@ impl RelStats {
     pub fn selectivity_self_join(&self, a: usize, b: usize) -> f64 {
         let d = self.distinct(a).max(self.distinct(b)).max(1);
         1.0 / d as f64
+    }
+}
+
+/// MCV-vs-MCV equijoin overlap: the probability that a random row of `a`
+/// and a random row of `b` agree on the given columns, `Σ_v fA(v)·fB(v)`.
+///
+/// The histograms are exact, so this is the exact match probability under
+/// row independence — it degrades gracefully to the classic
+/// `1/max(d1,d2)` only when both columns are uniform with containment,
+/// which is precisely the assumption it replaces. Disjoint columns get a
+/// small positive floor (mirroring [`RelStats::selectivity_eq`]) so the
+/// planner still ranks orders instead of seeing a wall of zeros. Returns
+/// `None` when either column is missing or either relation is empty.
+pub fn mcv_join_overlap(a: &RelStats, a_col: usize, b: &RelStats, b_col: usize) -> Option<f64> {
+    if a.rows == 0 || b.rows == 0 {
+        return None;
+    }
+    let (ca, cb) = (a.columns.get(a_col)?, b.columns.get(b_col)?);
+    // Walk the smaller histogram, probe the larger one.
+    let (small, large) = if ca.distinct() <= cb.distinct() { (ca, cb) } else { (cb, ca) };
+    let mut matches = 0usize;
+    for (v, n) in small.iter() {
+        matches += n * large.count_of(v);
+    }
+    let total = (a.rows * b.rows) as f64;
+    if matches == 0 {
+        Some(0.5 / total)
+    } else {
+        Some(matches as f64 / total)
+    }
+}
+
+/// One learned join-overlap observation: the selectivity measured from an
+/// executed hash join, plus how many times the pair has been observed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JoinObservation {
+    /// Measured `bindings / (probes · build_rows)` from the last
+    /// execution that exceeded the re-plan threshold.
+    pub selectivity: f64,
+    /// How many executions have reported this pair.
+    pub observations: u64,
+}
+
+/// A normalized `(relation, column)` pair identifying one equijoin edge.
+/// Sides are ordered lexicographically so `(A.x, B.y)` and `(B.y, A.x)`
+/// share one entry.
+pub type JoinKey = ((String, usize), (String, usize));
+
+fn join_key(rel_a: &str, col_a: usize, rel_b: &str, col_b: usize) -> JoinKey {
+    let a = (rel_a.to_string(), col_a);
+    let b = (rel_b.to_string(), col_b);
+    if a <= b { (a, b) } else { (b, a) }
+}
+
+/// Learned equijoin selectivities keyed by normalized column pair.
+///
+/// This is the feedback half of the estimator: the PDMS records observed
+/// build/probe hit rates from executed hash joins here, and the planner
+/// prefers a recorded overlap over any model-based estimate. Everything
+/// is a `BTreeMap` of values derived from integer counts, so two
+/// identical runs produce byte-identical stores ([`JoinStats::dump`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JoinStats {
+    entries: BTreeMap<JoinKey, JoinObservation>,
+}
+
+impl JoinStats {
+    /// The learned selectivity for a column pair, if one was recorded.
+    pub fn overlap(&self, rel_a: &str, col_a: usize, rel_b: &str, col_b: usize) -> Option<f64> {
+        self.entries.get(&join_key(rel_a, col_a, rel_b, col_b)).map(|o| o.selectivity)
+    }
+
+    /// Record an observed selectivity for a column pair. Returns `true`
+    /// when the stored estimate materially changed — callers use this to
+    /// decide whether caches keyed on the stats epoch must be invalidated
+    /// (a re-observation of the same value must not flush warm caches).
+    pub fn note(&mut self, rel_a: &str, col_a: usize, rel_b: &str, col_b: usize, sel: f64) -> bool {
+        let entry = self
+            .entries
+            .entry(join_key(rel_a, col_a, rel_b, col_b))
+            .or_insert(JoinObservation { selectivity: f64::NAN, observations: 0 });
+        entry.observations += 1;
+        let changed = !(entry.selectivity == sel
+            || (entry.selectivity - sel).abs() <= 1e-9 * entry.selectivity.abs());
+        entry.selectivity = sel;
+        changed
+    }
+
+    /// Number of recorded pairs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been learned yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over recorded pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&JoinKey, &JoinObservation)> {
+        self.entries.iter()
+    }
+
+    /// The subset of entries whose key mentions `rel` (either side).
+    pub fn mentioning(&self, rel: &str) -> JoinStats {
+        JoinStats {
+            entries: self
+                .entries
+                .iter()
+                .filter(|((a, b), _)| a.0 == rel || b.0 == rel)
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+        }
+    }
+
+    /// Merge `other` into `self`, overwriting overlapping keys (the
+    /// incoming side is the fresher observation).
+    pub fn absorb(&mut self, other: &JoinStats) {
+        for (k, v) in &other.entries {
+            self.entries.insert(k.clone(), *v);
+        }
+    }
+
+    /// Deterministic one-line-per-entry rendering, for byte-identity
+    /// assertions in determinism tests.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (((ra, ca), (rb, cb)), o) in &self.entries {
+            let _ = writeln!(
+                out,
+                "{ra}[{ca}] ⋈ {rb}[{cb}]  sel {:.6e}  obs {}",
+                o.selectivity, o.observations
+            );
+        }
+        out
     }
 }
 
@@ -161,6 +318,24 @@ mod tests {
         r.delete(&gone);
         s.note_delete(&gone);
         assert_eq!(s, RelStats::compute(&r));
+        // Delete-of-absent: the relation reports 0 rows removed, and
+        // noting that count leaves the stats untouched (the old
+        // `note_delete` path would desync rows vs histograms here).
+        let absent = vec![Value::str("ghost"), Value::str("9")];
+        let removed = r.delete(&absent);
+        assert_eq!(removed, 0);
+        s.note_delete_n(&absent, removed);
+        assert_eq!(s, RelStats::compute(&r));
+        // A row that exists twice is noted with its true count.
+        let dup = vec![Value::str("d"), Value::str("5")];
+        r.insert(dup.clone());
+        r.insert(dup.clone());
+        s.note_insert(&dup);
+        s.note_insert(&dup);
+        let removed = r.delete(&dup);
+        assert_eq!(removed, 2);
+        s.note_delete_n(&dup, removed);
+        assert_eq!(s, RelStats::compute(&r));
     }
 
     #[test]
@@ -189,5 +364,65 @@ mod tests {
         assert_eq!(s.rows, 0);
         assert_eq!(s.distinct(0), 0);
         assert_eq!(s.selectivity_eq(0, &"x".into()), 0.0);
+    }
+
+    #[test]
+    fn mcv_overlap_is_exact_match_probability() {
+        // a.b = {1, 1, 2}; rel column 1 has "1" twice, "2" once.
+        let a = RelStats::compute(&rel());
+        // Self-overlap on column 1: (2·2 + 1·1) / (3·3) = 5/9.
+        let sel = mcv_join_overlap(&a, 1, &a, 1).unwrap();
+        assert!((sel - 5.0 / 9.0).abs() < 1e-9, "got {sel}");
+        // Under uniform containment it reduces to 1/max(d1,d2).
+        let mut u = Relation::new(RelSchema::text("u", &["k"]));
+        for k in 0..4 {
+            u.insert(vec![Value::str(format!("{k}"))]);
+        }
+        let su = RelStats::compute(&u);
+        let sel = mcv_join_overlap(&su, 0, &su, 0).unwrap();
+        assert!((sel - 0.25).abs() < 1e-9, "uniform self-overlap should be 1/d, got {sel}");
+        // Disjoint columns: small positive floor, never zero.
+        let mut w = Relation::new(RelSchema::text("w", &["k"]));
+        w.insert(vec![Value::str("elsewhere")]);
+        let sw = RelStats::compute(&w);
+        let sel = mcv_join_overlap(&su, 0, &sw, 0).unwrap();
+        assert!(sel > 0.0 && sel < 0.25, "disjoint floor, got {sel}");
+        // Missing column or empty relation: no estimate.
+        assert_eq!(mcv_join_overlap(&su, 7, &sw, 0), None);
+        let empty = RelStats::compute(&Relation::new(RelSchema::text("e", &["k"])));
+        assert_eq!(mcv_join_overlap(&su, 0, &empty, 0), None);
+    }
+
+    #[test]
+    fn join_stats_normalize_keys_and_report_material_change() {
+        let mut js = JoinStats::default();
+        assert!(js.is_empty());
+        assert!(js.note("B.r", 1, "A.r", 0, 0.125), "first observation is a change");
+        // Symmetric lookup through the normalized key.
+        assert_eq!(js.overlap("A.r", 0, "B.r", 1), Some(0.125));
+        assert_eq!(js.overlap("B.r", 1, "A.r", 0), Some(0.125));
+        assert_eq!(js.overlap("A.r", 0, "B.r", 0), None);
+        // Re-observing the same value is not a material change...
+        assert!(!js.note("A.r", 0, "B.r", 1, 0.125));
+        // ...but a different value is.
+        assert!(js.note("A.r", 0, "B.r", 1, 0.5));
+        assert_eq!(js.len(), 1);
+        // The dump is deterministic and carries the observation count.
+        assert_eq!(js.dump(), "A.r[0] ⋈ B.r[1]  sel 5.000000e-1  obs 3\n");
+    }
+
+    #[test]
+    fn join_stats_filter_and_absorb() {
+        let mut js = JoinStats::default();
+        js.note("A.r", 0, "B.r", 0, 0.1);
+        js.note("B.r", 1, "C.r", 0, 0.2);
+        let only_a = js.mentioning("A.r");
+        assert_eq!(only_a.len(), 1);
+        assert_eq!(only_a.overlap("A.r", 0, "B.r", 0), Some(0.1));
+        let mut other = JoinStats::default();
+        other.note("A.r", 0, "B.r", 0, 0.9);
+        js.absorb(&other);
+        assert_eq!(js.len(), 2);
+        assert_eq!(js.overlap("A.r", 0, "B.r", 0), Some(0.9), "absorb overwrites");
     }
 }

@@ -43,4 +43,12 @@ cargo run --release --offline -p revere-bench --bin report E13
 # E14 smoke: the observability experiment must run end to end — its
 # sweep asserts the traced run returns exactly the untraced answers.
 cargo run --release --offline -p revere-bench --bin report E14
+
+# E15 gate: the adaptive-statistics experiment asserts in-process that
+# post-feedback p90 q-error at every step depth >= 2 stays within the
+# checked-in threshold, on both its workloads — running the report IS
+# the calibration regression gate. Override the seed with
+# REVERE_E15_SEED=... and the threshold with REVERE_E15_MAX_P90=...
+echo "calibration gate: seed ${REVERE_E15_SEED:-1013}, max p90 ${REVERE_E15_MAX_P90:-4.0}"
+cargo run --release --offline -p revere-bench --bin report E15
 echo "verify: OK"

@@ -179,6 +179,34 @@ fn planned_evaluator_agrees_with_naive_oracle() {
     }
 }
 
+/// Learned join statistics steer the *planner*, never the *answers*: a
+/// catalog poisoned with arbitrary (including wildly wrong) learned
+/// overlaps must evaluate every query exactly like the naive oracle, and
+/// the uniform-selectivity plan of the same query must agree row for row.
+#[test]
+fn learned_statistics_never_change_answers() {
+    for case in 0..32 {
+        let mut g = case_gen(40_000 + case);
+        let mut catalog = random_catalog(&mut g);
+        let names: Vec<String> = catalog.names().map(str::to_string).collect();
+        for _ in 0..*g.pick(&[1usize, 2, 4]) {
+            let ra = g.pick(&names).clone();
+            let rb = g.pick(&names).clone();
+            let (ca, cb) = (*g.pick(&[0usize, 1, 2]), *g.pick(&[0usize, 1, 2]));
+            let sel = *g.pick(&[1e-6, 0.01, 0.5, 1.0]);
+            catalog.note_join_overlap(&ra, ca, &rb, cb, sel);
+        }
+        let text = random_query(&mut g, &catalog, None, false);
+        let q = parse_query(&text).unwrap_or_else(|e| panic!("case {case}: `{text}`: {e}"));
+        assert_agrees(case, &text, &q, &catalog);
+        let uniform =
+            plan_cq_opts(&q, &catalog, Strategy::CostBased, Selectivity::Uniform);
+        let planned = eval_cq_bag_planned(&q, &uniform, &catalog).map(sorted_rows);
+        let naive = eval_naive_bag(&q, &catalog).map(sorted_rows);
+        assert_eq!(planned, naive, "case {case}: uniform plan of `{text}` diverged");
+    }
+}
+
 #[test]
 fn planned_and_naive_agree_on_broken_queries() {
     for case in 0..32 {

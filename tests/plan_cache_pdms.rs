@@ -86,6 +86,35 @@ fn warm_answers_are_byte_identical_and_actually_cached() {
 }
 
 #[test]
+fn a_no_op_analyze_keeps_warm_caches_warm() {
+    let cached = build(true, true);
+    let plain = build(false, true);
+    assert_identical(&cached, &plain, "cold");
+    assert_identical(&cached, &plain, "warm");
+    let hits = cached.cache_stats().reformulation_hits;
+    assert_eq!(hits, QUERIES.len(), "warm pass should be all hits");
+    // `get_mut` pessimistically bumps the epoch (the caller may mutate),
+    // so one flush and one re-warming pass are expected.
+    cached.peer("B").unwrap().storage.write(|c| {
+        let _ = c.get_mut("B.course");
+    });
+    assert_identical(&cached, &plain, "re-warm after get_mut");
+    let hits = cached.cache_stats().reformulation_hits;
+    // `analyze` recomputes the stashed statistics and finds them
+    // identical: the epoch must hold and the re-warmed caches survive.
+    cached.peer("B").unwrap().storage.write(|c| {
+        c.analyze();
+    });
+    assert_identical(&cached, &plain, "after no-op analyze");
+    let stats = cached.cache_stats();
+    assert_eq!(
+        stats.reformulation_hits,
+        hits + QUERIES.len(),
+        "a no-op analyze flushed warm caches: {stats}"
+    );
+}
+
+#[test]
 fn adding_a_mapping_after_warmup_is_visible_immediately() {
     let mut cached = build(true, false);
     let mut plain = build(false, false);

@@ -134,6 +134,41 @@ fn tracing_never_changes_answers() {
 }
 
 #[test]
+fn feedback_runs_are_byte_identical_too() {
+    // The estimator feedback loop writes learned statistics during query
+    // execution; both the learned store and the trace it leaves behind
+    // must be deterministic. A hair-trigger threshold makes every
+    // complete plan feed back; faults are disabled so every fetch is
+    // complete and the loop fires on each join.
+    let seed = trace_seed();
+    let run = || {
+        let mut net = build_network(seed);
+        net.faults = FaultPlan::default();
+        net.replan_q_error = Some(0.5);
+        net.obs = Obs::enabled();
+        let join = "q(T, U) :- P0.course(T, E), P0.course(U, E)";
+        for q in QUERIES.iter().copied().chain([join, join]) {
+            net.query_str("P0", q).expect("query runs");
+        }
+        net
+    };
+    let (a, b) = (run(), run());
+    let dump = a.snapshot_all().join_stats().dump();
+    assert!(!dump.is_empty(), "feedback never fired");
+    assert_eq!(dump, b.snapshot_all().join_stats().dump(), "learned stats diverged");
+    assert_eq!(
+        a.obs.tracer().unwrap().chrome_trace(),
+        b.obs.tracer().unwrap().chrome_trace(),
+        "feedback made the trace nondeterministic under seed {seed}"
+    );
+    assert_eq!(
+        a.obs.metrics().unwrap().snapshot().to_string(),
+        b.obs.metrics().unwrap().snapshot().to_string(),
+        "feedback metrics diverged under seed {seed}"
+    );
+}
+
+#[test]
 fn parallel_and_sequential_agree_under_tracing() {
     // query_parallel records no per-worker spans (span order would depend
     // on scheduling) but must still return the sequential answers.
