@@ -1,7 +1,8 @@
-//! The E1–E15 experiments (see DESIGN.md §2 for the paper anchors).
+//! The E1–E16 experiments (see DESIGN.md §2 for the paper anchors).
 
 pub mod e_chaos;
 pub mod e_corpus;
+pub mod e_durability;
 pub mod e_feedback;
 pub mod e_mangrove;
 pub mod e_obs;
@@ -32,10 +33,11 @@ pub fn run_all() -> Vec<Table> {
         e_obs::e14_fetch_breakdown(),
     ];
     tables.extend(e_feedback::e15_tables());
+    tables.push(e_durability::e16_durability());
     tables
 }
 
-/// Run one experiment by id (`"E1"`..`"E15"`). An experiment may produce
+/// Run one experiment by id (`"E1"`..`"E16"`). An experiment may produce
 /// more than one table (E14 reports calibration and the fetch breakdown;
 /// E15 reports calibration before/after feedback and the loop's cost).
 pub fn run_one(id: &str) -> Option<Vec<Table>> {
@@ -56,6 +58,7 @@ pub fn run_one(id: &str) -> Option<Vec<Table>> {
         "E13" => one(e_plancache::e13_plan_cache()),
         "E14" => Some(vec![e_obs::e14_calibration(), e_obs::e14_fetch_breakdown()]),
         "E15" => Some(e_feedback::e15_tables()),
+        "E16" => one(e_durability::e16_durability()),
         _ => None,
     }
 }

@@ -1,0 +1,637 @@
+//! Peer-level durability: checkpoint a peer's state to simulated stable
+//! storage and recover it after a crash.
+//!
+//! The paper's peers "can join or leave at will" (§3.1). The
+//! [`crate::propagation`] layer already makes *transient* faults
+//! survivable (retry + dedup); this module makes *restarts* survivable.
+//! A peer's stable storage is a [`PeerDisk`]: a [`Journal`] (the
+//! append-only WAL from `revere_storage::wal`) plus at most one *peer
+//! image* — a snapshot of catalog, inbox watermarks, and outbox
+//! sequence counters taken at a known LSN. Recovery is image + replay of
+//! the LSN suffix, never a full-history replay.
+//!
+//! # Exactly-once across restarts
+//!
+//! Three records make updategram delivery exactly-once across crashes on
+//! either end of a link:
+//!
+//! * the **receiver** journals [`WalRecord::DeltaApplied`] *before*
+//!   applying (see [`crate::propagation::apply_once`]): a crash after the
+//!   apply replays it; a re-delivery after recovery hits the restored
+//!   inbox watermark and is ignored;
+//! * the **sender** journals [`WalRecord::DeltaSealed`] when it stamps a
+//!   gram: the gram is *owed* until acknowledged, and a restarted sender
+//!   re-ships it under the same id (the receiver dedups);
+//! * the sender journals [`WalRecord::DeltaAcked`] when the ack arrives,
+//!   which releases the seal record for truncation.
+//!
+//! # Truncation protocol
+//!
+//! [`checkpoint`] writes a fresh image at `as_of = next LSN`, then
+//! truncates the log below `min(as_of, every link's truncation floor)`.
+//! The floor of a link is the LSN of its oldest unacknowledged seal —
+//! that record is the *only* copy of a gram still owed to a downstream
+//! peer, so it must survive checkpoints until the ack comes back. Once
+//! all downstream peers have acknowledged, the log shrinks to (at most)
+//! the post-image suffix: acknowledged history is garbage.
+
+use crate::propagation::{GramInbox, ReliableLink};
+use crate::updategram::Updategram;
+use crate::SequencedGram;
+use revere_storage::wal::{
+    crc32, decode_catalog, encode_catalog, put_str, put_u32, put_u64, Journal, Lsn, Reader, Wal,
+    WalRecord,
+};
+use revere_storage::Catalog;
+use revere_util::fault::FaultPlan;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
+
+const IMAGE_MAGIC: &[u8; 4] = b"RVPI";
+const IMAGE_VERSION: u32 = 1;
+
+/// A peer's simulated stable storage: the change log plus at most one
+/// peer image. Cloning shares the underlying storage (it is the same
+/// "disk"), which is what lets the test harness keep a handle across a
+/// simulated crash: the in-memory peer is dropped, the `PeerDisk`
+/// survives, and [`recover`] rebuilds the peer from it.
+#[derive(Debug, Clone, Default)]
+pub struct PeerDisk {
+    image: Arc<Mutex<Option<Vec<u8>>>>,
+    journal: Journal,
+}
+
+impl PeerDisk {
+    /// An empty disk: no image, an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Handle to the disk's change log. Attach it to the peer's catalog
+    /// ([`Catalog::attach_journal`]) and durable inbox/links.
+    pub fn journal(&self) -> Journal {
+        self.journal.clone()
+    }
+
+    fn with_image<T>(&self, f: impl FnOnce(&mut Option<Vec<u8>>) -> T) -> T {
+        f(&mut self.image.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
+    }
+
+    /// The current peer image, if a checkpoint has been taken.
+    pub fn image_bytes(&self) -> Option<Vec<u8>> {
+        self.with_image(|i| i.clone())
+    }
+
+    /// Size of the peer image in bytes (0 when none).
+    pub fn image_len(&self) -> usize {
+        self.with_image(|i| i.as_ref().map_or(0, Vec::len))
+    }
+
+    /// Size of the change log in bytes.
+    pub fn log_len(&self) -> usize {
+        self.journal.byte_len()
+    }
+
+    /// Total stable bytes (image + log) — the numerator of the E16
+    /// write-amplification metric.
+    pub fn stable_len(&self) -> usize {
+        self.image_len() + self.log_len()
+    }
+
+    /// Corrupt the tail of the log in place: keep only the first `keep`
+    /// bytes. Models a torn write at crash time; [`recover`] must come
+    /// back with the clean prefix.
+    pub fn tear_log(&self, keep: usize) {
+        let bytes = self.journal.bytes();
+        let cut = keep.min(bytes.len());
+        let (wal, _) = Wal::open(&bytes[..cut]);
+        self.journal.replace(wal);
+    }
+}
+
+/// What one [`checkpoint`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointReport {
+    /// Exclusive LSN high-water mark of the image: every record below it
+    /// is reflected in the image.
+    pub as_of: Lsn,
+    /// The truncation floor actually used (≤ `as_of`; lower when a link
+    /// still holds unacknowledged seal records).
+    pub floor: Lsn,
+    /// Log records dropped by the truncation.
+    pub truncated: usize,
+    /// Log records retained *below* `as_of` solely for unacknowledged
+    /// grams (0 once every downstream peer has acknowledged).
+    pub retained_for_acks: usize,
+    /// Size of the image written, in bytes.
+    pub image_bytes: usize,
+    /// Size of the log after truncation, in bytes.
+    pub log_bytes: usize,
+}
+
+/// Checkpoint a peer: write a fresh image capturing `catalog`, the
+/// `inboxes`' dedup watermarks, and the `links`' sequence counters, then
+/// truncate the log below every link's truncation floor (see the module
+/// docs). Flushes any pending [`Catalog::get_mut`] re-journal first, so
+/// the image + suffix is self-contained.
+pub fn checkpoint(
+    disk: &PeerDisk,
+    catalog: &mut Catalog,
+    inboxes: &[&GramInbox],
+    links: &[&ReliableLink],
+) -> CheckpointReport {
+    catalog.flush_journal();
+    let as_of = disk.journal.next_lsn();
+    let image = encode_peer_image(catalog, as_of, inboxes, links);
+    let floor = links
+        .iter()
+        .filter_map(|l| l.truncation_floor())
+        .min()
+        .unwrap_or(as_of)
+        .min(as_of);
+    let truncated = disk.journal.truncate_below(floor);
+    let retained_for_acks = disk
+        .journal
+        .records()
+        .iter()
+        .filter(|(lsn, _)| *lsn < as_of)
+        .count();
+    let image_bytes = image.len();
+    disk.with_image(|i| *i = Some(image));
+    CheckpointReport {
+        as_of,
+        floor,
+        truncated,
+        retained_for_acks,
+        image_bytes,
+        log_bytes: disk.journal.byte_len(),
+    }
+}
+
+/// Recovered sender-side state for one outgoing link: the next sequence
+/// id and every sealed-but-unacknowledged gram (with the LSN of its seal
+/// record). Turn it back into a live link with [`OutboxResume::resume`]
+/// and re-ship [`OutboxResume::pending`] — the receiver's inbox absorbs
+/// any that were actually delivered before the crash.
+#[derive(Debug, Clone, Default)]
+pub struct OutboxResume {
+    next_id: u64,
+    unacked: BTreeMap<u64, (Lsn, Updategram)>,
+}
+
+impl OutboxResume {
+    /// Unacknowledged grams in id order, re-sealed under their original
+    /// ids (at-least-once: ship these again after a restart).
+    pub fn pending(&self) -> Vec<SequencedGram> {
+        self.unacked
+            .iter()
+            .map(|(id, (_, gram))| gram.clone().sequenced(*id))
+            .collect()
+    }
+
+    /// How many grams are still owed.
+    pub fn pending_count(&self) -> usize {
+        self.unacked.len()
+    }
+
+    /// The id the resumed link will assign next.
+    pub fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Rebuild the live [`ReliableLink`] for `target`, journaled on
+    /// `disk`, continuing the id sequence and truncation floors exactly
+    /// where the crashed sender left them.
+    pub fn resume(&self, target: &str, plan: FaultPlan, disk: &PeerDisk) -> ReliableLink {
+        let unacked = self.unacked.iter().map(|(id, (lsn, _))| (*id, *lsn)).collect();
+        ReliableLink::restore(target, plan, disk.journal(), self.next_id, unacked)
+    }
+}
+
+/// What [`recover`] reconstructed and how much work it took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerRecovery {
+    /// True when a peer image anchored the recovery (false: log-only).
+    pub image_used: bool,
+    /// The image's exclusive LSN high-water mark (0 without an image).
+    pub as_of: Lsn,
+    /// Records with `lsn >= as_of` replayed into the catalog/inboxes —
+    /// the suffix; the acceptance criterion is that this stays small
+    /// after a checkpoint, because everything older is in the image.
+    pub replayed: usize,
+    /// Seal/ack records folded into outbox state (any LSN — unacked seals
+    /// deliberately survive checkpoints).
+    pub outbox_folds: usize,
+    /// Bytes of torn log tail discarded on open (0 for a clean log).
+    pub torn_bytes: usize,
+    /// Grams still owed to downstream peers after recovery.
+    pub pending_grams: usize,
+}
+
+/// Everything [`recover`] rebuilds from a [`PeerDisk`].
+#[derive(Debug)]
+pub struct RecoveredPeer {
+    /// The recovered catalog, with the disk's journal re-attached (new
+    /// mutations continue the same log).
+    pub catalog: Catalog,
+    /// Per-link receiver state, dedup watermarks intact.
+    pub inboxes: BTreeMap<String, GramInbox>,
+    /// Per-link sender state: sequence counters + unacknowledged grams.
+    pub outboxes: BTreeMap<String, OutboxResume>,
+    /// Recovery accounting.
+    pub report: PeerRecovery,
+}
+
+#[derive(Debug, Default)]
+struct InboxState {
+    watermark: u64,
+    above: BTreeSet<u64>,
+    duplicates: u64,
+    applied: u64,
+}
+
+impl InboxState {
+    /// Mirror of `GramInbox::accept`'s compaction, replayed offline.
+    fn mark_seen(&mut self, id: u64) {
+        if id < self.watermark || self.above.contains(&id) {
+            return;
+        }
+        self.above.insert(id);
+        self.applied += 1;
+        while self.above.remove(&self.watermark) {
+            self.watermark += 1;
+        }
+    }
+}
+
+/// Recover a peer from its stable storage: open the log (truncating any
+/// torn tail), decode the peer image if present, then replay.
+///
+/// The replay rule is split by the image's `as_of` mark:
+///
+/// * seal/ack records fold into outbox state at **any** LSN — the image
+///   stores only each link's sequence counter, and an unacked seal
+///   record below `as_of` is the gram's only surviving copy;
+/// * every other record replays into the catalog (and, for
+///   [`WalRecord::DeltaApplied`], the inbox ledger) **only** when
+///   `lsn >= as_of` — older ones are already reflected in the image.
+///
+/// Returns `None` only when the image itself is corrupt (log corruption
+/// is handled by tail truncation and is not fatal).
+pub fn recover(disk: &PeerDisk) -> Option<RecoveredPeer> {
+    let bytes = disk.journal.bytes();
+    let (wal, open) = Wal::open(&bytes);
+    let torn_bytes = open.torn_bytes;
+    // Adopt the clean prefix: the journal handle now matches what
+    // recovery saw, and new appends continue from its last LSN.
+    disk.journal.replace(wal.clone());
+
+    let image = disk.image_bytes();
+    let (mut catalog, as_of, mut inboxes, next_ids) = match &image {
+        Some(b) => decode_peer_image(b)?,
+        None => (Catalog::new(), 0, BTreeMap::new(), BTreeMap::new()),
+    };
+    let mut outboxes: BTreeMap<String, OutboxResume> = next_ids
+        .into_iter()
+        .map(|(link, next_id)| (link, OutboxResume { next_id, unacked: BTreeMap::new() }))
+        .collect();
+
+    let mut replayed = 0usize;
+    let mut outbox_folds = 0usize;
+    for (lsn, rec) in wal.records() {
+        match rec {
+            WalRecord::DeltaSealed { link, id, relation, insert, delete } => {
+                let ob = outboxes.entry(link.clone()).or_default();
+                ob.next_id = ob.next_id.max(id + 1);
+                let gram = Updategram {
+                    relation: relation.clone(),
+                    insert: insert.clone(),
+                    delete: delete.clone(),
+                };
+                ob.unacked.insert(*id, (*lsn, gram));
+                outbox_folds += 1;
+            }
+            WalRecord::DeltaAcked { link, id } => {
+                outboxes.entry(link.clone()).or_default().unacked.remove(id);
+                outbox_folds += 1;
+            }
+            _ if *lsn >= as_of => {
+                if let WalRecord::DeltaApplied { link, id, .. } = rec {
+                    inboxes.entry(link.clone()).or_default().mark_seen(*id);
+                }
+                catalog.replay(rec);
+                replayed += 1;
+            }
+            // Below as_of and not outbox-relevant: captured by the image.
+            _ => {}
+        }
+    }
+
+    catalog.attach_journal(disk.journal());
+    let inboxes: BTreeMap<String, GramInbox> = inboxes
+        .into_iter()
+        .map(|(link, st)| {
+            let inbox = GramInbox::restore(
+                st.watermark,
+                st.above,
+                st.duplicates as usize,
+                st.applied as usize,
+                Some((link.clone(), disk.journal())),
+            );
+            (link, inbox)
+        })
+        .collect();
+    let pending_grams = outboxes.values().map(OutboxResume::pending_count).sum();
+    Some(RecoveredPeer {
+        catalog,
+        inboxes,
+        outboxes,
+        report: PeerRecovery {
+            image_used: image.is_some(),
+            as_of,
+            replayed,
+            outbox_folds,
+            torn_bytes,
+            pending_grams,
+        },
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Peer image codec
+// ---------------------------------------------------------------------------
+//
+//   magic "RVPI" | version u32
+//   | catalog blob: len u32 + encode_catalog(catalog, as_of) bytes
+//   | inbox count u32
+//     | per inbox: link str | watermark u64 | duplicates u64 | applied u64
+//       | above count u32 | above ids u64*
+//   | outbox count u32
+//     | per outbox: link str | next_id u64
+//   | crc32 of everything above
+
+fn encode_peer_image(
+    catalog: &Catalog,
+    as_of: Lsn,
+    inboxes: &[&GramInbox],
+    links: &[&ReliableLink],
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(IMAGE_MAGIC);
+    put_u32(&mut out, IMAGE_VERSION);
+    let blob = encode_catalog(catalog, as_of);
+    put_u32(&mut out, blob.len() as u32);
+    out.extend_from_slice(&blob);
+    // Only durable inboxes have a link identity worth persisting; the
+    // encoder sorts by link so the image is deterministic.
+    let mut named: Vec<&GramInbox> = inboxes.iter().copied().filter(|i| i.link().is_some()).collect();
+    named.sort_by(|a, b| a.link().cmp(&b.link()));
+    put_u32(&mut out, named.len() as u32);
+    for inbox in named {
+        put_str(&mut out, inbox.link().expect("filtered to named inboxes"));
+        put_u64(&mut out, inbox.watermark());
+        put_u64(&mut out, inbox.duplicates_ignored as u64);
+        put_u64(&mut out, inbox.applied_count() as u64);
+        let above = inbox.above();
+        put_u32(&mut out, above.len() as u32);
+        for id in above {
+            put_u64(&mut out, *id);
+        }
+    }
+    let mut outs: Vec<&ReliableLink> = links.to_vec();
+    outs.sort_by(|a, b| a.target.cmp(&b.target));
+    put_u32(&mut out, outs.len() as u32);
+    for link in outs {
+        put_str(&mut out, &link.target);
+        put_u64(&mut out, link.next_seal_id());
+    }
+    let crc = crc32(&out);
+    put_u32(&mut out, crc);
+    out
+}
+
+type DecodedImage = (Catalog, Lsn, BTreeMap<String, InboxState>, BTreeMap<String, u64>);
+
+fn decode_peer_image(bytes: &[u8]) -> Option<DecodedImage> {
+    if bytes.len() < 8 {
+        return None;
+    }
+    let body = &bytes[..bytes.len() - 4];
+    let crc = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().ok()?);
+    if crc32(body) != crc {
+        return None;
+    }
+    let mut r = Reader::new(body);
+    if r.take(4)? != IMAGE_MAGIC {
+        return None;
+    }
+    if r.u32()? != IMAGE_VERSION {
+        return None;
+    }
+    let blob_len = r.u32()? as usize;
+    let blob = r.take(blob_len)?;
+    let (catalog, as_of) = decode_catalog(blob)?;
+    let mut inboxes = BTreeMap::new();
+    for _ in 0..r.u32()? {
+        let link = r.str()?;
+        let watermark = r.u64()?;
+        let duplicates = r.u64()?;
+        let applied = r.u64()?;
+        let mut above = BTreeSet::new();
+        for _ in 0..r.u32()? {
+            above.insert(r.u64()?);
+        }
+        inboxes.insert(link, InboxState { watermark, above, duplicates, applied });
+    }
+    let mut outboxes = BTreeMap::new();
+    for _ in 0..r.u32()? {
+        let link = r.str()?;
+        let next_id = r.u64()?;
+        outboxes.insert(link, next_id);
+    }
+    if !r.done() {
+        return None;
+    }
+    Some((catalog, as_of, inboxes, outboxes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::propagation::apply_once;
+    use crate::views::MaterializedView;
+    use revere_query::parse_query;
+    use revere_storage::{RelSchema, Relation, Value};
+    use revere_util::fault::{FaultSpec, RetryPolicy};
+
+    fn course_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.create(RelSchema::text("S.course", &["title", "area"]));
+        c.insert("S.course", vec![Value::str("db"), Value::str("systems")]);
+        c.insert("S.course", vec![Value::str("ml"), Value::str("ai")]);
+        c
+    }
+
+    /// A view over `relation` in `catalog`, refreshed so incremental
+    /// maintenance has a base state to delta against.
+    fn view_over(catalog: &Catalog, relation: &str) -> MaterializedView {
+        let q = parse_query(&format!("v(T) :- {relation}(T, A)")).expect("parse");
+        let mut v = MaterializedView::new("v", q);
+        v.refresh_full(catalog).expect("refresh");
+        v
+    }
+
+    #[test]
+    fn checkpoint_then_recover_round_trips_catalog_and_counters() {
+        let disk = PeerDisk::new();
+        let mut cat = course_catalog();
+        cat.attach_journal(disk.journal());
+        cat.insert("S.course", vec![Value::str("os"), Value::str("systems")]);
+        let report = checkpoint(&disk, &mut cat, &[], &[]);
+        assert!(report.as_of > 0);
+        assert_eq!(report.retained_for_acks, 0);
+        // Post-checkpoint mutations land in the suffix.
+        cat.insert("S.course", vec![Value::str("pl"), Value::str("languages")]);
+
+        let rec = recover(&disk).expect("clean recovery");
+        assert!(rec.report.image_used);
+        assert_eq!(rec.report.as_of, report.as_of);
+        assert_eq!(rec.report.replayed, 1, "only the post-image insert replays");
+        let rows = rec.catalog.get("S.course").expect("relation").sorted();
+        assert_eq!(rows, cat.get("S.course").expect("relation").sorted());
+    }
+
+    #[test]
+    fn recover_without_an_image_replays_the_whole_log() {
+        let disk = PeerDisk::new();
+        let mut cat = Catalog::new();
+        cat.attach_journal(disk.journal());
+        cat.register(Relation::new(RelSchema::text("S.t", &["v"])));
+        cat.insert("S.t", vec![Value::str("a")]);
+        let rec = recover(&disk).expect("recovery");
+        assert!(!rec.report.image_used);
+        assert_eq!(rec.catalog.get("S.t").expect("relation").len(), 1);
+    }
+
+    #[test]
+    fn unacked_seals_survive_checkpoints_and_resume_pending() {
+        let disk = PeerDisk::new();
+        let mut cat = course_catalog();
+        cat.attach_journal(disk.journal());
+        // A link whose target is down: the seal never gets acknowledged.
+        let plan = FaultPlan::new(FaultSpec::default().with_down_peer("T"));
+        let mut link = ReliableLink::durable("T", plan.clone(), disk.journal());
+        link.retry = RetryPolicy::none();
+        let gram = link.seal(Updategram::inserts(
+            "T.course",
+            vec![vec![Value::str("db"), Value::str("systems")]],
+        ));
+        let mut inbox = GramInbox::new();
+        let mut target_cat = Catalog::new();
+        target_cat.create(RelSchema::text("T.course", &["title", "area"]));
+        let mut view = view_over(&target_cat, "T.course");
+        let d = link.ship(&gram, &mut inbox, &mut target_cat, &mut view).expect("ship");
+        assert!(!d.acknowledged);
+
+        let report = checkpoint(&disk, &mut cat, &[], &[&link]);
+        assert!(report.floor < report.as_of, "unacked seal pins the floor");
+        assert_eq!(report.retained_for_acks, 1);
+
+        let rec = recover(&disk).expect("recovery");
+        let resume = rec.outboxes.get("T").expect("outbox for T");
+        assert_eq!(resume.pending_count(), 1);
+        assert_eq!(resume.next_id(), 1, "sequence continues past the sealed gram");
+        let pending = resume.pending();
+        assert_eq!(pending[0].id, gram.id, "re-shipped under the original id");
+        assert_eq!(pending[0].gram.relation, "T.course");
+    }
+
+    #[test]
+    fn acked_grams_release_the_log_at_the_next_checkpoint() {
+        let disk = PeerDisk::new();
+        let mut cat = course_catalog();
+        cat.attach_journal(disk.journal());
+        let mut link = ReliableLink::durable("T", FaultPlan::default(), disk.journal());
+        let mut inbox = GramInbox::new();
+        let mut target_cat = Catalog::new();
+        target_cat.create(RelSchema::text("T.course", &["title", "area"]));
+        let mut view = view_over(&target_cat, "T.course");
+        for i in 0..3 {
+            let gram = link.seal(Updategram::inserts(
+                "T.course",
+                vec![vec![Value::str(format!("c{i}")), Value::str("x")]],
+            ));
+            let d = link.ship(&gram, &mut inbox, &mut target_cat, &mut view).expect("ship");
+            assert!(d.acknowledged);
+        }
+        assert_eq!(link.truncation_floor(), None, "fully acknowledged");
+        let before = disk.log_len();
+        let report = checkpoint(&disk, &mut cat, &[], &[&link]);
+        assert_eq!(report.retained_for_acks, 0);
+        assert!(report.truncated > 0, "acknowledged history is garbage");
+        assert!(disk.log_len() < before);
+        // The truncated log still recovers: everything lives in the image.
+        let rec = recover(&disk).expect("recovery");
+        assert_eq!(rec.report.replayed, 0);
+        assert_eq!(
+            rec.catalog.get("S.course").expect("relation").sorted(),
+            cat.get("S.course").expect("relation").sorted()
+        );
+    }
+
+    #[test]
+    fn receiver_crash_after_apply_does_not_double_apply() {
+        // Receiver journals DeltaApplied before applying; after a crash +
+        // recovery, a re-delivery of the same id must be a duplicate.
+        let disk = PeerDisk::new();
+        let mut cat = course_catalog();
+        cat.attach_journal(disk.journal());
+        // Base catalog predates the journal; checkpoint it into the image.
+        checkpoint(&disk, &mut cat, &[], &[]);
+        let mut view = view_over(&cat, "S.course");
+        let mut inbox = GramInbox::durable("Src", disk.journal());
+        let gram = Updategram::inserts(
+            "S.course",
+            vec![vec![Value::str("net"), Value::str("systems")]],
+        )
+        .sequenced(0);
+        assert!(apply_once(&mut inbox, &mut cat, &mut view, &gram).expect("apply"));
+        let rows_before = cat.get("S.course").expect("relation").len();
+
+        // Crash: drop the in-memory peer, recover from disk.
+        drop((cat, inbox));
+        let mut rec = recover(&disk).expect("recovery");
+        assert_eq!(rec.catalog.get("S.course").expect("relation").len(), rows_before);
+        let restored = rec.inboxes.get_mut("Src").expect("inbox for Src");
+        assert!(restored.is_seen(0), "watermark survived the crash");
+        let mut view2 = view_over(&rec.catalog, "S.course");
+        let applied =
+            apply_once(restored, &mut rec.catalog, &mut view2, &gram).expect("re-delivery");
+        assert!(!applied, "exactly-once across the restart");
+        assert_eq!(rec.catalog.get("S.course").expect("relation").len(), rows_before);
+    }
+
+    #[test]
+    fn torn_image_is_fatal_torn_log_is_not() {
+        let disk = PeerDisk::new();
+        let mut cat = course_catalog();
+        cat.attach_journal(disk.journal());
+        checkpoint(&disk, &mut cat, &[], &[]);
+        cat.insert("S.course", vec![Value::str("sec"), Value::str("systems")]);
+
+        // Tear the log mid-frame: the post-checkpoint insert was in
+        // flight at the crash, so recovery keeps the image state only.
+        let full = disk.journal.bytes().len();
+        disk.tear_log(full.saturating_sub(3));
+        let rec = recover(&disk).expect("torn log recovers");
+        assert_eq!(rec.report.replayed, 0, "the torn record is discarded");
+        assert_eq!(rec.catalog.get("S.course").expect("relation").len(), 2);
+
+        // Corrupt the image: recovery refuses (the image CRC catches it).
+        let mut img = disk.image_bytes().expect("image");
+        let mid = img.len() / 2;
+        img[mid] ^= 0xFF;
+        disk.with_image(|i| *i = Some(img));
+        assert!(recover(&disk).is_none());
+    }
+}

@@ -26,7 +26,11 @@
 //! * [`propagation`] — translating base-data updategrams through mappings
 //!   into virtual-relation updategrams for remote caches, shipped
 //!   at-least-once over faulty links with receiver-side dedup.
+//! * [`durable`] — peer checkpoints + WAL recovery on top of
+//!   `revere_storage::wal`, making the at-least-once/dedup pair
+//!   exactly-once *across peer restarts*.
 
+pub mod durable;
 pub mod network;
 pub mod peer;
 pub mod placement;
@@ -45,6 +49,9 @@ pub use revere_util::fault;
 /// metrics through when tracing is enabled.
 pub use revere_util::obs;
 
+pub use durable::{
+    checkpoint, recover, CheckpointReport, OutboxResume, PeerDisk, PeerRecovery, RecoveredPeer,
+};
 pub use network::{CacheStats, CompletenessReport, PdmsNetwork, QueryBudget, QueryOutcome};
 pub use peer::Peer;
 pub use placement::{answer_with_plan, plan_placement, PlacementPlan, WorkloadEntry};

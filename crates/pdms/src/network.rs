@@ -21,12 +21,13 @@
 //! distinguish an empty answer from a degraded one. With the default
 //! zero-fault plan the happy path is byte-identical to a perfect network.
 
+use crate::durable::{self, CheckpointReport, PeerDisk, PeerRecovery};
 use crate::peer::{split_qualified, Peer};
 use crate::reformulate::{ReformulateOptions, ReformulationResult, Reformulator};
 use revere_query::glav::GlavMapping;
 use revere_query::plan::{plan_cq, q_error, Plan};
 use revere_query::{parse_query, ConjunctiveQuery, Source, StepProfile, UnionQuery};
-use revere_storage::{Catalog, Relation};
+use revere_storage::{Catalog, Relation, SharedCatalog};
 use revere_util::fault::{Fate, FaultPlan, RetryPolicy};
 use revere_util::obs::{Obs, SpanHandle};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -70,6 +71,10 @@ pub struct PdmsNetwork {
     /// cache validity epoch (peer data changes are caught separately via
     /// each peer catalog's stats epoch).
     topology_epoch: u64,
+    /// Stable storage per durable peer (see [`PdmsNetwork::enable_durability`]).
+    /// Peers without an entry lose everything on [`PdmsNetwork::restart_peer`]
+    /// the way any in-memory store would — durability is opt-in.
+    disks: BTreeMap<String, PeerDisk>,
     caches: Mutex<Caches>,
 }
 
@@ -86,6 +91,7 @@ impl Default for PdmsNetwork {
             obs: Obs::disabled(),
             replan_q_error: Some(REPLAN_Q_ERROR_DEFAULT),
             topology_epoch: 0,
+            disks: BTreeMap::new(),
             caches: Mutex::new(Caches::default()),
         }
     }
@@ -320,10 +326,72 @@ impl PdmsNetwork {
 
     /// Remove a peer — "every member can join or leave at will" (§3.1).
     /// Mappings naming it stay in the graph; subsequent queries report the
-    /// gap in their [`CompletenessReport`] instead of failing.
+    /// gap in their [`CompletenessReport`] instead of failing. Learned
+    /// join selectivities that mention the departed peer's relations are
+    /// purged from every remaining peer: that evidence can no longer be
+    /// re-verified against live data, and a rejoining peer may return
+    /// with entirely different content under the same names.
     pub fn remove_peer(&mut self, name: &str) -> Option<Peer> {
         self.topology_epoch += 1;
-        self.peers.remove(name)
+        let gone = self.peers.remove(name)?;
+        self.disks.remove(name);
+        let prefix = format!("{name}.");
+        for p in self.peers.values() {
+            p.storage.write(|c| c.purge_join_stats(|rel| rel.starts_with(&prefix)));
+        }
+        Some(gone)
+    }
+
+    /// Give `name` stable storage: attach a [`PeerDisk`]'s journal to its
+    /// catalog (every subsequent mutation is logged) and take an initial
+    /// checkpoint so pre-existing data is in the image. Idempotent; the
+    /// returned disk handle survives crashes — keep it (or use
+    /// [`PdmsNetwork::restart_peer`], which tracks it internally).
+    pub fn enable_durability(&mut self, name: &str) -> Option<PeerDisk> {
+        let peer = self.peers.get(name)?;
+        let disk = self.disks.entry(name.to_string()).or_default().clone();
+        peer.storage.write(|c| {
+            if c.journal().is_none() {
+                c.attach_journal(disk.journal());
+            }
+            durable::checkpoint(&disk, c, &[], &[]);
+        });
+        Some(disk)
+    }
+
+    /// The stable storage of a durable peer.
+    pub fn disk(&self, name: &str) -> Option<&PeerDisk> {
+        self.disks.get(name)
+    }
+
+    /// Checkpoint a durable peer: write a fresh image and truncate its
+    /// log (see [`crate::durable::checkpoint`]). `None` when the peer is
+    /// unknown or not durable.
+    pub fn checkpoint_peer(&self, name: &str) -> Option<CheckpointReport> {
+        let peer = self.peers.get(name)?;
+        let disk = self.disks.get(name)?;
+        Some(peer.storage.write(|c| durable::checkpoint(disk, c, &[], &[])))
+    }
+
+    /// Crash + restart a durable peer: its in-memory state is dropped and
+    /// rebuilt from stable storage (image + log-suffix replay). The
+    /// peer's logical schema is configuration, not volatile state, so it
+    /// survives the restart; the storage catalog is whatever the disk
+    /// proves. `None` when the peer is unknown, not durable, or its image
+    /// is corrupt (in which case the live peer is left untouched).
+    pub fn restart_peer(&mut self, name: &str) -> Option<PeerRecovery> {
+        if !self.peers.contains_key(name) {
+            return None;
+        }
+        let disk = self.disks.get(name)?.clone();
+        let recovered = durable::recover(&disk)?;
+        self.topology_epoch += 1;
+        let old = self.peers.remove(name).expect("membership checked above");
+        self.peers.insert(
+            old.name.clone(),
+            Peer { name: old.name, schema: old.schema, storage: SharedCatalog::new(recovered.catalog) },
+        );
+        Some(recovered.report)
     }
 
     /// Add a mapping between two member peers, rejecting edges whose
@@ -659,7 +727,7 @@ impl PdmsNetwork {
                     if attempt > 0 {
                         f.completeness.retries += 1;
                     }
-                    if self.faults.is_down(owner) {
+                    if self.faults.is_down_at(owner, clock) {
                         // Request into the void; wait out the timeout.
                         f.messages += 1;
                         f.completeness.messages_dropped += 1;
@@ -1526,5 +1594,65 @@ mod tests {
             .answers
             .iter()
             .any(|r| r[0] == Value::str("Etruscan Art")));
+    }
+
+    #[test]
+    fn departed_peers_learned_stats_do_not_survive_removal() {
+        // A peer that leaves takes its evidence with it: learned join
+        // selectivities naming its relations are stale the moment it
+        // departs (it may rejoin with different data under the same
+        // names) and must not keep steering other peers' plans.
+        let mut net = university_network();
+        net.peer("MIT").unwrap().storage.write(|c| {
+            c.note_join_overlap("MIT.subject", 0, "Berkeley.course", 0, 0.5);
+            c.note_join_overlap("MIT.subject", 0, "Tsinghua.kecheng", 0, 0.25);
+        });
+        let mit = net.peer("MIT").unwrap();
+        assert_eq!(mit.storage.read(|c| c.join_stats().len()), 2);
+        let epoch_before = mit.storage.epoch();
+
+        net.remove_peer("Berkeley").expect("Berkeley is a member");
+        let mit = net.peer("MIT").unwrap();
+        assert_eq!(
+            mit.storage.read(|c| c.join_stats().overlap("MIT.subject", 0, "Berkeley.course", 0)),
+            None,
+            "stale evidence about the departed peer is gone"
+        );
+        assert_eq!(
+            mit.storage.read(|c| c.join_stats().overlap("MIT.subject", 0, "Tsinghua.kecheng", 0)),
+            Some(0.25),
+            "evidence about live peers survives"
+        );
+        assert!(mit.storage.epoch() != epoch_before, "purge shifts the cache epoch");
+    }
+
+    #[test]
+    fn durable_peer_restart_recovers_catalog_and_schema() {
+        let mut net = university_network();
+        net.enable_durability("Berkeley").expect("Berkeley is a member");
+        // Post-checkpoint mutation: lands in the log, not the image.
+        net.peer_mut("Berkeley").unwrap().insert(
+            "course",
+            vec![Value::str("Crash Recovery"), Value::Int(60)],
+        );
+        let before = net.query_str("MIT", "q(T, E) :- MIT.subject(T, E)").unwrap();
+
+        let report = net.restart_peer("Berkeley").expect("durable peer restarts");
+        assert!(report.image_used);
+        assert_eq!(report.replayed, 1, "only the post-checkpoint insert replays");
+        assert!(
+            net.peer("Berkeley").unwrap().schema.relation("course").is_some(),
+            "logical schema is configuration, not volatile state"
+        );
+        let after = net.query_str("MIT", "q(T, E) :- MIT.subject(T, E)").unwrap();
+        assert_eq!(before.answers, after.answers, "answers identical across the restart");
+    }
+
+    #[test]
+    fn non_durable_peer_cannot_restart() {
+        let mut net = university_network();
+        assert!(net.restart_peer("Berkeley").is_none(), "no disk, no recovery");
+        assert!(net.peer("Berkeley").is_some(), "the live peer is untouched");
+        assert!(net.restart_peer("Nowhere").is_none());
     }
 }

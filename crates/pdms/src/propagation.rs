@@ -27,10 +27,11 @@ use crate::views::MaterializedView;
 use revere_query::eval::EvalError;
 use revere_query::glav::GlavMapping;
 use revere_query::ConjunctiveQuery;
+use revere_storage::wal::{Journal, Lsn, WalRecord};
 use revere_storage::Catalog;
 use revere_util::fault::{Fate, FaultPlan, RetryPolicy};
 use revere_util::obs::Obs;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Stateful propagator for one mapping edge: owns the materialized state
 /// of the mapping's virtual relation on the source side, so successive
@@ -83,53 +84,154 @@ impl MappingPropagator {
 
 /// Receiver-side dedup ledger: which gram ids this cache has already
 /// applied. Makes delivery idempotent, so senders are free to re-deliver.
+///
+/// # Bounded memory
+///
+/// Link ids are assigned consecutively by [`ReliableLink::seal`], so the
+/// ledger self-compacts: all ids below `watermark` are seen, and only the
+/// (small, transient) set of out-of-order ids above it is stored. After N
+/// in-order ship rounds the inbox holds a single integer, not N entries.
+///
+/// # Durability
+///
+/// An inbox built with [`GramInbox::durable`] carries the peer's
+/// [`Journal`] and its link identity; [`apply_once`] then journals an
+/// atomic [`WalRecord::DeltaApplied`] *before* applying, so a crash after
+/// the apply replays it and a re-delivery after recovery is deduplicated
+/// — exactly-once across restarts.
 #[derive(Debug, Default)]
 pub struct GramInbox {
-    seen: BTreeSet<u64>,
+    /// All ids strictly below this are seen (the compacted prefix).
+    watermark: u64,
+    /// Seen ids at or above the watermark (out-of-order arrivals).
+    above: BTreeSet<u64>,
     /// Deliveries ignored because their id had already been applied.
     pub duplicates_ignored: usize,
+    /// Distinct ids applied (monotone; survives compaction).
+    applied: usize,
+    /// Durable identity: (link name, journal) when restart-safe.
+    durability: Option<(String, Journal)>,
 }
 
 impl GramInbox {
-    /// An empty inbox.
+    /// An empty, in-memory-only inbox.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// An empty inbox whose applications are journaled under `link` (use
+    /// one stable name per incoming link, e.g. the source peer's name).
+    pub fn durable(link: impl Into<String>, journal: Journal) -> Self {
+        GramInbox { durability: Some((link.into(), journal)), ..Self::default() }
+    }
+
+    /// Rebuild an inbox from recovered state (crate-internal: used by
+    /// [`crate::durable::recover`]).
+    pub(crate) fn restore(
+        watermark: u64,
+        above: BTreeSet<u64>,
+        duplicates_ignored: usize,
+        applied: usize,
+        durability: Option<(String, Journal)>,
+    ) -> Self {
+        GramInbox { watermark, above, duplicates_ignored, applied, durability }
+    }
+
+    /// True when `id` was already accepted.
+    pub fn is_seen(&self, id: u64) -> bool {
+        id < self.watermark || self.above.contains(&id)
+    }
+
     /// Record `id`; returns `true` exactly the first time it is seen.
     pub fn accept(&mut self, id: u64) -> bool {
-        if self.seen.insert(id) {
-            true
-        } else {
+        if self.is_seen(id) {
             self.duplicates_ignored += 1;
-            false
+            return false;
         }
+        self.above.insert(id);
+        self.applied += 1;
+        // Compact: swallow the contiguous run into the watermark.
+        while self.above.remove(&self.watermark) {
+            self.watermark += 1;
+        }
+        true
     }
 
     /// Distinct gram ids applied so far.
     pub fn applied_count(&self) -> usize {
-        self.seen.len()
+        self.applied
+    }
+
+    /// The compaction watermark: every id below it is seen.
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// How many ids the ledger currently stores explicitly — the memory
+    /// bound the compaction maintains (0 once delivery catches up).
+    pub fn tracked_ids(&self) -> usize {
+        self.above.len()
+    }
+
+    /// Out-of-order seen ids at or above the watermark (for snapshots).
+    pub(crate) fn above(&self) -> &BTreeSet<u64> {
+        &self.above
+    }
+
+    /// The durable link identity, if any.
+    pub fn link(&self) -> Option<&str> {
+        self.durability.as_ref().map(|(l, _)| l.as_str())
     }
 }
 
 /// Apply a sequenced gram to a target-side cache **exactly once**: a gram
 /// id the inbox has already seen is a no-op (`Ok(false)`). First-time
 /// grams maintain the cached view incrementally.
+///
+/// For a durable inbox the gram is journaled as one atomic
+/// [`WalRecord::DeltaApplied`] *before* applying; the catalog's own
+/// journal is suspended for the application so the deltas are not
+/// journaled twice (replaying both the `DeltaApplied` and the per-row
+/// records would double-apply).
 pub fn apply_once(
     inbox: &mut GramInbox,
     catalog: &mut Catalog,
     view: &mut MaterializedView,
     gram: &SequencedGram,
 ) -> Result<bool, EvalError> {
-    if !inbox.accept(gram.id) {
+    if inbox.is_seen(gram.id) {
+        inbox.duplicates_ignored += 1;
         return Ok(false);
     }
-    maintain(
-        catalog,
-        view,
-        std::slice::from_ref(&gram.gram),
-        Some(MaintenanceChoice::Incremental),
-    )?;
+    if let Some((link, journal)) = &inbox.durability {
+        journal.append(&WalRecord::DeltaApplied {
+            link: link.clone(),
+            id: gram.id,
+            relation: gram.gram.relation.clone(),
+            insert: gram.gram.insert.clone(),
+            delete: gram.gram.delete.clone(),
+        });
+        let suspended = catalog.detach_journal();
+        let result = maintain(
+            catalog,
+            view,
+            std::slice::from_ref(&gram.gram),
+            Some(MaintenanceChoice::Incremental),
+        );
+        if let Some(j) = suspended {
+            catalog.attach_journal(j);
+        }
+        result?;
+    } else {
+        maintain(
+            catalog,
+            view,
+            std::slice::from_ref(&gram.gram),
+            Some(MaintenanceChoice::Incremental),
+        )?;
+    }
+    let accepted = inbox.accept(gram.id);
+    debug_assert!(accepted);
     Ok(true)
 }
 
@@ -184,6 +286,13 @@ pub struct ReliableLink {
     pub obs: Obs,
     next_id: u64,
     epoch: u64,
+    /// Sender-side journal: seals and acks are logged so unacknowledged
+    /// grams survive a sender restart. `None` for in-memory links.
+    journal: Option<Journal>,
+    /// Sealed-but-unacknowledged grams: id → LSN of the seal record. The
+    /// minimum LSN here is the link's truncation floor (an unacked gram's
+    /// seal record must survive checkpoints; it is the only copy).
+    unacked: BTreeMap<u64, Lsn>,
 }
 
 impl ReliableLink {
@@ -197,16 +306,65 @@ impl ReliableLink {
             obs: Obs::disabled(),
             next_id: 0,
             epoch: 0,
+            journal: None,
+            unacked: BTreeMap::new(),
         }
+    }
+
+    /// A restart-safe link: every seal and ack is journaled, so the
+    /// sender recovers its unacknowledged grams after a crash.
+    pub fn durable(target: impl Into<String>, plan: FaultPlan, journal: Journal) -> Self {
+        ReliableLink { journal: Some(journal), ..Self::new(target, plan) }
+    }
+
+    /// Rebuild a link from recovered outbox state (crate-internal: used
+    /// by [`crate::durable::recover`] consumers). Does not re-journal.
+    pub(crate) fn restore(
+        target: impl Into<String>,
+        plan: FaultPlan,
+        journal: Journal,
+        next_id: u64,
+        unacked: BTreeMap<u64, Lsn>,
+    ) -> Self {
+        ReliableLink { journal: Some(journal), next_id, unacked, ..Self::new(target, plan) }
     }
 
     /// Stamp a gram with this link's next delivery id. Sealing is
     /// separate from shipping so an unacknowledged gram can be re-shipped
-    /// *under the same id* — the at-least-once contract.
+    /// *under the same id* — the at-least-once contract. On a durable
+    /// link the seal is journaled before it is handed back: a sealed gram
+    /// is *owed* to the target until acknowledged, even across a crash.
     pub fn seal(&mut self, gram: Updategram) -> SequencedGram {
         let id = self.next_id;
         self.next_id += 1;
+        if let Some(j) = &self.journal {
+            let lsn = j.append(&WalRecord::DeltaSealed {
+                link: self.target.clone(),
+                id,
+                relation: gram.relation.clone(),
+                insert: gram.insert.clone(),
+                delete: gram.delete.clone(),
+            });
+            self.unacked.insert(id, lsn);
+        }
         gram.sequenced(id)
+    }
+
+    /// The smallest LSN this link still needs retained in the log (the
+    /// oldest unacknowledged seal record). `None` when fully acknowledged.
+    pub fn truncation_floor(&self) -> Option<Lsn> {
+        self.unacked.values().min().copied()
+    }
+
+    /// Ids sealed but not yet acknowledged, in order.
+    pub fn pending_ids(&self) -> Vec<u64> {
+        self.unacked.keys().copied().collect()
+    }
+
+    /// The id the next [`ReliableLink::seal`] will assign (checkpointed
+    /// so a restarted sender never reuses a delivery id).
+    pub fn next_seal_id(&self) -> u64 {
+        self.next_id
     }
 
     /// Ship one sealed gram: up to `retry.attempts()` sends, each with an
@@ -286,6 +444,16 @@ impl ReliableLink {
         }
         if acknowledged {
             self.stats.delivered += 1;
+            // Journal the ack (once): the seal record becomes truncatable
+            // at the next checkpoint.
+            if self.journal.is_some() && self.unacked.remove(&gram.id).is_some() {
+                if let Some(j) = &self.journal {
+                    j.append(&WalRecord::DeltaAcked {
+                        link: self.target.clone(),
+                        id: gram.id,
+                    });
+                }
+            }
         } else {
             self.stats.unacknowledged += 1;
         }

@@ -53,6 +53,13 @@ impl Updategram {
         self.insert.len() + self.delete.len()
     }
 
+    /// True when the gram changes nothing. Sealing an empty gram is
+    /// legal but wasteful — senders skip them to keep the change log
+    /// (and the wire) free of no-op frames.
+    pub fn is_empty(&self) -> bool {
+        self.insert.is_empty() && self.delete.is_empty()
+    }
+
     /// Stamp this gram with a delivery id, making it a unit of
     /// at-least-once propagation (see [`crate::propagation`]).
     pub fn sequenced(self, id: u64) -> SequencedGram {

@@ -24,7 +24,8 @@ use crate::relation::Relation;
 use crate::schema::{DbSchema, RelSchema};
 use crate::stats::{JoinStats, RelStats};
 use crate::value::Value;
-use std::collections::BTreeMap;
+use crate::wal::{Journal, WalRecord};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, RwLock};
 
 /// A named collection of relations.
@@ -34,7 +35,17 @@ use std::sync::{Arc, RwLock};
 /// *stats epoch*, a counter bumped on every mutation. Plan caches key on
 /// the epoch, so a cached plan can never outlive the statistics it was
 /// costed against.
-#[derive(Debug, Default, Clone)]
+///
+/// # Durability
+///
+/// A catalog may carry an attached [`Journal`]
+/// ([`Catalog::attach_journal`]); every mutation is then journaled as a
+/// [`WalRecord`] *before* it is applied, so the catalog can be recovered
+/// after a crash via [`crate::wal::recover_catalog`] (snapshot + LSN
+/// suffix replay). `Clone` deliberately does **not** carry the journal:
+/// a clone is a value snapshot (staging catalogs, merged views), and
+/// double-journaling through copies would corrupt the history.
+#[derive(Debug, Default)]
 pub struct Catalog {
     relations: BTreeMap<String, Relation>,
     /// Clean statistics per relation. A relation mutated through
@@ -48,6 +59,29 @@ pub struct Catalog {
     /// Learned equijoin selectivities fed back from executed plans.
     join_stats: JoinStats,
     epoch: u64,
+    /// Attached durable change log; `None` for plain in-memory catalogs.
+    journal: Option<Journal>,
+    /// Relations handed out via [`Catalog::get_mut`] while journaled: the
+    /// mutation is opaque, so the whole relation is re-journaled as a
+    /// [`WalRecord::Register`] at the next journaled operation. Until
+    /// then the log is behind the in-memory state — the documented
+    /// crash window of an unflushed write.
+    rejournal: BTreeSet<String>,
+}
+
+impl Clone for Catalog {
+    /// Value snapshot: everything but the journal (see the type docs).
+    fn clone(&self) -> Self {
+        Catalog {
+            relations: self.relations.clone(),
+            stats: self.stats.clone(),
+            dirty: self.dirty.clone(),
+            join_stats: self.join_stats.clone(),
+            epoch: self.epoch,
+            journal: None,
+            rejournal: BTreeSet::new(),
+        }
+    }
 }
 
 impl Catalog {
@@ -56,10 +90,103 @@ impl Catalog {
         Self::default()
     }
 
+    /// Attach a durable journal: from now on every mutation is journaled
+    /// before it is applied. The log receives no backfill — callers
+    /// snapshot the current state first (see [`crate::wal::encode_catalog`])
+    /// so recovery has a baseline.
+    pub fn attach_journal(&mut self, journal: Journal) {
+        self.journal = Some(journal);
+    }
+
+    /// Detach the journal (mutations stop being journaled). Used to
+    /// suppress re-journaling while *replaying* history onto a catalog and
+    /// while applying an updategram already captured as one atomic
+    /// [`WalRecord::DeltaApplied`].
+    pub fn detach_journal(&mut self) -> Option<Journal> {
+        self.journal.take()
+    }
+
+    /// The attached journal, if any.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
+    }
+
+    /// Journal a record, first flushing any relations dirtied through
+    /// [`Catalog::get_mut`] as whole-relation re-registrations (their
+    /// mutations were opaque, so the full current state is the only
+    /// faithful record).
+    fn journal_record(&mut self, rec: WalRecord) {
+        let Some(j) = self.journal.clone() else { return };
+        for name in std::mem::take(&mut self.rejournal) {
+            if let Some(r) = self.relations.get(&name) {
+                j.append(&WalRecord::Register { relation: r.clone() });
+            }
+        }
+        j.append(&rec);
+    }
+
+    /// Flush pending opaque-mutation re-registrations to the journal
+    /// without adding a record — called before snapshotting, so the log
+    /// and the image agree.
+    pub fn flush_journal(&mut self) {
+        let Some(j) = self.journal.clone() else { return };
+        for name in std::mem::take(&mut self.rejournal) {
+            if let Some(r) = self.relations.get(&name) {
+                j.append(&WalRecord::Register { relation: r.clone() });
+            }
+        }
+    }
+
+    /// Apply one journaled record to this catalog (crash recovery). The
+    /// journal is suspended for the duration: replay must not re-journal
+    /// history. `DeltaSealed`/`DeltaAcked` records carry no catalog
+    /// effect and are ignored (the propagation layer folds them).
+    pub fn replay(&mut self, rec: &WalRecord) {
+        let suspended = self.journal.take();
+        match rec {
+            WalRecord::Register { relation } => self.register(relation.clone()),
+            WalRecord::Insert { relation, row } => {
+                self.insert(relation, row.clone());
+            }
+            WalRecord::Delete { relation, row } => {
+                self.delete(relation, row);
+            }
+            WalRecord::Analyze => {
+                self.analyze();
+            }
+            WalRecord::JoinObserved { rel_a, col_a, rel_b, col_b, selectivity } => {
+                self.note_join_overlap(
+                    rel_a,
+                    *col_a as usize,
+                    rel_b,
+                    *col_b as usize,
+                    *selectivity,
+                );
+            }
+            WalRecord::DeltaApplied { relation, insert, delete, .. } => {
+                // Same order as updategram application: deletes, then
+                // inserts.
+                for row in delete {
+                    self.delete(relation, row);
+                }
+                for row in insert {
+                    self.insert(relation, row.clone());
+                }
+            }
+            WalRecord::DeltaSealed { .. } | WalRecord::DeltaAcked { .. } => {}
+        }
+        self.journal = suspended;
+    }
+
     /// Register (or replace) a relation under its schema name. Statistics
     /// are computed in the same pass that hands the relation over.
     pub fn register(&mut self, rel: Relation) {
         let name = rel.schema.name.clone();
+        if self.journal.is_some() {
+            // The explicit record supersedes any pending re-journal.
+            self.rejournal.remove(&name);
+            self.journal_record(WalRecord::Register { relation: rel.clone() });
+        }
         self.stats.insert(name.clone(), RelStats::compute(&rel));
         self.dirty.remove(&name);
         self.relations.insert(name, rel);
@@ -83,6 +210,11 @@ impl Catalog {
     /// [`Catalog::analyze`] afterwards to rebuild them (the planner falls
     /// back to raw row counts in the meantime).
     pub fn get_mut(&mut self, name: &str) -> Option<&mut Relation> {
+        if self.journal.is_some() && self.relations.contains_key(name) {
+            // The caller's mutations are opaque to the journal; remember
+            // to re-journal the whole relation at the next operation.
+            self.rejournal.insert(name.to_string());
+        }
         let r = self.relations.get_mut(name);
         if r.is_some() {
             if let Some(old) = self.stats.remove(name) {
@@ -96,25 +228,36 @@ impl Catalog {
     /// Insert a row into a named relation. Returns `false` if the relation
     /// does not exist. Statistics follow incrementally — no rescan.
     pub fn insert(&mut self, rel: &str, row: Vec<Value>) -> bool {
-        match self.relations.get_mut(rel) {
-            Some(r) => {
-                if let Some(s) = self.stats.get_mut(rel) {
-                    s.note_insert(&row);
-                }
-                r.insert(row);
-                self.epoch += 1;
-                true
-            }
-            None => false,
+        if !self.relations.contains_key(rel) {
+            return false;
         }
+        if self.journal.is_some() {
+            self.journal_record(WalRecord::Insert { relation: rel.to_string(), row: row.clone() });
+        }
+        if let Some(s) = self.stats.get_mut(rel) {
+            s.note_insert(&row);
+        }
+        self.relations.get_mut(rel).expect("checked above").insert(row);
+        self.epoch += 1;
+        true
     }
 
     /// Delete every copy of `row` from a named relation, returning how
     /// many rows were actually removed. Statistics are noted with that
     /// exact count (so a delete-of-absent cannot desync them), and the
     /// epoch only moves when something really changed.
+    ///
+    /// When journaled, the delete is logged *before* it is applied —
+    /// even a delete that turns out to remove nothing (replaying a no-op
+    /// delete is itself a no-op, so recovery stays faithful).
     pub fn delete(&mut self, rel: &str, row: &[Value]) -> usize {
-        let Some(r) = self.relations.get_mut(rel) else { return 0 };
+        if !self.relations.contains_key(rel) {
+            return 0;
+        }
+        if self.journal.is_some() {
+            self.journal_record(WalRecord::Delete { relation: rel.to_string(), row: row.to_vec() });
+        }
+        let r = self.relations.get_mut(rel).expect("checked above");
         let removed = r.delete(row);
         if removed > 0 {
             if let Some(s) = self.stats.get_mut(rel) {
@@ -139,6 +282,14 @@ impl Catalog {
     /// the data equivalent must not shift downstream cache epochs and
     /// flush every warm reformulation/plan cache for a no-op.
     pub fn analyze(&mut self) -> usize {
+        if self.journal.is_some()
+            && self.relations.keys().any(|n| !self.stats.contains_key(n))
+        {
+            // journal_record first flushes the dirtied relations as full
+            // re-registrations, so the replayed Analyze finds them clean;
+            // the record still marks where statistics were rebuilt.
+            self.journal_record(WalRecord::Analyze);
+        }
         let mut analyzed = 0;
         let mut changed = 0;
         for (name, rel) in &self.relations {
@@ -175,6 +326,18 @@ impl Catalog {
         col_b: usize,
         sel: f64,
     ) -> bool {
+        if self.journal.is_some() {
+            // Every observation is journaled (not just material changes):
+            // replay re-runs each `note`, reproducing both the stored
+            // selectivity and the observation count exactly.
+            self.journal_record(WalRecord::JoinObserved {
+                rel_a: rel_a.to_string(),
+                col_a: col_a as u32,
+                rel_b: rel_b.to_string(),
+                col_b: col_b as u32,
+                selectivity: sel,
+            });
+        }
         let changed = self.join_stats.note(rel_a, col_a, rel_b, col_b, sel);
         if changed {
             self.epoch += 1;
@@ -185,8 +348,22 @@ impl Catalog {
     /// Import learned join stats wholesale (e.g. into a per-query staging
     /// catalog or a merged snapshot). Does **not** bump the epoch: the
     /// observations were already accounted for where they were recorded.
+    /// Not journaled — this is a staging/merge API; durable catalogs learn
+    /// through [`Catalog::note_join_overlap`].
     pub fn absorb_join_stats(&mut self, other: &JoinStats) {
         self.join_stats.absorb(other);
+    }
+
+    /// Drop every learned join observation mentioning a relation for which
+    /// `drop_rel` returns true (either side of the pair). Bumps the epoch
+    /// when anything was removed, so caches costed against the departed
+    /// statistics are invalidated. Returns how many entries were removed.
+    pub fn purge_join_stats(&mut self, drop_rel: impl Fn(&str) -> bool) -> usize {
+        let removed = self.join_stats.purge_where(drop_rel);
+        if removed > 0 {
+            self.epoch += 1;
+        }
+        removed
     }
 
     /// The stats epoch: strictly increases with every catalog mutation
@@ -381,6 +558,90 @@ mod tests {
         let e = shared.epoch();
         shared.write(|c| c.insert("t", vec![Value::str("y")]));
         assert!(shared.epoch() > e);
+    }
+
+    #[test]
+    fn journaled_mutations_replay_to_the_same_catalog() {
+        use crate::wal::{encode_catalog, recover_catalog, Journal};
+        let mut c = Catalog::new();
+        let journal = Journal::new();
+        c.attach_journal(journal.clone());
+        c.create(RelSchema::text("t", &["v"]));
+        c.insert("t", vec![Value::str("a")]);
+        c.insert("t", vec![Value::str("b")]);
+        c.delete("t", &[Value::str("a")]);
+        c.note_join_overlap("A.r", 0, "B.s", 1, 0.5);
+        c.note_join_overlap("A.r", 0, "B.s", 1, 0.5); // re-observation journaled too
+        let (rec, report) = recover_catalog(None, &journal.bytes()).expect("recovers");
+        assert!(!report.snapshot_used);
+        assert_eq!(encode_catalog(&rec, 0), encode_catalog(&c, 0));
+        assert_eq!(
+            rec.join_stats().iter().next().unwrap().1.observations,
+            2,
+            "observation counts replay exactly"
+        );
+        // Statistics are recomputed on replay, not carried in the log.
+        assert_eq!(rec.rel_stats("t").unwrap(), c.rel_stats("t").unwrap());
+    }
+
+    #[test]
+    fn get_mut_mutations_are_rejournaled_at_the_next_operation() {
+        use crate::wal::{recover_catalog, Journal, WalRecord};
+        let mut c = Catalog::new();
+        let journal = Journal::new();
+        c.attach_journal(journal.clone());
+        c.create(RelSchema::text("t", &["v"]));
+        // Opaque mutation: invisible to the journal until the next op.
+        c.get_mut("t").unwrap().insert(vec![Value::str("hidden")]);
+        let behind = recover_catalog(None, &journal.bytes()).unwrap().0;
+        assert_eq!(behind.get("t").unwrap().len(), 0, "crash window: unflushed write");
+        // The next journaled operation flushes the whole relation first.
+        c.insert("t", vec![Value::str("visible")]);
+        let caught_up = recover_catalog(None, &journal.bytes()).unwrap().0;
+        assert_eq!(caught_up.get("t").unwrap().len(), 2);
+        assert!(
+            journal
+                .records()
+                .iter()
+                .any(|(_, r)| matches!(r, WalRecord::Register { relation } if relation.len() == 1)),
+            "the flush re-registered the relation with its opaque insert"
+        );
+        // flush_journal covers the snapshot path with no extra record.
+        c.get_mut("t").unwrap().insert(vec![Value::str("third")]);
+        c.flush_journal();
+        let flushed = recover_catalog(None, &journal.bytes()).unwrap().0;
+        assert_eq!(flushed.get("t").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn clones_do_not_carry_the_journal() {
+        use crate::wal::Journal;
+        let mut c = Catalog::new();
+        let journal = Journal::new();
+        c.attach_journal(journal.clone());
+        c.create(RelSchema::text("t", &["v"]));
+        let n = journal.record_count();
+        let mut copy = c.clone();
+        assert!(copy.journal().is_none());
+        copy.insert("t", vec![Value::str("staged")]);
+        assert_eq!(journal.record_count(), n, "staging mutations are not journaled");
+        assert!(c.journal().is_some(), "the original keeps its journal");
+    }
+
+    #[test]
+    fn purge_join_stats_drops_matching_entries_and_bumps_the_epoch() {
+        let mut c = Catalog::new();
+        c.note_join_overlap("Gone.r", 0, "Stays.s", 1, 0.25);
+        c.note_join_overlap("Stays.s", 0, "Also.t", 1, 0.5);
+        let e = c.stats_epoch();
+        assert_eq!(c.purge_join_stats(|rel| rel.starts_with("Gone.")), 1);
+        assert!(c.stats_epoch() > e);
+        assert_eq!(c.join_stats().len(), 1);
+        assert!(c.join_stats().overlap("Gone.r", 0, "Stays.s", 1).is_none());
+        // Purging nothing leaves the epoch alone.
+        let e2 = c.stats_epoch();
+        assert_eq!(c.purge_join_stats(|rel| rel.starts_with("Absent.")), 0);
+        assert_eq!(c.stats_epoch(), e2);
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //! * [`stats`] — incremental per-relation/per-column statistics (row,
 //!   distinct and value-frequency counts) behind the catalog's stats
 //!   epoch; what the query planner costs join orders with.
+//! * [`wal`] — the durable change log: CRC-framed append-only
+//!   [`wal::WalRecord`] journal with per-record LSNs, deterministic
+//!   catalog snapshots, and snapshot + suffix-replay recovery.
 
 pub mod catalog;
 pub mod engine;
@@ -28,6 +31,7 @@ pub mod schema;
 pub mod stats;
 pub mod triples;
 pub mod value;
+pub mod wal;
 
 pub use catalog::{Catalog, SharedCatalog};
 pub use engine::{AggFn, Predicate};
@@ -37,3 +41,7 @@ pub use schema::{AttrType, Attribute, DbSchema, RelSchema};
 pub use stats::{mcv_join_overlap, ColumnStats, JoinObservation, JoinStats, RelStats};
 pub use triples::{Triple, TripleStore};
 pub use value::Value;
+pub use wal::{
+    decode_catalog, encode_catalog, recover_catalog, Journal, Lsn, RecoveryReport, Wal,
+    WalOpenReport, WalRecord,
+};

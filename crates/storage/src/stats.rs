@@ -260,6 +260,31 @@ impl JoinStats {
         }
     }
 
+    /// Remove every entry whose key mentions (on either side) a relation
+    /// for which `drop_rel` returns true. Returns how many entries were
+    /// removed. Used when a peer departs: its learned selectivities must
+    /// not keep steering other peers' planners.
+    pub fn purge_where(&mut self, drop_rel: impl Fn(&str) -> bool) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|(a, b), _| !drop_rel(&a.0) && !drop_rel(&b.0));
+        before - self.entries.len()
+    }
+
+    /// Restore an exact observation (selectivity *and* observation count),
+    /// bypassing the material-change accounting of [`JoinStats::note`].
+    /// Used by snapshot decoding, where the store must round-trip
+    /// byte-identically.
+    pub fn restore(
+        &mut self,
+        rel_a: &str,
+        col_a: usize,
+        rel_b: &str,
+        col_b: usize,
+        obs: JoinObservation,
+    ) {
+        self.entries.insert(join_key(rel_a, col_a, rel_b, col_b), obs);
+    }
+
     /// Merge `other` into `self`, overwriting overlapping keys (the
     /// incoming side is the fresher observation).
     pub fn absorb(&mut self, other: &JoinStats) {

@@ -17,7 +17,7 @@
 //! byte-identically to their pre-chaos versions.
 
 use crate::rng::splitmix64;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// FNV-1a 64-bit hash: a stable, dependency-free string hash used to key
 /// fault decisions on peer and message names.
@@ -52,6 +52,8 @@ const SALT_DROP: u64 = 0x0D10;
 const SALT_FLAKY: u64 = 0x0F1A;
 const SALT_LATENCY: u64 = 0x01A7;
 const SALT_DUP: u64 = 0x0D0B;
+const SALT_CRASH: u64 = 0x0C5A;
+const SALT_CRASH_TICK: u64 = 0x0C71;
 
 /// The chaos dial: probabilities and ranges a [`FaultPlan`] draws from.
 ///
@@ -73,6 +75,14 @@ pub struct FaultSpec {
     /// Probability a delivered message is delivered a second time
     /// (exercises receiver-side idempotence).
     pub duplicate_prob: f64,
+    /// Deterministic kill-at-tick events: peer → the simulation tick at
+    /// which it crashes (targeted chaos for tests and E16). From that
+    /// tick on the peer is down until the harness restarts it.
+    pub crashes: BTreeMap<String, u64>,
+    /// Probability a peer draws a seeded crash tick from `crash_window`.
+    pub crash_prob: f64,
+    /// Inclusive `(min, max)` tick window seeded crashes are drawn from.
+    pub crash_window: (u64, u64),
 }
 
 impl FaultSpec {
@@ -89,12 +99,19 @@ impl FaultSpec {
             flaky_prob: f / 2.0,
             latency_ticks: if f > 0.0 { (1, 4) } else { (0, 0) },
             duplicate_prob: f / 4.0,
+            ..FaultSpec::default()
         }
     }
 
     /// Mark one peer as unconditionally down.
     pub fn with_down_peer(mut self, peer: impl Into<String>) -> Self {
         self.down_peers.insert(peer.into());
+        self
+    }
+
+    /// Schedule a deterministic crash: `peer` dies at `tick`.
+    pub fn with_crash(mut self, peer: impl Into<String>, tick: u64) -> Self {
+        self.crashes.insert(peer.into(), tick);
         self
     }
 }
@@ -145,6 +162,8 @@ impl FaultPlan {
             && s.flaky_prob <= 0.0
             && s.duplicate_prob <= 0.0
             && s.latency_ticks == (0, 0)
+            && s.crashes.is_empty()
+            && s.crash_prob <= 0.0
     }
 
     /// Is `peer` down for the whole run?
@@ -154,6 +173,35 @@ impl FaultPlan {
         }
         self.spec.outage_prob > 0.0
             && unit(mix(&[self.spec.seed, SALT_OUTAGE, stable_hash(peer)])) < self.spec.outage_prob
+    }
+
+    /// The tick at which `peer` crashes, if it does: an explicit
+    /// [`FaultSpec::crashes`] entry wins; otherwise a seeded draw fires
+    /// with probability `crash_prob` and picks a tick in `crash_window`.
+    pub fn crash_tick(&self, peer: &str) -> Option<u64> {
+        if let Some(&t) = self.spec.crashes.get(peer) {
+            return Some(t);
+        }
+        if self.spec.crash_prob > 0.0
+            && unit(mix(&[self.spec.seed, SALT_CRASH, stable_hash(peer)])) < self.spec.crash_prob
+        {
+            let (lo, hi) = self.spec.crash_window;
+            let tick = if hi > lo {
+                lo + mix(&[self.spec.seed, SALT_CRASH_TICK, stable_hash(peer)]) % (hi - lo + 1)
+            } else {
+                lo
+            };
+            return Some(tick);
+        }
+        None
+    }
+
+    /// Is `peer` unreachable at simulation tick `tick`? Covers both
+    /// whole-run outages ([`FaultPlan::is_down`]) and crashes whose tick
+    /// has passed (a crashed peer stays down until the harness restarts
+    /// it — queries in between must report the gap, not shrink silently).
+    pub fn is_down_at(&self, peer: &str, tick: u64) -> bool {
+        self.is_down(peer) || self.crash_tick(peer).is_some_and(|t| tick >= t)
     }
 
     /// The fate of attempt number `attempt` of message `key` to `peer`.
@@ -288,6 +336,41 @@ mod tests {
         assert!(plan.is_down("Berkeley"));
         assert!(!plan.is_down("MIT"));
         assert!(!plan.is_zero());
+    }
+
+    #[test]
+    fn explicit_crash_tick_downs_the_peer_from_that_tick_on() {
+        let plan = FaultPlan::new(FaultSpec::default().with_crash("Berkeley", 5));
+        assert!(!plan.is_zero());
+        assert_eq!(plan.crash_tick("Berkeley"), Some(5));
+        assert_eq!(plan.crash_tick("MIT"), None);
+        assert!(!plan.is_down("Berkeley"), "a crash is not a whole-run outage");
+        assert!(!plan.is_down_at("Berkeley", 4));
+        assert!(plan.is_down_at("Berkeley", 5));
+        assert!(plan.is_down_at("Berkeley", 99));
+        assert!(!plan.is_down_at("MIT", 99));
+    }
+
+    #[test]
+    fn seeded_crashes_are_deterministic_and_land_in_the_window() {
+        let spec = FaultSpec {
+            seed: 11,
+            crash_prob: 0.5,
+            crash_window: (3, 9),
+            ..FaultSpec::default()
+        };
+        let a = FaultPlan::new(spec.clone());
+        let b = FaultPlan::new(spec);
+        let peers: Vec<String> = (0..64).map(|i| format!("P{i}")).collect();
+        let mut crashed = 0;
+        for p in &peers {
+            assert_eq!(a.crash_tick(p), b.crash_tick(p), "pure function of the seed");
+            if let Some(t) = a.crash_tick(p) {
+                crashed += 1;
+                assert!((3..=9).contains(&t), "{p} crashes at {t}");
+            }
+        }
+        assert!((16..=48).contains(&crashed), "p=0.5 gave {crashed}/64");
     }
 
     #[test]

@@ -35,6 +35,23 @@ for seed in ${REVERE_TRACE_SEEDS:-1003 7 42}; do
     REVERE_TRACE_SEED="$seed" cargo test -q --offline -p revere --test trace_obs
 done
 
+# Crash-recovery gate: the durability suite must hold under several
+# fixed seeds — WAL round-trips, torn-tail recovery, ack-driven log
+# truncation, inbox compaction, and the crash-convergence invariant (a
+# run with mid-stream peer crashes converges byte-identically to its
+# crash-free twin, every gram applied exactly once). Override the seed
+# set with REVERE_CRASH_SEEDS="1 2 3" scripts/verify.sh
+for seed in ${REVERE_CRASH_SEEDS:-7 42 1003}; do
+    echo "crash-recovery gate: seed $seed"
+    REVERE_CRASH_SEED="$seed" cargo test -q --offline -p revere --test durability_wal
+done
+
+# E16 smoke: the durability experiment must run end to end — its sweep
+# asserts byte-identical convergence and suffix-bounded recovery for
+# every built-in crash seed, and reports recovery latency and
+# stable-storage amplification.
+cargo run --release --offline -p revere-bench --bin report E16
+
 # E13 smoke: the plan/reformulation cache sweep must run end to end and
 # report a table (its internal asserts cross-check cached vs uncached
 # answers and cost-based vs greedy join work).

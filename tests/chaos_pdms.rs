@@ -200,3 +200,66 @@ fn raising_the_dial_never_creates_answers() {
     }
     assert!(counts.windows(2).all(|w| w[1] <= w[0]), "{counts:?}");
 }
+
+#[test]
+fn crash_at_tick_zero_is_indistinguishable_from_a_downed_peer() {
+    // A peer whose kill-at-tick event fires before the query starts is
+    // down for the whole query: answers and the completeness report must
+    // match the static-outage plan exactly.
+    let run = |spec: FaultSpec| {
+        let mut net = build_network(TopologyKind::Chain, 6, 3);
+        net.faults = FaultPlan::new(spec);
+        net.query_str("P0", "q(T, E) :- P0.course(T, E)").unwrap()
+    };
+    let crashed = run(FaultSpec::default().with_crash("P3", 0));
+    let downed = run(FaultSpec::default().with_down_peer("P3"));
+    assert_eq!(sorted_rows(&crashed), sorted_rows(&downed));
+    assert_eq!(
+        crashed.completeness.peers_unreachable,
+        downed.completeness.peers_unreachable
+    );
+    assert!(!crashed.completeness.is_complete());
+    assert!(crashed.completeness.peers_unreachable.contains("P3"));
+}
+
+#[test]
+fn mid_query_crashes_surface_as_reported_gaps_never_silent_shrink() {
+    // Kill-at-tick events landing *during* the fetch phase (the message
+    // latency advances the query clock past them) may cost answers, but
+    // every lost answer must be blamed in the completeness report — a
+    // crash never silently shrinks the answer set.
+    let seed = chaos_seed();
+    let baseline = {
+        let mut net = build_network(TopologyKind::Random { extra: 2 }, 10, 3);
+        net.faults = FaultPlan::new(FaultSpec {
+            seed,
+            latency_ticks: (1, 3),
+            ..FaultSpec::default()
+        });
+        net.query_str("P0", "q(T, E) :- P0.course(T, E)").unwrap()
+    };
+    assert!(baseline.completeness.is_complete(), "latency alone loses nothing");
+    for tick in [1u64, 4, 8, 16] {
+        let mut spec = FaultSpec { seed, latency_ticks: (1, 3), ..FaultSpec::default() };
+        for p in 1..10 {
+            // Stagger the kills so different peers die at different ticks.
+            spec = spec.with_crash(format!("P{p}"), tick + p % 3);
+        }
+        let mut net = build_network(TopologyKind::Random { extra: 2 }, 10, 3);
+        net.faults = FaultPlan::new(spec);
+        let out = net.query_str("P0", "q(T, E) :- P0.course(T, E)").unwrap();
+        assert!(out.answers.len() <= baseline.answers.len());
+        if out.answers.len() < baseline.answers.len() {
+            assert!(
+                !out.completeness.is_complete(),
+                "tick {tick}: shrunken answers with a clean report"
+            );
+            assert!(
+                !out.completeness.peers_unreachable.is_empty()
+                    || out.completeness.disjuncts_dropped > 0,
+                "tick {tick}: the gap names no culprit: {:?}",
+                out.completeness
+            );
+        }
+    }
+}
