@@ -1,7 +1,8 @@
-//! The E1–E16 experiments (see DESIGN.md §2 for the paper anchors).
+//! The E1–E17 experiments (see DESIGN.md §2 for the paper anchors).
 
 pub mod e_chaos;
 pub mod e_corpus;
+pub mod e_dataflow;
 pub mod e_durability;
 pub mod e_feedback;
 pub mod e_mangrove;
@@ -34,12 +35,14 @@ pub fn run_all() -> Vec<Table> {
     ];
     tables.extend(e_feedback::e15_tables());
     tables.push(e_durability::e16_durability());
+    tables.extend(e_dataflow::e17_tables());
     tables
 }
 
-/// Run one experiment by id (`"E1"`..`"E16"`). An experiment may produce
+/// Run one experiment by id (`"E1"`..`"E17"`). An experiment may produce
 /// more than one table (E14 reports calibration and the fetch breakdown;
-/// E15 reports calibration before/after feedback and the loop's cost).
+/// E15 reports calibration before/after feedback and the loop's cost;
+/// E17 reports delta scaling and the subscriber-fan-out shootout).
 pub fn run_one(id: &str) -> Option<Vec<Table>> {
     let one = |t: Table| Some(vec![t]);
     match id.to_ascii_uppercase().as_str() {
@@ -59,6 +62,7 @@ pub fn run_one(id: &str) -> Option<Vec<Table>> {
         "E14" => Some(vec![e_obs::e14_calibration(), e_obs::e14_fetch_breakdown()]),
         "E15" => Some(e_feedback::e15_tables()),
         "E16" => one(e_durability::e16_durability()),
+        "E17" => Some(e_dataflow::e17_tables()),
         _ => None,
     }
 }

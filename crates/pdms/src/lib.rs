@@ -13,8 +13,10 @@
 //! * [`network`] — the simulated overlay: message/hop accounting, query
 //!   routing, optional multi-threaded disjunct execution, degraded
 //!   execution under a seeded fault plan (retry/backoff, query budgets,
-//!   partial-answer completeness reports), and epoch-invalidated
-//!   reformulation/plan caches ("plan once, run many").
+//!   partial-answer completeness reports), epoch-invalidated
+//!   reformulation/plan caches ("plan once, run many"), and continuous
+//!   queries ([`PdmsNetwork::subscribe`] / [`PdmsNetwork::publish`])
+//!   maintained by delta-dataflow circuits.
 //! * [`xmlmap`] — the Figure 4 mapping-template language for XML peers:
 //!   a target-schema template annotated with binding queries, applied to
 //!   source documents.
@@ -52,14 +54,20 @@ pub use revere_util::obs;
 pub use durable::{
     checkpoint, recover, CheckpointReport, OutboxResume, PeerDisk, PeerRecovery, RecoveredPeer,
 };
-pub use network::{CacheStats, CompletenessReport, PdmsNetwork, QueryBudget, QueryOutcome};
+pub use network::{
+    CacheStats, CompletenessReport, PdmsNetwork, PublishReport, QueryBudget, QueryOutcome,
+    Subscription,
+};
 pub use peer::Peer;
 pub use placement::{answer_with_plan, plan_placement, PlacementPlan, WorkloadEntry};
 pub use propagation::{
-    apply_once, propagate_through_mapping, Delivery, GramInbox, LinkStats, MappingPropagator,
-    ReliableLink,
+    apply_once, apply_once_dataflow, propagate_through_mapping, Delivery, GramInbox, LinkStats,
+    MappingPropagator, ReliableLink,
 };
 pub use reformulate::{ReformulateOptions, ReformulationResult, Reformulator};
-pub use updategram::{maintain, MaintenanceChoice, SequencedGram, Updategram};
-pub use views::MaterializedView;
+pub use updategram::{
+    apply_updategrams, derivation_deltas_readonly, gram_to_batch, maintain, MaintenanceChoice,
+    SequencedGram, Updategram,
+};
+pub use views::{DataflowView, IvmStrategy, MaterializedView};
 pub use xmlmap::XmlMapping;

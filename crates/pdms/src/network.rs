@@ -24,10 +24,13 @@
 use crate::durable::{self, CheckpointReport, PeerDisk, PeerRecovery};
 use crate::peer::{split_qualified, Peer};
 use crate::reformulate::{ReformulateOptions, ReformulationResult, Reformulator};
+use crate::updategram::{apply_updategrams, derivation_deltas_readonly, gram_to_batch, Updategram};
+use crate::views::{IvmStrategy, MaterializedView};
+use revere_query::dataflow::{Circuit, DeltaBatch};
 use revere_query::glav::GlavMapping;
 use revere_query::plan::{plan_cq, q_error, Plan};
-use revere_query::{parse_query, ConjunctiveQuery, Source, StepProfile, UnionQuery};
-use revere_storage::{Catalog, Relation, SharedCatalog};
+use revere_query::{parse_query, ConjunctiveQuery, Source, StepProfile, Term, UnionQuery};
+use revere_storage::{row_deltas, Catalog, Lsn, RelSchema, Relation, SharedCatalog, Tuple};
 use revere_util::fault::{Fate, FaultPlan, RetryPolicy};
 use revere_util::obs::{Obs, SpanHandle};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -75,6 +78,17 @@ pub struct PdmsNetwork {
     /// Peers without an entry lose everything on [`PdmsNetwork::restart_peer`]
     /// the way any in-memory store would — durability is opt-in.
     disks: BTreeMap<String, PeerDisk>,
+    /// Continuous queries registered via [`PdmsNetwork::subscribe`].
+    subs: BTreeMap<String, Subscription>,
+    /// The merged base snapshot the subscription circuits were initialized
+    /// against, kept in lockstep by [`PdmsNetwork::publish`] and
+    /// [`PdmsNetwork::sync_durable_subscriptions`]. Built lazily at the
+    /// first subscribe; `None` until then.
+    subs_base: Option<Catalog>,
+    /// Per-durable-peer journal positions already absorbed into
+    /// `subs_base` (WAL change-data capture for mutations that bypass
+    /// [`PdmsNetwork::publish`]).
+    wal_cursors: BTreeMap<String, Lsn>,
     caches: Mutex<Caches>,
 }
 
@@ -92,6 +106,9 @@ impl Default for PdmsNetwork {
             replan_q_error: Some(REPLAN_Q_ERROR_DEFAULT),
             topology_epoch: 0,
             disks: BTreeMap::new(),
+            subs: BTreeMap::new(),
+            subs_base: None,
+            wal_cursors: BTreeMap::new(),
             caches: Mutex::new(Caches::default()),
         }
     }
@@ -303,6 +320,117 @@ pub struct QueryOutcome {
     pub completeness: CompletenessReport,
 }
 
+/// A continuous query registered at a peer ([`PdmsNetwork::subscribe`]):
+/// the query is reformulated once over the mapping graph, and each
+/// evaluable disjunct is compiled either into a delta-dataflow
+/// [`Circuit`] ([`IvmStrategy::Dataflow`], the default) or a counting
+/// [`MaterializedView`] ([`IvmStrategy::Counting`], the ablation
+/// baseline). Published updategrams re-fire only subscriptions whose
+/// base relations the delta touches; everything else is a counted no-op.
+#[derive(Debug)]
+pub struct Subscription {
+    /// Subscription name (unique per network).
+    pub name: String,
+    /// The peer the continuous query was posed at.
+    pub at_peer: String,
+    /// The query as posed, in that peer's own vocabulary.
+    pub definition: ConjunctiveQuery,
+    /// How the answer is maintained.
+    pub strategy: IvmStrategy,
+    /// Disjuncts in the reformulated union.
+    pub disjuncts_total: usize,
+    /// Disjuncts dropped at subscribe time (unreachable base relations).
+    pub disjuncts_dropped: usize,
+    /// Times a published delta incrementally refreshed this subscription.
+    pub refreshes: usize,
+    /// Published deltas that touched none of this subscription's base
+    /// relations (no work beyond the affected-set check).
+    pub skipped: usize,
+    /// One circuit per evaluable disjunct (Dataflow strategy).
+    circuits: Vec<Circuit>,
+    /// One counting view per evaluable disjunct (Counting strategy).
+    counting: Vec<MaterializedView>,
+    /// Base relations the subscription reads — the affected set.
+    relations: BTreeSet<String>,
+}
+
+impl Subscription {
+    /// The base relations whose deltas re-fire this subscription.
+    pub fn relations(&self) -> &BTreeSet<String> {
+        &self.relations
+    }
+
+    /// The maintained answer under set semantics: the distinct union of
+    /// every disjunct's current output, sorted.
+    pub fn answers(&self) -> Relation {
+        let mut schema: Option<RelSchema> = None;
+        let mut rows: Vec<Tuple> = Vec::new();
+        match self.strategy {
+            IvmStrategy::Dataflow => {
+                for c in &self.circuits {
+                    let r = c.output_set();
+                    schema.get_or_insert_with(|| r.schema.clone());
+                    rows.extend(r.into_rows());
+                }
+            }
+            IvmStrategy::Counting => {
+                for v in &self.counting {
+                    let r = v.as_relation();
+                    schema.get_or_insert_with(|| r.schema.clone());
+                    rows.extend(r.into_rows());
+                }
+            }
+        }
+        let schema = schema.unwrap_or_else(|| answer_schema(&self.definition));
+        Relation::with_rows(schema, rows).distinct()
+    }
+
+    /// Join-work units spent across all circuits (0 under Counting, whose
+    /// cost lives in the delta-query evaluations instead).
+    pub fn work(&self) -> u64 {
+        self.circuits.iter().map(|c| c.work).sum()
+    }
+
+    /// Distinct tuples held across all circuit arrangements — the state
+    /// footprint the dataflow strategy pays for O(|Δ|) refreshes.
+    pub fn arranged_tuples(&self) -> usize {
+        self.circuits.iter().map(Circuit::arranged_tuples).sum()
+    }
+}
+
+/// Answer schema for a subscription with no evaluable disjunct:
+/// head-variable column names, `c{i}` for constant positions (the same
+/// naming the evaluator uses).
+fn answer_schema(q: &ConjunctiveQuery) -> RelSchema {
+    let cols: Vec<String> = q
+        .head
+        .terms
+        .iter()
+        .enumerate()
+        .map(|(i, t)| match t {
+            Term::Var(v) => v.clone(),
+            Term::Const(_) => format!("c{i}"),
+        })
+        .collect();
+    RelSchema::text(
+        q.head.relation.clone(),
+        &cols.iter().map(String::as_str).collect::<Vec<_>>(),
+    )
+}
+
+/// What one [`PdmsNetwork::publish`] call did.
+#[derive(Debug, Clone, Default)]
+pub struct PublishReport {
+    /// Subscriptions whose answers were incrementally refreshed.
+    pub refreshed: Vec<String>,
+    /// Subscriptions skipped because the delta touches none of their
+    /// base relations.
+    pub skipped: usize,
+    /// Distinct output tuples whose derivation counts changed, summed
+    /// over the refreshed subscriptions.
+    pub output_changes: usize,
+}
+
 /// Internal result of the shared fetch phase.
 struct Fetched {
     staging: Catalog,
@@ -335,6 +463,7 @@ impl PdmsNetwork {
         self.topology_epoch += 1;
         let gone = self.peers.remove(name)?;
         self.disks.remove(name);
+        self.wal_cursors.remove(name);
         let prefix = format!("{name}.");
         for p in self.peers.values() {
             p.storage.write(|c| c.purge_join_stats(|rel| rel.starts_with(&prefix)));
@@ -980,6 +1109,255 @@ impl PdmsNetwork {
             });
         }
         c
+    }
+
+    // -----------------------------------------------------------------
+    // Continuous queries (delta-dataflow IVM over the overlay)
+    // -----------------------------------------------------------------
+
+    /// Build the mirrored base snapshot on first use, and start every
+    /// durable peer's WAL cursor at its current tail (the snapshot
+    /// already contains everything journaled so far).
+    fn ensure_subs_base(&mut self) {
+        if self.subs_base.is_some() {
+            return;
+        }
+        self.subs_base = Some(self.snapshot_all());
+        for (name, disk) in &self.disks {
+            self.wal_cursors.insert(name.clone(), disk.journal().next_lsn());
+        }
+    }
+
+    /// Register a continuous query at a peer. The query is reformulated
+    /// over the mapping graph exactly like [`PdmsNetwork::query`]; each
+    /// evaluable disjunct is compiled per `strategy` and initialized
+    /// against the current network contents, so [`Subscription::answers`]
+    /// immediately equals what a one-shot query would return. Disjuncts
+    /// referencing unreachable relations are dropped and counted.
+    /// Replaces any existing subscription of the same name.
+    pub fn subscribe(
+        &mut self,
+        at_peer: &str,
+        name: &str,
+        query: &str,
+        strategy: IvmStrategy,
+    ) -> Result<&Subscription, String> {
+        if !self.peers.contains_key(at_peer) {
+            return Err(format!("unknown peer {at_peer:?}"));
+        }
+        let q = parse_query(query).map_err(|e| e.to_string())?;
+        // Absorb pending durable-peer mutations first, so the circuits
+        // initialize against the same state later deltas are signed from.
+        self.sync_durable_subscriptions();
+        self.ensure_subs_base();
+        let (reformulation, _) = self.reformulate_cached(&q);
+        let base = self.subs_base.as_ref().expect("ensured above");
+        let mut sub = Subscription {
+            name: name.to_string(),
+            at_peer: at_peer.to_string(),
+            definition: q,
+            strategy,
+            disjuncts_total: reformulation.union.disjuncts.len(),
+            disjuncts_dropped: 0,
+            refreshes: 0,
+            skipped: 0,
+            circuits: Vec::new(),
+            counting: Vec::new(),
+            relations: BTreeSet::new(),
+        };
+        for (i, d) in reformulation.union.disjuncts.iter().enumerate() {
+            if d.body.iter().any(|a| base.get(&a.relation).is_none()) {
+                sub.disjuncts_dropped += 1;
+                continue;
+            }
+            match strategy {
+                IvmStrategy::Dataflow => {
+                    let plan = plan_cq(d, base);
+                    let mut circuit = Circuit::new(d, &plan).map_err(|e| e.to_string())?;
+                    if circuit.init_full(base).is_err() {
+                        // Arity mismatch against staged data: same drop
+                        // the one-shot evaluator would perform.
+                        sub.disjuncts_dropped += 1;
+                        continue;
+                    }
+                    sub.relations.extend(circuit.relations());
+                    sub.circuits.push(circuit);
+                }
+                IvmStrategy::Counting => {
+                    let mut view = MaterializedView::new(format!("{name}#{i}"), d.clone());
+                    if view.refresh_full(base).is_err() {
+                        sub.disjuncts_dropped += 1;
+                        continue;
+                    }
+                    sub.relations.extend(d.body.iter().map(|a| a.relation.clone()));
+                    sub.counting.push(view);
+                }
+            }
+        }
+        self.subs.insert(name.to_string(), sub);
+        Ok(self.subs.get(name).expect("just inserted"))
+    }
+
+    /// Remove a subscription, returning its final state.
+    pub fn unsubscribe(&mut self, name: &str) -> Option<Subscription> {
+        self.subs.remove(name)
+    }
+
+    /// Borrow a subscription.
+    pub fn subscription(&self, name: &str) -> Option<&Subscription> {
+        self.subs.get(name)
+    }
+
+    /// Registered subscription names.
+    pub fn subscription_names(&self) -> impl Iterator<Item = &str> {
+        self.subs.keys().map(String::as_str)
+    }
+
+    /// Apply an updategram to the relation's owning peer and push the
+    /// resulting delta through every affected subscription. The delta is
+    /// signed against the pre-state (a delete retracts every stored copy
+    /// of a row, duplicate inserts each count), applied to the owner's
+    /// catalog and the mirrored base, and re-fires *only* subscriptions
+    /// whose base relations it touches — everyone else pays one set
+    /// lookup. Errors when the relation is unqualified, its owner is not
+    /// a member, or the owner does not store it.
+    pub fn publish(&mut self, gram: &Updategram) -> Result<PublishReport, String> {
+        let Some((owner, _)) = split_qualified(&gram.relation) else {
+            return Err(format!("relation {:?} is not peer-qualified", gram.relation));
+        };
+        let owner = owner.to_string();
+        let Some(peer) = self.peers.get(&owner) else {
+            return Err(format!("unknown peer {owner:?}"));
+        };
+        if !peer.storage.read(|c| c.get(&gram.relation).is_some()) {
+            return Err(format!("peer {owner:?} does not store {:?}", gram.relation));
+        }
+        // Catch up on out-of-band durable-peer mutations so this gram's
+        // deltas are signed against the state subscribers actually hold.
+        self.sync_durable_subscriptions();
+        self.ensure_subs_base();
+        let base = self.subs_base.as_ref().expect("ensured above");
+        let batch = gram_to_batch(base, gram);
+        // The counting ablation differences its delta queries against the
+        // same pre-state the dataflow batch was signed from.
+        let mut counting: BTreeMap<String, Vec<Vec<(Tuple, i64)>>> = BTreeMap::new();
+        for (name, sub) in &self.subs {
+            if sub.strategy != IvmStrategy::Counting
+                || !sub.relations.contains(&gram.relation)
+            {
+                continue;
+            }
+            let mut per_view = Vec::new();
+            for v in &sub.counting {
+                per_view.push(
+                    derivation_deltas_readonly(base, &v.definition, gram)
+                        .map_err(|e| e.to_string())?,
+                );
+            }
+            counting.insert(name.clone(), per_view);
+        }
+        self.peers
+            .get(&owner)
+            .expect("membership checked above")
+            .storage
+            .write(|c| apply_updategrams(c, std::slice::from_ref(gram)));
+        // The application above may itself have journaled records on a
+        // durable owner; advance the cursor past them — their effect is
+        // exactly this batch, which is pushed below.
+        if let Some(disk) = self.disks.get(&owner) {
+            self.wal_cursors.insert(owner.clone(), disk.journal().next_lsn());
+        }
+        apply_updategrams(
+            self.subs_base.as_mut().expect("ensured above"),
+            std::slice::from_ref(gram),
+        );
+        Ok(self.refire(&batch, Some(&mut counting)))
+    }
+
+    /// Absorb durable peers' journal suffixes into the subscription layer:
+    /// mutations made *directly* on a durable peer's catalog (bypassing
+    /// [`PdmsNetwork::publish`]) are recovered from its WAL via per-peer
+    /// LSN cursors, replayed into the mirrored base as signed row deltas,
+    /// and pushed through affected subscriptions. Counting subscriptions
+    /// have no updategram to difference on this path and fall back to a
+    /// full recompute. Returns the number of distinct changed rows
+    /// absorbed. No-op (0) before the first subscription.
+    pub fn sync_durable_subscriptions(&mut self) -> usize {
+        if self.subs_base.is_none() {
+            return 0;
+        }
+        let mut changed = 0;
+        let names: Vec<String> = self.disks.keys().cloned().collect();
+        for name in names {
+            let journal = self.disks.get(&name).expect("listed above").journal();
+            let cursor = self.wal_cursors.get(&name).copied().unwrap_or(0);
+            let records: Vec<_> =
+                journal.records().into_iter().filter(|(l, _)| *l >= cursor).collect();
+            self.wal_cursors.insert(name.clone(), journal.next_lsn());
+            if records.is_empty() {
+                continue;
+            }
+            let deltas = row_deltas(&records, self.subs_base.as_mut().expect("checked above"));
+            let mut batch = DeltaBatch::new();
+            for (rel, row, w) in deltas {
+                batch.add(rel, row, w);
+            }
+            if batch.is_empty() {
+                continue;
+            }
+            changed += batch.len();
+            self.refire(&batch, None);
+        }
+        changed
+    }
+
+    /// Push one signed batch through every affected subscription.
+    /// `counting` carries the ablation's pre-computed delta-query results
+    /// keyed by subscription name; `None` (the WAL-sync path, which has
+    /// no gram to difference) makes counting subscriptions recompute.
+    fn refire(
+        &mut self,
+        batch: &DeltaBatch,
+        mut counting: Option<&mut BTreeMap<String, Vec<Vec<(Tuple, i64)>>>>,
+    ) -> PublishReport {
+        let mut report = PublishReport::default();
+        let base = &self.subs_base;
+        for (name, sub) in self.subs.iter_mut() {
+            if !batch.relations().any(|r| sub.relations.contains(r)) {
+                sub.skipped += 1;
+                report.skipped += 1;
+                continue;
+            }
+            match sub.strategy {
+                IvmStrategy::Dataflow => {
+                    for c in &mut sub.circuits {
+                        report.output_changes += c.push(batch).len();
+                    }
+                }
+                IvmStrategy::Counting => {
+                    match counting.as_deref_mut().and_then(|m| m.remove(name)) {
+                        Some(per_view) => {
+                            for (v, deltas) in sub.counting.iter_mut().zip(per_view) {
+                                report.output_changes += deltas.len();
+                                v.apply_derivation_delta(deltas);
+                            }
+                        }
+                        None => {
+                            if let Some(base) = base {
+                                for v in &mut sub.counting {
+                                    // Stale-on-error mirrors the one-shot
+                                    // evaluator dropping the disjunct.
+                                    let _ = v.refresh_full(base);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            sub.refreshes += 1;
+            report.refreshed.push(name.clone());
+        }
+        report
     }
 }
 
@@ -1654,5 +2032,112 @@ mod tests {
         assert!(net.restart_peer("Berkeley").is_none(), "no disk, no recovery");
         assert!(net.peer("Berkeley").is_some(), "the live peer is untouched");
         assert!(net.restart_peer("Nowhere").is_none());
+    }
+
+    #[test]
+    fn subscription_tracks_published_deltas_across_peers() {
+        let mut net = university_network();
+        let text = "q(T, E) :- MIT.subject(T, E)";
+        net.subscribe("MIT", "cq", text, IvmStrategy::Dataflow).unwrap();
+        // Initialization lands exactly on the one-shot answer.
+        let oneshot = net.query_str("MIT", text).unwrap().answers;
+        assert_eq!(net.subscription("cq").unwrap().answers().rows(), oneshot.rows());
+
+        // A remote insert flows through the mapping-reformulated circuit.
+        let gram = Updategram::inserts(
+            "Berkeley.course",
+            vec![vec![Value::str("Distributed Systems"), Value::Int(77)]],
+        );
+        let report = net.publish(&gram).unwrap();
+        assert_eq!(report.refreshed, vec!["cq".to_string()]);
+        assert!(report.output_changes >= 1);
+        let oneshot = net.query_str("MIT", text).unwrap().answers;
+        assert_eq!(net.subscription("cq").unwrap().answers().rows(), oneshot.rows());
+
+        // A delete retracts; the maintained answer shrinks in lockstep.
+        let gram = Updategram::deletes(
+            "Berkeley.course",
+            vec![vec![Value::str("Ancient Greece"), Value::Int(40)]],
+        );
+        net.publish(&gram).unwrap();
+        let oneshot = net.query_str("MIT", text).unwrap().answers;
+        assert_eq!(net.subscription("cq").unwrap().answers().rows(), oneshot.rows());
+        assert_eq!(net.subscription("cq").unwrap().refreshes, 2);
+    }
+
+    #[test]
+    fn counting_and_dataflow_subscriptions_agree() {
+        let mut net = university_network();
+        let text = "q(T, E) :- MIT.subject(T, E)";
+        net.subscribe("MIT", "flow", text, IvmStrategy::Dataflow).unwrap();
+        net.subscribe("MIT", "count", text, IvmStrategy::Counting).unwrap();
+        let grams = vec![
+            Updategram::inserts("MIT.subject", vec![vec![Value::str("Queues"), Value::Int(30)]]),
+            Updategram::inserts(
+                "Berkeley.course",
+                vec![vec![Value::str("Queues"), Value::Int(30)]],
+            ),
+            Updategram::deletes("MIT.subject", vec![vec![Value::str("Queues"), Value::Int(30)]]),
+        ];
+        for gram in &grams {
+            net.publish(gram).unwrap();
+            let flow = net.subscription("flow").unwrap().answers();
+            let count = net.subscription("count").unwrap().answers();
+            assert_eq!(flow.rows(), count.rows(), "strategies diverged on {gram:?}");
+        }
+    }
+
+    #[test]
+    fn unaffected_subscription_is_a_counted_noop() {
+        let mut net = PdmsNetwork::new();
+        for name in ["A", "B"] {
+            let mut p = Peer::new(name);
+            let mut r = Relation::new(RelSchema::text("r", &["x"]));
+            r.insert(vec![Value::str("seed")]);
+            p.add_relation(r);
+            net.add_peer(p);
+        }
+        net.subscribe("A", "only_a", "q(X) :- A.r(X)", IvmStrategy::Dataflow).unwrap();
+        let work_before = net.subscription("only_a").unwrap().work();
+        let report = net
+            .publish(&Updategram::inserts("B.r", vec![vec![Value::str("noise")]]))
+            .unwrap();
+        assert!(report.refreshed.is_empty());
+        assert_eq!(report.skipped, 1);
+        let sub = net.subscription("only_a").unwrap();
+        assert_eq!(sub.skipped, 1);
+        assert_eq!(sub.work(), work_before, "no join work for an unaffected delta");
+    }
+
+    #[test]
+    fn durable_peer_direct_mutations_sync_through_the_wal() {
+        let mut net = university_network();
+        net.enable_durability("Berkeley").expect("Berkeley is a member");
+        let text = "q(T, E) :- MIT.subject(T, E)";
+        net.subscribe("MIT", "cq", text, IvmStrategy::Dataflow).unwrap();
+        // Mutate the durable peer directly — no publish, no gram.
+        net.peer("Berkeley").unwrap().storage.write(|c| {
+            c.insert("Berkeley.course", vec![Value::str("WAL Mining"), Value::Int(12)]);
+            c.delete("Berkeley.course", &[Value::str("Ancient Greece"), Value::Int(40)]);
+        });
+        let absorbed = net.sync_durable_subscriptions();
+        assert!(absorbed >= 2, "both the insert and the delete are captured");
+        let oneshot = net.query_str("MIT", text).unwrap().answers;
+        assert_eq!(net.subscription("cq").unwrap().answers().rows(), oneshot.rows());
+        // Cursors advanced: a second sync has nothing left to absorb.
+        assert_eq!(net.sync_durable_subscriptions(), 0);
+    }
+
+    #[test]
+    fn publish_rejects_bad_targets() {
+        let mut net = university_network();
+        let unqualified = Updategram::inserts("course", vec![vec![Value::str("x"), Value::Int(1)]]);
+        assert!(net.publish(&unqualified).unwrap_err().contains("not peer-qualified"));
+        let ghost =
+            Updategram::inserts("Oxford.course", vec![vec![Value::str("x"), Value::Int(1)]]);
+        assert!(net.publish(&ghost).unwrap_err().contains("unknown peer"));
+        let unstored =
+            Updategram::inserts("MIT.course", vec![vec![Value::str("x"), Value::Int(1)]]);
+        assert!(net.publish(&unstored).unwrap_err().contains("does not store"));
     }
 }

@@ -23,7 +23,7 @@
 //! remote cache exactly where a single clean delivery would.
 
 use crate::updategram::{derivation_deltas, maintain, MaintenanceChoice, SequencedGram, Updategram};
-use crate::views::MaterializedView;
+use crate::views::{DataflowView, MaterializedView};
 use revere_query::eval::EvalError;
 use revere_query::glav::GlavMapping;
 use revere_query::ConjunctiveQuery;
@@ -235,6 +235,44 @@ pub fn apply_once(
     Ok(true)
 }
 
+/// [`apply_once`] for a circuit-backed [`DataflowView`]: identical
+/// exactly-once structure — dedup by inbox, atomic
+/// [`WalRecord::DeltaApplied`] journaled *before* applying on durable
+/// inboxes, catalog journal suspended during the apply — but the view is
+/// maintained by pushing the gram's delta batch through the circuit
+/// instead of re-evaluating delta queries. Subscriptions inherit the
+/// E12/E16 delivery guarantees by construction.
+pub fn apply_once_dataflow(
+    inbox: &mut GramInbox,
+    catalog: &mut Catalog,
+    view: &mut DataflowView,
+    gram: &SequencedGram,
+) -> Result<bool, EvalError> {
+    if inbox.is_seen(gram.id) {
+        inbox.duplicates_ignored += 1;
+        return Ok(false);
+    }
+    if let Some((link, journal)) = &inbox.durability {
+        journal.append(&WalRecord::DeltaApplied {
+            link: link.clone(),
+            id: gram.id,
+            relation: gram.gram.relation.clone(),
+            insert: gram.gram.insert.clone(),
+            delete: gram.gram.delete.clone(),
+        });
+        let suspended = catalog.detach_journal();
+        view.apply_gram(catalog, &gram.gram);
+        if let Some(j) = suspended {
+            catalog.attach_journal(j);
+        }
+    } else {
+        view.apply_gram(catalog, &gram.gram);
+    }
+    let accepted = inbox.accept(gram.id);
+    debug_assert!(accepted);
+    Ok(true)
+}
+
 /// Delivery accounting for one [`ReliableLink`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LinkStats {
@@ -379,6 +417,31 @@ impl ReliableLink {
         catalog: &mut Catalog,
         view: &mut MaterializedView,
     ) -> Result<Delivery, EvalError> {
+        self.ship_with(gram, |g| apply_once(inbox, catalog, view, g))
+    }
+
+    /// [`ReliableLink::ship`] for a circuit-backed [`DataflowView`]
+    /// receiver: same weather, same accounting, deliveries routed through
+    /// [`apply_once_dataflow`].
+    pub fn ship_dataflow(
+        &mut self,
+        gram: &SequencedGram,
+        inbox: &mut GramInbox,
+        catalog: &mut Catalog,
+        view: &mut DataflowView,
+    ) -> Result<Delivery, EvalError> {
+        self.ship_with(gram, |g| apply_once_dataflow(inbox, catalog, view, g))
+    }
+
+    /// The fate-draw core of shipping, generic over the receiver:
+    /// `deliver` is invoked once per copy the network actually lands (it
+    /// must be idempotent — both [`apply_once`] flavors are, via the
+    /// inbox) and returns whether this copy was applied (vs deduplicated).
+    pub fn ship_with(
+        &mut self,
+        gram: &SequencedGram,
+        mut deliver: impl FnMut(&SequencedGram) -> Result<bool, EvalError>,
+    ) -> Result<Delivery, EvalError> {
         self.stats.shipped += 1;
         self.epoch += 1;
         let key = format!("gram:{}:epoch:{}", gram.id, self.epoch);
@@ -417,7 +480,7 @@ impl ReliableLink {
                     // Delivered, but the ack is lost: the receiver applies
                     // (idempotently), the sender cannot tell and retries.
                     self.stats.messages += 2;
-                    if apply_once(inbox, catalog, view, gram)? {
+                    if deliver(gram)? {
                         applied = true;
                     } else {
                         self.stats.duplicated += 1;
@@ -425,7 +488,7 @@ impl ReliableLink {
                 }
                 Fate::Delivered { .. } => {
                     self.stats.messages += 2;
-                    if apply_once(inbox, catalog, view, gram)? {
+                    if deliver(gram)? {
                         applied = true;
                     } else {
                         self.stats.duplicated += 1;
@@ -435,7 +498,7 @@ impl ReliableLink {
                         // swallows it.
                         self.stats.messages += 1;
                         self.stats.duplicated += 1;
-                        apply_once(inbox, catalog, view, gram)?;
+                        deliver(gram)?;
                     }
                     acknowledged = true;
                     break;

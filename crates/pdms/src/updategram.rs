@@ -22,6 +22,7 @@
 //! only self-joined changed relations need an old-state snapshot.
 
 use crate::views::MaterializedView;
+use revere_query::dataflow::DeltaBatch;
 use revere_query::eval::{eval_cq_bag, EvalError, Source};
 use revere_storage::{Catalog, Relation, Tuple};
 use std::collections::HashMap;
@@ -141,7 +142,7 @@ pub fn maintain(
     });
     match choice {
         MaintenanceChoice::Recompute => {
-            apply_grams(catalog, grams);
+            apply_updategrams(catalog, grams);
             view.refresh_full(catalog)?;
             Ok(MaintenanceReport { choice, est_incremental, est_recompute, delta_derivations: 0 })
         }
@@ -161,8 +162,10 @@ pub fn maintain(
 /// `get_mut`), so statistics stay incrementally maintained and deletes
 /// note only the rows actually removed — an updategram deleting a row the
 /// relation never held must not desync the stats (`RelStats::note_delete`
-/// used to be called unconditionally here).
-fn apply_grams(catalog: &mut Catalog, grams: &[Updategram]) {
+/// used to be called unconditionally here). Public so tests and the
+/// dataflow path apply grams with *exactly* the semantics the maintenance
+/// deltas assume (deletes first, every occurrence removed).
+pub fn apply_updategrams(catalog: &mut Catalog, grams: &[Updategram]) {
     for g in grams {
         for row in &g.delete {
             catalog.delete(&g.relation, row);
@@ -216,67 +219,130 @@ pub fn derivation_deltas(
     grams: &[Updategram],
 ) -> Result<Vec<(Tuple, i64)>, EvalError> {
     let mut deltas: Vec<(Tuple, i64)> = Vec::new();
-
     for g in grams {
-        let Some(base_rel) = catalog.get(&g.relation) else {
-            continue;
-        };
-        let schema = base_rel.schema.clone();
-        let ins = Relation::with_rows(schema.clone(), g.insert.clone());
-        let del = Relation::with_rows(schema.clone(), g.delete.clone());
-
-        let body = definition.body.clone();
-        let occurrences: Vec<usize> = body
-            .iter()
-            .enumerate()
-            .filter(|(_, a)| a.relation == g.relation)
-            .map(|(i, _)| i)
-            .collect();
-        if occurrences.is_empty() {
-            apply_grams(catalog, std::slice::from_ref(g));
-            continue;
+        deltas.extend(derivation_deltas_readonly(catalog, definition, g)?);
+        if catalog.get(&g.relation).is_some() {
+            apply_updategrams(catalog, std::slice::from_ref(g));
         }
-        // The relation's new state, needed only when it occurs more than
-        // once in the body (self-join).
-        let new_rel = if occurrences.len() > 1 {
-            let mut nr = base_rel.clone();
-            for row in &g.delete {
-                nr.delete(row);
-            }
-            for row in &g.insert {
-                nr.insert(row.clone());
-            }
-            Some(nr)
-        } else {
-            None
-        };
-
-        for (k, &i) in occurrences.iter().enumerate() {
-            let mut q = definition.clone();
-            q.body[i].relation = "__delta__".to_string();
-            // Earlier occurrences of the same relation read the new state.
-            for &j in &occurrences[..k] {
-                q.body[j].relation = "__new__".to_string();
-            }
-            for (rel, sign) in [(&ins, 1i64), (&del, -1i64)] {
-                if rel.is_empty() {
-                    continue;
-                }
-                let mut extra: HashMap<&str, &Relation> = HashMap::new();
-                extra.insert("__delta__", rel);
-                if let Some(nr) = &new_rel {
-                    extra.insert("__new__", nr);
-                }
-                let overlay = Overlay { base: catalog, extra };
-                let bag = eval_cq_bag(&q, &overlay)?;
-                for row in bag.into_rows() {
-                    deltas.push((row, sign));
-                }
-            }
-        }
-        apply_grams(catalog, std::slice::from_ref(g));
     }
     Ok(deltas)
+}
+
+/// Effective delete rows of one gram against the relation's current
+/// contents: `Catalog::delete` removes *every* occurrence of a row, so a
+/// row stored at multiplicity `m` contributes `m` retractions (not one —
+/// the duplicate-tuple undercount the differential oracle arbitrates), and
+/// a repeated row within one gram's delete list contributes only once
+/// (the second physical delete removes nothing).
+fn effective_deletes(base_rel: &Relation, deletes: &[Tuple]) -> Vec<Tuple> {
+    let mut seen: Vec<&Tuple> = Vec::new();
+    let mut rows = Vec::new();
+    for row in deletes {
+        if seen.contains(&row) {
+            continue;
+        }
+        seen.push(row);
+        let mult = base_rel.iter().filter(|r| *r == row).count();
+        for _ in 0..mult {
+            rows.push(row.clone());
+        }
+    }
+    rows
+}
+
+/// The per-gram delta-rule core, **without** applying the gram: the signed
+/// derivation deltas of `definition` under `g`, computed against the
+/// catalog's current (pre-gram) state. The subscription layer uses this to
+/// fan one published gram out to many continuous queries before applying
+/// it once.
+pub fn derivation_deltas_readonly(
+    catalog: &Catalog,
+    definition: &revere_query::ConjunctiveQuery,
+    g: &Updategram,
+) -> Result<Vec<(Tuple, i64)>, EvalError> {
+    let mut deltas: Vec<(Tuple, i64)> = Vec::new();
+    let Some(base_rel) = catalog.get(&g.relation) else {
+        return Ok(deltas);
+    };
+    let schema = base_rel.schema.clone();
+    let ins = Relation::with_rows(schema.clone(), g.insert.clone());
+    let del = Relation::with_rows(schema.clone(), effective_deletes(base_rel, &g.delete));
+
+    let body = definition.body.clone();
+    let occurrences: Vec<usize> = body
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.relation == g.relation)
+        .map(|(i, _)| i)
+        .collect();
+    if occurrences.is_empty() {
+        return Ok(deltas);
+    }
+    // The relation's new state, needed only when it occurs more than
+    // once in the body (self-join).
+    let new_rel = if occurrences.len() > 1 {
+        let mut nr = base_rel.clone();
+        for row in &g.delete {
+            nr.delete(row);
+        }
+        for row in &g.insert {
+            nr.insert(row.clone());
+        }
+        Some(nr)
+    } else {
+        None
+    };
+
+    for (k, &i) in occurrences.iter().enumerate() {
+        let mut q = definition.clone();
+        q.body[i].relation = "__delta__".to_string();
+        // Earlier occurrences of the same relation read the new state.
+        for &j in &occurrences[..k] {
+            q.body[j].relation = "__new__".to_string();
+        }
+        for (rel, sign) in [(&ins, 1i64), (&del, -1i64)] {
+            if rel.is_empty() {
+                continue;
+            }
+            let mut extra: HashMap<&str, &Relation> = HashMap::new();
+            extra.insert("__delta__", rel);
+            if let Some(nr) = &new_rel {
+                extra.insert("__new__", nr);
+            }
+            let overlay = Overlay { base: catalog, extra };
+            let bag = eval_cq_bag(&q, &overlay)?;
+            for row in bag.into_rows() {
+                deltas.push((row, sign));
+            }
+        }
+    }
+    Ok(deltas)
+}
+
+/// Convert one updategram into a [`DeltaBatch`] for the dataflow path,
+/// signed against the catalog's current (pre-gram) state: each insert list
+/// occurrence is `+1`; each *unique* delete row is `-m` where `m` is its
+/// current multiplicity (matching [`apply_updategrams`], whose physical
+/// delete removes every copy). Grams on unknown relations yield an empty
+/// batch, mirroring [`derivation_deltas`].
+pub fn gram_to_batch(catalog: &Catalog, gram: &Updategram) -> DeltaBatch {
+    let mut batch = DeltaBatch::new();
+    let Some(rel) = catalog.get(&gram.relation) else {
+        return batch;
+    };
+    let mut seen: Vec<&Tuple> = Vec::new();
+    for row in &gram.delete {
+        if seen.contains(&row) {
+            continue;
+        }
+        seen.push(row);
+        let mult = rel.iter().filter(|r| *r == row).count() as i64;
+        batch.add(&gram.relation, row.clone(), -mult);
+    }
+    for row in &gram.insert {
+        batch.add(&gram.relation, row.clone(), 1);
+    }
+    batch
 }
 
 #[cfg(test)]
@@ -472,6 +538,74 @@ mod tests {
         maintain(&mut c1, &mut v1, &grams, Some(MaintenanceChoice::Incremental)).unwrap();
         maintain(&mut c2, &mut v2, &grams, Some(MaintenanceChoice::Recompute)).unwrap();
         assert_eq!(v1.as_relation().rows(), v2.as_relation().rows());
+    }
+
+    #[test]
+    fn deleting_a_duplicated_row_retracts_every_copy() {
+        // Regression: Catalog::delete removes every occurrence, but the
+        // delta overlay used to list the deleted row once — leaving one
+        // phantom derivation behind for each extra physical copy.
+        let mut c = Catalog::new();
+        let mut r = Relation::new(RelSchema::text("r", &["a"]));
+        r.insert(vec!["x".into()]);
+        r.insert(vec!["x".into()]);
+        r.insert(vec!["y".into()]);
+        c.register(r);
+        let mut v = MaterializedView::new("v", parse_query("v(A) :- r(A)").unwrap());
+        v.refresh_full(&c).unwrap();
+        assert_eq!(v.derivations(&vec![Value::str("x")]), 2);
+        let g = Updategram::deletes("r", vec![vec!["x".into()]]);
+        maintain(&mut c, &mut v, &[g], Some(MaintenanceChoice::Incremental)).unwrap();
+        assert_eq!(v.derivations(&vec![Value::str("x")]), 0);
+        assert!(!v.as_relation().contains(&vec![Value::str("x")]));
+        assert_consistent(&c, &v);
+    }
+
+    #[test]
+    fn repeated_delete_rows_in_one_gram_retract_once() {
+        // The first physical delete removes the row; the second removes
+        // nothing and must not drive derivation counts doubly negative.
+        let mut c = base();
+        let mut v = view();
+        v.refresh_full(&c).unwrap();
+        let g = Updategram::deletes(
+            "r",
+            vec![vec!["1".into(), "x".into()], vec!["1".into(), "x".into()]],
+        );
+        maintain(&mut c, &mut v, &[g], Some(MaintenanceChoice::Incremental)).unwrap();
+        assert_consistent(&c, &v);
+        assert_eq!(v.derivations(&vec![Value::str("1"), Value::str("p")]), 0);
+    }
+
+    #[test]
+    fn gram_to_batch_signs_against_pre_state() {
+        let mut c = Catalog::new();
+        let mut r = Relation::new(RelSchema::text("r", &["a"]));
+        r.insert(vec!["x".into()]);
+        r.insert(vec!["x".into()]);
+        c.register(r);
+        let g = Updategram {
+            relation: "r".into(),
+            insert: vec![vec!["z".into()], vec!["z".into()]],
+            delete: vec![vec!["x".into()], vec!["x".into()], vec!["ghost".into()]],
+        };
+        let batch = gram_to_batch(&c, &g);
+        let d = batch.get("r").unwrap();
+        assert_eq!(d.weight(&vec![Value::str("x")]), -2, "both stored copies retract");
+        assert_eq!(d.weight(&vec![Value::str("z")]), 2, "insert occurrences count");
+        assert_eq!(d.weight(&vec![Value::str("ghost")]), 0, "absent delete is a no-op");
+    }
+
+    #[test]
+    fn readonly_deltas_do_not_touch_the_catalog() {
+        let c = base();
+        let before = c.get("r").unwrap().sorted();
+        let def = parse_query("v(A, C) :- r(A, B), s(B, C)").unwrap();
+        let g = Updategram::deletes("r", vec![vec!["1".into(), "x".into()]]);
+        let deltas = derivation_deltas_readonly(&c, &def, &g).unwrap();
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].1, -1);
+        assert_eq!(c.get("r").unwrap().sorted().rows(), before.rows());
     }
 
     #[test]

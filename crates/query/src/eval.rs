@@ -81,7 +81,7 @@ impl std::error::Error for EvalError {}
 /// join order (it used to: a query could return an empty `Ok` or an `Err`
 /// for the same missing relation depending on where the greedy order put
 /// it).
-fn validate<S: Source>(q: &ConjunctiveQuery, catalog: &S) -> Result<(), EvalError> {
+pub(crate) fn validate<S: Source>(q: &ConjunctiveQuery, catalog: &S) -> Result<(), EvalError> {
     for atom in &q.body {
         let rel = catalog.relation(&atom.relation).ok_or_else(|| EvalError {
             message: format!("unknown relation {:?}", atom.relation),
@@ -104,21 +104,27 @@ fn validate<S: Source>(q: &ConjunctiveQuery, catalog: &S) -> Result<(), EvalErro
 /// to check, repeated variables *within* the atom, join columns (variables
 /// already bound) and new variables. One analysis drives both the hash
 /// build and the probe, so a repeated variable is keyed and filtered
-/// identically wherever the plan places the atom.
-struct AtomSplit {
+/// identically wherever the plan places the atom. Shared with
+/// [`crate::dataflow`], whose circuits compile the same analysis into
+/// per-stage arrangements.
+#[derive(Debug, Clone)]
+pub(crate) struct AtomSplit {
+    /// The atom's arity (number of term positions).
+    pub(crate) arity: usize,
     /// (atom column, required constant).
-    const_checks: Vec<(usize, Value)>,
+    pub(crate) const_checks: Vec<(usize, Value)>,
     /// (atom column, earlier atom column holding the same variable).
-    self_joins: Vec<(usize, usize)>,
+    pub(crate) self_joins: Vec<(usize, usize)>,
     /// (atom column, binding-table column) for already-bound variables.
-    join_cols: Vec<(usize, usize)>,
+    pub(crate) join_cols: Vec<(usize, usize)>,
     /// (atom column, variable) for variables this atom binds first.
-    new_vars: Vec<(usize, String)>,
+    pub(crate) new_vars: Vec<(usize, String)>,
 }
 
 impl AtomSplit {
-    fn analyze(atom: &Atom, var_cols: &[String]) -> Self {
+    pub(crate) fn analyze(atom: &Atom, var_cols: &[String]) -> Self {
         let mut split = AtomSplit {
+            arity: atom.terms.len(),
             const_checks: Vec::new(),
             self_joins: Vec::new(),
             join_cols: Vec::new(),
@@ -146,7 +152,7 @@ impl AtomSplit {
     }
 
     /// Does a stored row survive the filters pushed into the hash build?
-    fn row_passes(&self, row: &Tuple) -> bool {
+    pub(crate) fn row_passes(&self, row: &Tuple) -> bool {
         self.const_checks.iter().all(|(i, c)| &row[*i] == c)
             && self.self_joins.iter().all(|(i, j)| row[*i] == row[*j])
     }
@@ -468,7 +474,7 @@ pub fn eval_naive_bag<S: Source>(q: &ConjunctiveQuery, catalog: &S) -> Result<Re
     Ok(out)
 }
 
-fn a_schema(q: &ConjunctiveQuery) -> RelSchema {
+pub(crate) fn a_schema(q: &ConjunctiveQuery) -> RelSchema {
     RelSchema::text(
         q.head.relation.clone(),
         &q.head

@@ -18,6 +18,9 @@
 //! * [`eval`] — plan-driven evaluation of (unions of) conjunctive queries
 //!   over a [`revere_storage::Catalog`], plus the nested-loop
 //!   [`eval_naive`] differential oracle.
+//! * [`dataflow`] — DBSP-style delta dataflow: Z-set [`Delta`]s, bilinear
+//!   incremental joins with arranged state, and [`Circuit`]s that keep a
+//!   planned conjunctive body fresh in O(|Δ|) per update.
 //! * [`unfold`] — global-as-view unfolding of defined relations.
 //! * [`minicon`] — the MiniCon algorithm for answering queries using views
 //!   (local-as-view rewriting).
@@ -29,6 +32,7 @@
 
 pub mod ast;
 pub mod containment;
+pub mod dataflow;
 pub mod eval;
 pub mod glav;
 pub mod minicon;
@@ -39,6 +43,9 @@ pub mod unify;
 
 pub use ast::{Atom, CmpOp, Comparison, ConjunctiveQuery, Term, UnionQuery};
 pub use containment::{contained_in, equivalent, minimize};
+pub use dataflow::{
+    AggFn, AggregateState, Arrangement, Circuit, Delta, DeltaBatch, DistinctState, JoinState,
+};
 pub use eval::{
     eval_cq, eval_cq_bag, eval_cq_bag_planned, eval_cq_bag_profiled_obs, eval_cq_bag_traced,
     eval_cq_bag_traced_obs, eval_naive, eval_naive_bag, eval_naive_union, eval_union,

@@ -67,19 +67,22 @@ pub mod prelude {
     pub use revere_pdms::fault::{FaultPlan, FaultSpec, RetryPolicy};
     pub use revere_pdms::obs::{LogSink, Metrics, Obs, SpanHandle, Tracer};
     pub use revere_pdms::{
-        apply_once, maintain, CacheStats, CompletenessReport, GramInbox, MaintenanceChoice,
-        MaterializedView, PdmsNetwork, Peer, QueryBudget, QueryOutcome, ReformulateOptions,
-        Reformulator, ReliableLink, SequencedGram, Updategram, XmlMapping,
+        apply_once, apply_once_dataflow, apply_updategrams, derivation_deltas_readonly,
+        gram_to_batch, maintain, CacheStats, CompletenessReport, DataflowView, GramInbox,
+        IvmStrategy, MaintenanceChoice, MaterializedView, PdmsNetwork, Peer, PublishReport,
+        QueryBudget, QueryOutcome, ReformulateOptions, Reformulator, ReliableLink, SequencedGram,
+        Subscription, Updategram, XmlMapping,
     };
     pub use revere_query::{
         contained_in, eval_cq, eval_cq_bag, eval_cq_bag_planned, eval_cq_bag_profiled_obs,
         eval_cq_bag_traced, eval_naive, eval_naive_bag, eval_naive_union, eval_union,
         explain_analyze, explain_analyze_with, minimize, parse_query, plan_cq, plan_cq_opts,
-        plan_cq_with, q_error, rewrite_using_views, unfold_with, ConjunctiveQuery, ExplainAnalyze,
-        GlavMapping, Plan, Selectivity, StepProfile, Strategy, UnionQuery, ViewDef,
+        plan_cq_with, q_error, rewrite_using_views, unfold_with, AggFn, AggregateState,
+        Arrangement, Circuit, ConjunctiveQuery, Delta, DeltaBatch, DistinctState, ExplainAnalyze,
+        GlavMapping, JoinState, Plan, Selectivity, StepProfile, Strategy, UnionQuery, ViewDef,
     };
     pub use revere_storage::{
-        Catalog, DbSchema, RelSchema, Relation, TripleStore, Value,
+        row_deltas, Catalog, DbSchema, Journal, RelSchema, Relation, TripleStore, Value, WalRecord,
     };
     pub use revere_workload::{
         course_templates, PageGenerator, QueryMix, Topology, TopologyKind, University,

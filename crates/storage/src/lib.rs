@@ -42,6 +42,6 @@ pub use stats::{mcv_join_overlap, ColumnStats, JoinObservation, JoinStats, RelSt
 pub use triples::{Triple, TripleStore};
 pub use value::Value;
 pub use wal::{
-    decode_catalog, encode_catalog, recover_catalog, Journal, Lsn, RecoveryReport, Wal,
-    WalOpenReport, WalRecord,
+    decode_catalog, encode_catalog, recover_catalog, row_deltas, Journal, Lsn, RecoveryReport,
+    Wal, WalOpenReport, WalRecord,
 };

@@ -46,6 +46,17 @@ for seed in ${REVERE_CRASH_SEEDS:-7 42 1003}; do
     REVERE_CRASH_SEED="$seed" cargo test -q --offline -p revere --test durability_wal
 done
 
+# IVM differential gate: after every updategram in a seeded adversarial
+# stream (duplicate inserts, multi-copy deletes, absent deletes, bulk
+# dataset joins/leaves), the delta-dataflow circuit and the counting
+# maintainer must both equal a from-scratch recompute of their defining
+# query, byte for byte. Override the seed set with
+# REVERE_IVM_SEEDS="1 2 3" scripts/verify.sh
+for seed in ${REVERE_IVM_SEEDS:-7 42 1003}; do
+    echo "ivm differential gate: seed $seed"
+    REVERE_IVM_SEED="$seed" cargo test -q --offline -p revere --test differential_ivm
+done
+
 # E16 smoke: the durability experiment must run end to end — its sweep
 # asserts byte-identical convergence and suffix-bounded recovery for
 # every built-in crash seed, and reports recovery latency and
@@ -68,4 +79,11 @@ cargo run --release --offline -p revere-bench --bin report E14
 # REVERE_E15_SEED=... and the threshold with REVERE_E15_MAX_P90=...
 echo "calibration gate: seed ${REVERE_E15_SEED:-1013}, max p90 ${REVERE_E15_MAX_P90:-4.0}"
 cargo run --release --offline -p revere-bench --bin report E15
+
+# E17 smoke: the delta-dataflow experiment must run end to end — E17a
+# asserts the circuit's per-update work stays flat across a 64× base-size
+# sweep and that its output matches recompute; E17b cross-checks the
+# dataflow, counting, and invalidate-and-recompute subscription paths
+# against each other under fan-out.
+cargo run --release --offline -p revere-bench --bin report E17
 echo "verify: OK"

@@ -9,6 +9,7 @@
 //! `scripts/verify.sh` runs this suite under several seeds; override the
 //! set with `REVERE_CHAOS_SEEDS="1 2 3" scripts/verify.sh`.
 
+use revere::pdms::durable::{checkpoint, recover, PeerDisk};
 use revere::prelude::*;
 use revere::storage::Attribute;
 
@@ -185,6 +186,156 @@ fn lossy_link_still_delivers_exactly_once_to_the_cache() {
     assert_eq!(inbox.applied_count(), 1);
     assert_eq!(cat.get("feed").unwrap().len(), 2);
     assert_eq!(view.len(), 2);
+}
+
+// ---------------------------------------------------------------------
+// Continuous queries under chaos (circuits × E12 weather × E16 restarts)
+// ---------------------------------------------------------------------
+
+/// The subscribing peer's base data for a joining continuous query:
+/// `feed(title, kind)` and `tag(kind, label)`.
+fn subscriber_catalog() -> Catalog {
+    let mut feed = Relation::new(RelSchema::new(
+        "feed",
+        vec![Attribute::text("title"), Attribute::int("kind")],
+    ));
+    feed.insert(vec![Value::str("Databases"), Value::Int(0)]);
+    feed.insert(vec![Value::str("Systems"), Value::Int(1)]);
+    let mut tag = Relation::new(RelSchema::new(
+        "tag",
+        vec![Attribute::int("kind"), Attribute::text("label")],
+    ));
+    tag.insert(vec![Value::Int(0), Value::str("core")]);
+    let mut cat = Catalog::new();
+    cat.register(feed);
+    cat.register(tag);
+    cat
+}
+
+/// The deterministic updategram stream both twins replay: inserts on both
+/// join sides (a `tag` insert re-derives many cached rows at once) and a
+/// delete that always hits the previous tick's `feed` insert.
+fn subscriber_gram(tick: u64) -> Updategram {
+    match tick % 5 {
+        0 | 1 | 3 => Updategram::inserts(
+            "feed",
+            vec![vec![Value::str(format!("t{tick}")), Value::Int((tick % 3) as i64)]],
+        ),
+        2 => Updategram::inserts(
+            "tag",
+            vec![vec![Value::Int((tick % 3) as i64), Value::str(format!("l{tick}"))]],
+        ),
+        _ => Updategram::deletes(
+            "feed",
+            vec![vec![Value::str(format!("t{}", tick - 1)), Value::Int(((tick - 1) % 3) as i64)]],
+        ),
+    }
+}
+
+/// One run of the stream into a circuit-backed continuous query behind
+/// `spec` weather, optionally crashing the subscriber mid-stream and
+/// recovering it from its disk (the circuit is volatile — it is rebuilt
+/// from the recovered durable catalog). Returns the canonical end state:
+/// (maintained bag rows, base catalog rows, grams applied).
+fn dataflow_chaos_run(
+    seed: u64,
+    lossy: bool,
+    crash_at: Option<u64>,
+) -> (Vec<Vec<Value>>, Vec<Vec<Value>>, usize) {
+    const ROUNDS: u64 = 20;
+    let plan = if lossy {
+        FaultPlan::new(FaultSpec {
+            seed,
+            drop_prob: 0.6,
+            flaky_prob: 0.3,
+            duplicate_prob: 0.4,
+            ..FaultSpec::default()
+        })
+    } else {
+        FaultPlan::zero()
+    };
+    let disk = PeerDisk::new();
+    let mut cat = subscriber_catalog();
+    cat.attach_journal(disk.journal());
+    checkpoint(&disk, &mut cat, &[], &[]);
+    let q = parse_query("cache(T, L) :- feed(T, K), tag(K, L)").unwrap();
+    let mut view = DataflowView::new("cache", q.clone(), &cat).unwrap();
+    let mut inbox = GramInbox::durable("Src", disk.journal());
+    let mut link = ReliableLink::new("Sub", plan);
+    let mut pending: Vec<SequencedGram> = Vec::new();
+
+    for tick in 0..ROUNDS {
+        if crash_at == Some(tick) {
+            drop(std::mem::take(&mut cat));
+            let rec = recover(&disk).expect("subscriber recovers");
+            cat = rec.catalog;
+            inbox = rec
+                .inboxes
+                .into_iter()
+                .find(|(l, _)| l == "Src")
+                .map(|(_, i)| i)
+                .unwrap_or_else(|| GramInbox::durable("Src", disk.journal()));
+            view = DataflowView::new("cache", q.clone(), &cat).expect("circuit rebuilds");
+        }
+        pending.push(link.seal(subscriber_gram(tick)));
+        // Ship strictly in sequence order: a delete must not overtake the
+        // insert it targets (deletes of absent rows are no-ops, so
+        // out-of-order delivery would not converge). The head gram blocks
+        // the line until acknowledged.
+        while let Some(g) = pending.first() {
+            let d = link.ship_dataflow(g, &mut inbox, &mut cat, &mut view).expect("ship");
+            if d.acknowledged {
+                pending.remove(0);
+            } else {
+                break;
+            }
+        }
+        if tick % 6 == 5 {
+            checkpoint(&disk, &mut cat, &[&inbox], &[]);
+        }
+    }
+    let mut rounds = 0;
+    while let Some(g) = pending.first() {
+        let d = link.ship_dataflow(g, &mut inbox, &mut cat, &mut view).expect("ship");
+        if d.acknowledged {
+            pending.remove(0);
+        }
+        rounds += 1;
+        assert!(rounds < 10_000, "lossy-but-live weather must drain");
+    }
+
+    // Whatever the weather did, the circuit must agree with a fresh
+    // evaluation of its own definition over the final base state.
+    let oracle = eval_cq_bag_planned(&q, &plan_cq(&q, &cat), &cat).unwrap().sorted();
+    assert_eq!(view.as_bag().rows(), oracle.rows(), "circuit drifted from recompute");
+
+    let mut bag = view.as_bag().rows().to_vec();
+    bag.sort();
+    let mut base: Vec<Vec<Value>> = Vec::new();
+    for rel in ["feed", "tag"] {
+        base.extend(cat.get(rel).unwrap().rows().iter().cloned());
+    }
+    base.sort();
+    (bag, base, inbox.applied_count())
+}
+
+#[test]
+fn subscribed_circuit_under_chaos_converges_to_the_fault_free_twin() {
+    let seed = chaos_seed();
+    let clean = dataflow_chaos_run(seed, false, None);
+    assert_eq!(clean.2, 20, "fault-free twin applies every gram once");
+    let lossy = dataflow_chaos_run(seed, true, None);
+    assert_eq!(lossy, clean, "seed {seed}: lossy weather diverged from the fault-free twin");
+    // Crash-and-recover mid-stream: the durable catalog + inbox watermark
+    // come back, the circuit re-seeds from them, and the stream continues
+    // exactly-once — including re-deliveries of grams applied pre-crash.
+    for crash_tick in [3u64, 9, 16] {
+        let crashy = dataflow_chaos_run(seed, true, Some(crash_tick));
+        assert_eq!(
+            crashy, clean,
+            "seed {seed}: crash at tick {crash_tick} diverged from the fault-free twin"
+        );
+    }
 }
 
 #[test]

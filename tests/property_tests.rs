@@ -332,6 +332,128 @@ fn incremental_maintenance_matches_recompute() {
 }
 
 // ---------------------------------------------------------------------
+// Z-sets: the delta-dataflow algebra (query::dataflow)
+// ---------------------------------------------------------------------
+
+/// A small random Z-set over binary integer tuples, weights in `-3..=3`.
+fn gen_delta(g: &mut Gen) -> Delta {
+    Delta::from_pairs(g.vec(0..8, |g| {
+        (
+            vec![Value::Int(g.random_range(0i64..4)), Value::Int(g.random_range(0i64..4))],
+            g.random_range(-3i64..4),
+        )
+    }))
+}
+
+/// Nested-loop Z-set equijoin on the first column: the oracle
+/// [`JoinState`] is checked against.
+fn brute_join(a: &Delta, b: &Delta) -> Delta {
+    let mut out = Delta::new();
+    for (l, wl) in a.iter() {
+        for (r, wr) in b.iter() {
+            if l[0] == r[0] {
+                let mut t = l.clone();
+                t.extend(r.iter().cloned());
+                out.add(t, wl * wr);
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn zset_addition_is_commutative_and_associative() {
+    forall(128, |g| {
+        let (a, b, c) = (gen_delta(g), gen_delta(g), gen_delta(g));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "a+b != b+a");
+        let mut ab_c = ab;
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a;
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc, "(a+b)+c != a+(b+c)");
+    });
+}
+
+#[test]
+fn zset_insert_then_retract_cancels() {
+    forall(128, |g| {
+        let a = gen_delta(g);
+        let mut sum = a.clone();
+        sum.merge(&a.negate());
+        assert!(sum.is_empty(), "a + (-a) left residue: {sum:?}");
+    });
+}
+
+#[test]
+fn zset_filter_and_map_are_linear() {
+    forall(128, |g| {
+        let (a, b) = (gen_delta(g), gen_delta(g));
+        let mut sum = a.clone();
+        sum.merge(&b);
+        // filter(a + b) == filter(a) + filter(b)
+        let mut fa = a.filter(|t| t[0] <= t[1]);
+        fa.merge(&b.filter(|t| t[0] <= t[1]));
+        assert_eq!(sum.filter(|t| t[0] <= t[1]), fa);
+        // A collapsing projection is still linear: weights of merged
+        // images sum.
+        let mut ma = a.project(&[0]);
+        ma.merge(&b.project(&[0]));
+        assert_eq!(sum.project(&[0]), ma);
+    });
+}
+
+#[test]
+fn zset_incremental_join_is_bilinear() {
+    forall(96, |g| {
+        let (a, b, da, db) = (gen_delta(g), gen_delta(g), gen_delta(g), gen_delta(g));
+        let mut state = JoinState::new(vec![0], vec![0]);
+        state.push_concat(&a, &b);
+        let incr = state.push_concat(&da, &db);
+        // Δ(A ⋈ B) = (A+ΔA) ⋈ (B+ΔB) − A ⋈ B ...
+        let mut a2 = a.clone();
+        a2.merge(&da);
+        let mut b2 = b.clone();
+        b2.merge(&db);
+        let mut expected = brute_join(&a2, &b2);
+        expected.merge(&brute_join(&a, &b).negate());
+        assert_eq!(incr, expected, "incremental != recompute difference");
+        // ... and decomposes as ΔA⋈B + A⋈ΔB + ΔA⋈ΔB.
+        let mut decomposed = brute_join(&da, &b);
+        decomposed.merge(&brute_join(&a, &db));
+        decomposed.merge(&brute_join(&da, &db));
+        assert_eq!(incr, decomposed, "bilinear decomposition diverged");
+    });
+}
+
+#[test]
+fn zset_consolidation_never_stores_zero_weights() {
+    forall(128, |g| {
+        let mut acc = Delta::new();
+        for _ in 0..g.random_range(1..5usize) {
+            let d = gen_delta(g);
+            acc.merge(&d);
+            if g.random_bool(0.5) {
+                acc.merge(&d.negate());
+            }
+        }
+        assert!(acc.iter().all(|(_, w)| w != 0), "zero-weight entry survived: {acc:?}");
+        // Draining every entry leaves the canonical empty delta.
+        let entries: Vec<_> = acc.iter().map(|(t, w)| (t.clone(), w)).collect();
+        for (t, w) in entries {
+            acc.add(t, -w);
+        }
+        assert!(acc.is_empty());
+        assert_eq!(acc, Delta::new());
+    });
+}
+
+// ---------------------------------------------------------------------
 // Corpus text utilities
 // ---------------------------------------------------------------------
 
