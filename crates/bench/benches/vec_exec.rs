@@ -1,0 +1,87 @@
+//! Bench (in-repo harness) for E18: the vectorized columnar engine vs the
+//! row engine on the kernels the experiment gates — filtered scans and
+//! hash self-joins over a synthetic fact table, timed both as the
+//! bindings-only kernel (`eval_cq_bindings_mode`, what `report E18`
+//! asserts on) and as the full evaluation including answer
+//! materialization.
+
+use revere_query::parse::parse_query;
+use revere_query::plan::plan_cq;
+use revere_query::{eval_cq_bag_profiled_obs_mode, eval_cq_bindings_mode, ExecMode};
+use revere_storage::{Attribute, Catalog, RelSchema, Relation, Value};
+use revere_util::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use revere_util::obs::{Obs, SpanHandle};
+
+/// `fact(key Int, tag Str, val Int)` — the E18 operator-sweep shape at
+/// bench scale: 1024 join keys, 16 tags, 300 values.
+fn fact_catalog(rows: usize) -> Catalog {
+    let mut r = Relation::new(RelSchema::new(
+        "fact",
+        vec![Attribute::int("key"), Attribute::text("tag"), Attribute::int("val")],
+    ));
+    for i in 0..rows {
+        r.insert(vec![
+            Value::Int((i as i64 * 37) % 1024),
+            Value::str(format!("t{}", i % 16)),
+            Value::Int((i as i64 * 13) % 300),
+        ]);
+    }
+    let mut catalog = Catalog::new();
+    catalog.register(r);
+    catalog.analyze();
+    catalog
+}
+
+fn bench_vec_exec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vec_exec");
+    group.sample_size(10);
+    let catalog = fact_catalog(50_000);
+    let queries = [
+        ("filter_scan", "q(K, V) :- fact(K, T, V), V < 30"),
+        ("self_join", "q(K, W) :- fact(K, T, V), fact(V, U, W), W >= 280"),
+    ];
+    for (name, text) in queries {
+        let q = parse_query(text).expect("bench query parses");
+        let plan = plan_cq(&q, &catalog);
+        for mode in [ExecMode::Row, ExecMode::Vectorized] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("bindings/{name}"), mode),
+                &mode,
+                |b, &mode| {
+                    b.iter(|| {
+                        eval_cq_bindings_mode(
+                            &q,
+                            &plan,
+                            std::hint::black_box(&catalog),
+                            &Obs::disabled(),
+                            &SpanHandle::none(),
+                            mode,
+                        )
+                        .expect("bench query evaluates")
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("full/{name}"), mode),
+                &mode,
+                |b, &mode| {
+                    b.iter(|| {
+                        eval_cq_bag_profiled_obs_mode(
+                            &q,
+                            &plan,
+                            std::hint::black_box(&catalog),
+                            &Obs::disabled(),
+                            &SpanHandle::none(),
+                            mode,
+                        )
+                        .expect("bench query evaluates")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vec_exec);
+criterion_main!(benches);

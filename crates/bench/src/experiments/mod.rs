@@ -1,4 +1,4 @@
-//! The E1–E17 experiments (see DESIGN.md §2 for the paper anchors).
+//! The E1–E18 experiments (see DESIGN.md §2 for the paper anchors).
 
 pub mod e_chaos;
 pub mod e_corpus;
@@ -10,6 +10,7 @@ pub mod e_obs;
 pub mod e_pdms;
 pub mod e_placement;
 pub mod e_plancache;
+pub mod e_vec;
 pub mod e_views;
 
 use crate::table::Table;
@@ -36,13 +37,15 @@ pub fn run_all() -> Vec<Table> {
     tables.extend(e_feedback::e15_tables());
     tables.push(e_durability::e16_durability());
     tables.extend(e_dataflow::e17_tables());
+    tables.extend(e_vec::e18_tables());
     tables
 }
 
-/// Run one experiment by id (`"E1"`..`"E17"`). An experiment may produce
+/// Run one experiment by id (`"E1"`..`"E18"`). An experiment may produce
 /// more than one table (E14 reports calibration and the fetch breakdown;
 /// E15 reports calibration before/after feedback and the loop's cost;
-/// E17 reports delta scaling and the subscriber-fan-out shootout).
+/// E17 reports delta scaling and the subscriber-fan-out shootout; E18
+/// reports per-operator throughput and the hot-loop engine shootout).
 pub fn run_one(id: &str) -> Option<Vec<Table>> {
     let one = |t: Table| Some(vec![t]);
     match id.to_ascii_uppercase().as_str() {
@@ -63,6 +66,7 @@ pub fn run_one(id: &str) -> Option<Vec<Table>> {
         "E15" => Some(e_feedback::e15_tables()),
         "E16" => one(e_durability::e16_durability()),
         "E17" => Some(e_dataflow::e17_tables()),
+        "E18" => Some(e_vec::e18_tables()),
         _ => None,
     }
 }

@@ -29,7 +29,7 @@ use crate::views::{IvmStrategy, MaterializedView};
 use revere_query::dataflow::{Circuit, DeltaBatch};
 use revere_query::glav::GlavMapping;
 use revere_query::plan::{plan_cq, q_error, Plan};
-use revere_query::{parse_query, ConjunctiveQuery, Source, StepProfile, Term, UnionQuery};
+use revere_query::{parse_query, ConjunctiveQuery, ExecMode, Source, StepProfile, Term, UnionQuery};
 use revere_storage::{row_deltas, Catalog, Lsn, RelSchema, Relation, SharedCatalog, Tuple};
 use revere_util::fault::{Fate, FaultPlan, RetryPolicy};
 use revere_util::obs::{Obs, SpanHandle};
@@ -70,6 +70,12 @@ pub struct PdmsNetwork {
     /// baseline. Well-calibrated plans never trigger it, so warm caches
     /// stay warm on workloads the estimator already gets right.
     pub replan_q_error: Option<f64>,
+    /// Which evaluator executes planned disjuncts, on both the sequential
+    /// and the parallel query paths. The engines are byte-identical in
+    /// answers and counters (`tests/differential_vec.rs` gates it);
+    /// [`ExecMode::Row`] keeps the historical per-tuple engine around as
+    /// the ablation baseline for E18.
+    pub exec_mode: ExecMode,
     /// Bumped on every membership or mapping-graph change; part of the
     /// cache validity epoch (peer data changes are caught separately via
     /// each peer catalog's stats epoch).
@@ -104,6 +110,7 @@ impl Default for PdmsNetwork {
             caching: true,
             obs: Obs::disabled(),
             replan_q_error: Some(REPLAN_Q_ERROR_DEFAULT),
+            exec_mode: ExecMode::default(),
             topology_epoch: 0,
             disks: BTreeMap::new(),
             subs: BTreeMap::new(),
@@ -956,7 +963,14 @@ impl PdmsNetwork {
             }
             let (plan, verdict) = self.plan_for(d, s, epoch, cacheable);
             span.set("plan_cache", verdict);
-            let r = revere_query::eval_cq_bag_profiled_obs(d, &plan, s, &self.obs, &span)
+            let r = revere_query::eval_cq_bag_profiled_obs_mode(
+                d,
+                &plan,
+                s,
+                &self.obs,
+                &span,
+                self.exec_mode,
+            )
                 .map(|(r, profiles)| {
                     // Feed actuals back only when the fetch was complete:
                     // a partial staging would teach the estimator that
@@ -1007,9 +1021,10 @@ impl PdmsNetwork {
         let union = &reformulation.union;
         let staging = &fetched.staging;
         // Workers record no spans: span order would depend on thread
-        // scheduling and break trace determinism. (Metrics counters are
-        // commutative, but per-step eval accounting lives on the
-        // sequential path only.)
+        // scheduling and break trace determinism. Metrics counters *are*
+        // commutative, so the per-step `query.eval.*` accounting (incl.
+        // the `step_bindings` histogram) is emitted here exactly as on
+        // the sequential path — `tests/trace_obs.rs` asserts the parity.
         let results: Vec<Option<Relation>> = std::thread::scope(|s| {
             let handles: Vec<_> = union
                 .disjuncts
@@ -1017,9 +1032,15 @@ impl PdmsNetwork {
                 .map(|d| {
                     s.spawn(move || {
                         let (plan, _) = self.plan_for(d, staging, epoch, cacheable);
-                        revere_query::eval_cq_bag_planned(d, &plan, staging)
-                            .map(|r| r.distinct())
-                            .ok()
+                        revere_query::eval_cq_bag_planned_mode(
+                            d,
+                            &plan,
+                            staging,
+                            self.exec_mode,
+                            &self.obs,
+                        )
+                        .map(|r| r.distinct())
+                        .ok()
                     })
                 })
                 .collect();

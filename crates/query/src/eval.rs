@@ -13,12 +13,20 @@
 //! textual body order with no indexes and no reordering, slow and
 //! obviously correct. `tests/differential_query.rs` holds every planned
 //! path to `planned ≡ naive` on generated inputs.
+//!
+//! Two engines execute the same plans behind this facade: the historical
+//! row-at-a-time engine ([`eval_cq_bag_profiled_obs_row`]) and the
+//! columnar batch engine in [`crate::vec`], selected by [`ExecMode`]
+//! (vectorized by default). They are byte-identical in answers, counters,
+//! and step profiles — `tests/differential_vec.rs` gates it.
 
 use crate::ast::{Atom, ConjunctiveQuery, Term, UnionQuery};
 use crate::plan::{plan_cq, Plan};
-use revere_storage::{Catalog, RelStats, Relation, RelSchema, Tuple, Value};
+use crate::vec::{eval_cq_bag_profiled_obs_vec, eval_cq_bindings_vec, ExecMode, VecOpts};
+use revere_storage::{Catalog, ColumnarBatch, RelStats, Relation, RelSchema, Tuple, Value};
 use revere_util::obs::{Obs, SpanHandle};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Anything the evaluator can read relations from.
 ///
@@ -43,11 +51,24 @@ pub trait Source {
     fn join_overlap(&self, _rel_a: &str, _col_a: usize, _rel_b: &str, _col_b: usize) -> Option<f64> {
         None
     }
+
+    /// The columnar image of the named relation, consumed by the
+    /// vectorized engine (see [`crate::vec`]). The default pivots afresh
+    /// on every call; catalog-backed sources override it with an
+    /// epoch-keyed cache so repeated evaluations against unchanged data
+    /// pay the row→column pivot once.
+    fn batch(&self, name: &str) -> Option<Arc<ColumnarBatch>> {
+        self.relation(name).map(|r| Arc::new(ColumnarBatch::from_relation(r)))
+    }
 }
 
 impl Source for Catalog {
     fn relation(&self, name: &str) -> Option<&Relation> {
         self.get(name)
+    }
+
+    fn batch(&self, name: &str) -> Option<Arc<ColumnarBatch>> {
+        Catalog::batch(self, name)
     }
 
     fn stats(&self, name: &str) -> Option<&RelStats> {
@@ -231,6 +252,8 @@ pub fn eval_cq_bag_traced_obs<S: Source>(
 /// returning a complete [`StepProfile`] per plan step (parallel to
 /// `plan.order`), which the PDMS feedback loop turns into observed join
 /// selectivities. The other bag evaluators are thin wrappers over this.
+/// Dispatches on [`ExecMode::default`]; use
+/// [`eval_cq_bag_profiled_obs_mode`] to pick an engine explicitly.
 pub fn eval_cq_bag_profiled_obs<S: Source>(
     q: &ConjunctiveQuery,
     plan: &Plan,
@@ -238,6 +261,125 @@ pub fn eval_cq_bag_profiled_obs<S: Source>(
     obs: &Obs,
     parent: &SpanHandle,
 ) -> Result<(Relation, Vec<StepProfile>), EvalError> {
+    eval_cq_bag_profiled_obs_mode(q, plan, catalog, obs, parent, ExecMode::default())
+}
+
+/// [`eval_cq_bag_profiled_obs`] with an explicit engine choice. The two
+/// engines are byte-identical in output (including row order), counters,
+/// span fields, step profiles, and errors — `tests/differential_vec.rs`
+/// gates that equivalence — so the mode only changes *how fast* the same
+/// answer arrives. [`ExecMode::Row`] is the historical per-tuple engine,
+/// kept as the ablation baseline E18 measures against.
+pub fn eval_cq_bag_profiled_obs_mode<S: Source>(
+    q: &ConjunctiveQuery,
+    plan: &Plan,
+    catalog: &S,
+    obs: &Obs,
+    parent: &SpanHandle,
+    mode: ExecMode,
+) -> Result<(Relation, Vec<StepProfile>), EvalError> {
+    match mode {
+        ExecMode::Row => eval_cq_bag_profiled_obs_row(q, plan, catalog, obs, parent),
+        ExecMode::Vectorized => {
+            eval_cq_bag_profiled_obs_vec(q, plan, catalog, obs, parent, &VecOpts::default())
+        }
+    }
+}
+
+/// [`eval_cq_bag_planned`] with an explicit engine and a metrics sink but
+/// no tracing — the shape the parallel network path wants. Counters
+/// (`query.eval.steps`, `query.eval.step_bindings`, …) are emitted exactly
+/// as on the traced path; only spans are absent.
+pub fn eval_cq_bag_planned_mode<S: Source>(
+    q: &ConjunctiveQuery,
+    plan: &Plan,
+    catalog: &S,
+    mode: ExecMode,
+    obs: &Obs,
+) -> Result<Relation, EvalError> {
+    Ok(eval_cq_bag_profiled_obs_mode(q, plan, catalog, obs, &SpanHandle::none(), mode)?.0)
+}
+
+/// Realize the bindings of a planned conjunctive query **without
+/// materializing answers**: the join pipeline and comparison filters run
+/// in full — identical counters, spans, and [`StepProfile`]s to the
+/// corresponding bag evaluator — but the head is never projected into
+/// owned tuples. Returns the surviving binding count and the per-step
+/// profiles.
+///
+/// This is the EXPLAIN-ANALYZE / adaptive-feedback shape: everything the
+/// q-error machinery consumes (realized bindings per step, observed join
+/// selectivities) comes from the profiles, and skipping the answer
+/// copy-out keeps a plan probe from paying for strings nobody reads. E18
+/// benchmarks the engines head-to-head on exactly this kernel.
+pub fn eval_cq_bindings_mode<S: Source>(
+    q: &ConjunctiveQuery,
+    plan: &Plan,
+    catalog: &S,
+    obs: &Obs,
+    parent: &SpanHandle,
+    mode: ExecMode,
+) -> Result<(usize, Vec<StepProfile>), EvalError> {
+    match mode {
+        ExecMode::Row => {
+            eval_bindings_row(q, plan, catalog, obs, parent).map(|(rows, _, t)| (rows.len(), t))
+        }
+        ExecMode::Vectorized => {
+            eval_cq_bindings_vec(q, plan, catalog, obs, parent, &VecOpts::default())
+        }
+    }
+}
+
+/// The row-at-a-time engine: one hash join per plan step over a binding
+/// table of owned tuples. Superseded by the vectorized engine
+/// ([`crate::vec`]) as the default, retained as an ablation
+/// ([`ExecMode::Row`]) and as the semantic reference the differential
+/// gate holds the columnar engine to.
+pub fn eval_cq_bag_profiled_obs_row<S: Source>(
+    q: &ConjunctiveQuery,
+    plan: &Plan,
+    catalog: &S,
+    obs: &Obs,
+    parent: &SpanHandle,
+) -> Result<(Relation, Vec<StepProfile>), EvalError> {
+    let (rows, var_cols, trace) = eval_bindings_row(q, plan, catalog, obs, parent)?;
+
+    // Project the head.
+    let resolve = |t: &Term, binding: &Tuple| -> Option<Value> {
+        match t {
+            Term::Const(c) => Some(c.clone()),
+            Term::Var(v) => var_cols
+                .iter()
+                .position(|c| c == v)
+                .map(|i| binding[i].clone()),
+        }
+    };
+    let mut out = Relation::new(a_schema(q));
+    'row: for b in &rows {
+        let mut tuple = Vec::with_capacity(q.head.terms.len());
+        for t in &q.head.terms {
+            match resolve(t, b) {
+                Some(v) => tuple.push(v),
+                None => continue 'row,
+            }
+        }
+        out.insert(tuple);
+    }
+    Ok((out, trace))
+}
+
+/// The row engine's binding-realization core: the join pipeline and
+/// comparison filters, stopping short of head projection. Returns the
+/// surviving binding tuples, the variable columns naming them, and the
+/// per-step profiles. [`eval_cq_bag_profiled_obs_row`] projects the head
+/// on top; [`eval_cq_bindings_mode`] exposes the counts directly.
+fn eval_bindings_row<S: Source>(
+    q: &ConjunctiveQuery,
+    plan: &Plan,
+    catalog: &S,
+    obs: &Obs,
+    parent: &SpanHandle,
+) -> Result<(Vec<Tuple>, Vec<String>, Vec<StepProfile>), EvalError> {
     if !plan.applies_to(q) {
         return Err(EvalError {
             message: format!("plan for {:?} does not apply to {:?}", plan.key(), q.canonical_key()),
@@ -332,20 +474,7 @@ pub fn eval_cq_bag_profiled_obs<S: Source>(
             }
         });
     }
-
-    // Project the head.
-    let mut out = Relation::new(a_schema(q));
-    'row: for b in &rows {
-        let mut tuple = Vec::with_capacity(q.head.terms.len());
-        for t in &q.head.terms {
-            match resolve(t, b) {
-                Some(v) => tuple.push(v),
-                None => continue 'row,
-            }
-        }
-        out.insert(tuple);
-    }
-    Ok((out, trace))
+    Ok((rows, var_cols, trace))
 }
 
 /// Evaluate a union of conjunctive queries (set semantics across

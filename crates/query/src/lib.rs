@@ -18,6 +18,10 @@
 //! * [`eval`] — plan-driven evaluation of (unions of) conjunctive queries
 //!   over a [`revere_storage::Catalog`], plus the nested-loop
 //!   [`eval_naive`] differential oracle.
+//! * [`vec`] — the vectorized columnar engine behind the same facade:
+//!   selection bitmaps, typed batched hash joins, morsel-parallel probes
+//!   with join-in-spawn-order determinism ([`ExecMode`] picks the engine;
+//!   the row evaluator stays as the ablation).
 //! * [`dataflow`] — DBSP-style delta dataflow: Z-set [`Delta`]s, bilinear
 //!   incremental joins with arranged state, and [`Circuit`]s that keep a
 //!   planned conjunctive body fresh in O(|Δ|) per update.
@@ -40,6 +44,7 @@ pub mod parse;
 pub mod plan;
 pub mod unfold;
 pub mod unify;
+pub mod vec;
 
 pub use ast::{Atom, CmpOp, Comparison, ConjunctiveQuery, Term, UnionQuery};
 pub use containment::{contained_in, equivalent, minimize};
@@ -47,10 +52,12 @@ pub use dataflow::{
     AggFn, AggregateState, Arrangement, Circuit, Delta, DeltaBatch, DistinctState, JoinState,
 };
 pub use eval::{
-    eval_cq, eval_cq_bag, eval_cq_bag_planned, eval_cq_bag_profiled_obs, eval_cq_bag_traced,
-    eval_cq_bag_traced_obs, eval_naive, eval_naive_bag, eval_naive_union, eval_union,
-    eval_union_with, Source, StepProfile,
+    eval_cq, eval_cq_bag, eval_cq_bag_planned, eval_cq_bag_planned_mode,
+    eval_cq_bag_profiled_obs, eval_cq_bindings_mode, eval_cq_bag_profiled_obs_mode, eval_cq_bag_profiled_obs_row,
+    eval_cq_bag_traced, eval_cq_bag_traced_obs, eval_naive, eval_naive_bag, eval_naive_union,
+    eval_union, eval_union_with, Source, StepProfile,
 };
+pub use vec::{eval_cq_bag_planned_vec, eval_cq_bag_profiled_obs_vec, eval_cq_bindings_vec, ExecMode, VecOpts};
 pub use plan::{
     explain_analyze, explain_analyze_with, plan_cq, plan_cq_opts, plan_cq_with, q_error,
     ExplainAnalyze, JoinPair, Plan, PlanStep, Selectivity, Strategy,

@@ -20,13 +20,14 @@
 //! torn multi-step update is then visible, which the simulation accepts
 //! in exchange for availability.
 
+use crate::column::ColumnarBatch;
 use crate::relation::Relation;
 use crate::schema::{DbSchema, RelSchema};
 use crate::stats::{JoinStats, RelStats};
 use crate::value::Value;
 use crate::wal::{Journal, WalRecord};
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// A named collection of relations.
 ///
@@ -67,6 +68,14 @@ pub struct Catalog {
     /// then the log is behind the in-memory state — the documented
     /// crash window of an unflushed write.
     rejournal: BTreeSet<String>,
+    /// Columnar images built on demand by [`Catalog::batch`], keyed by the
+    /// stats epoch they were pivoted at. Every mutation path bumps the
+    /// epoch (including the conservative bump in [`Catalog::get_mut`],
+    /// which fires before the `&mut Relation` is handed out — and borrow
+    /// rules keep `batch` uncallable while that borrow lives), so a stale
+    /// image is unreachable. Interior mutability keeps `batch` usable
+    /// through the `&Catalog` the evaluator holds.
+    batches: Mutex<BTreeMap<String, (u64, Arc<ColumnarBatch>)>>,
 }
 
 impl Clone for Catalog {
@@ -80,6 +89,8 @@ impl Clone for Catalog {
             epoch: self.epoch,
             journal: None,
             rejournal: BTreeSet::new(),
+            // The cache is derived state; clones rebuild lazily.
+            batches: Mutex::new(BTreeMap::new()),
         }
     }
 }
@@ -201,6 +212,26 @@ impl Catalog {
     /// Borrow a relation.
     pub fn get(&self, name: &str) -> Option<&Relation> {
         self.relations.get(name)
+    }
+
+    /// The columnar image of a relation (see [`ColumnarBatch`]), built on
+    /// first use and cached until the stats epoch moves. The row→column
+    /// pivot — dictionary-encoding every string cell in particular — costs
+    /// about as much as scanning the relation, so the vectorized engine
+    /// must not pay it per evaluation; with the cache, repeated queries
+    /// against an unchanged catalog share one immutable image per
+    /// relation.
+    pub fn batch(&self, name: &str) -> Option<Arc<ColumnarBatch>> {
+        let rel = self.relations.get(name)?;
+        let mut cache = self.batches.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some((epoch, batch)) = cache.get(name) {
+            if *epoch == self.epoch {
+                return Some(Arc::clone(batch));
+            }
+        }
+        let batch = Arc::new(ColumnarBatch::from_relation(rel));
+        cache.insert(name.to_string(), (self.epoch, Arc::clone(&batch)));
+        Some(batch)
     }
 
     /// Mutably borrow a relation.
@@ -642,6 +673,31 @@ mod tests {
         let e2 = c.stats_epoch();
         assert_eq!(c.purge_join_stats(|rel| rel.starts_with("Absent.")), 0);
         assert_eq!(c.stats_epoch(), e2);
+    }
+
+    #[test]
+    fn batch_cache_tracks_the_epoch() {
+        let mut c = Catalog::new();
+        c.create(RelSchema::text("t", &["v"]));
+        c.insert("t", vec![Value::str("a")]);
+        assert!(c.batch("missing").is_none());
+        let b1 = c.batch("t").expect("batch builds");
+        assert_eq!(b1.to_relation(c.get("t").unwrap().schema.clone()), *c.get("t").unwrap());
+        // Unchanged catalog: the very same image is shared.
+        let b2 = c.batch("t").expect("batch cached");
+        assert!(Arc::ptr_eq(&b1, &b2), "cache hit must share the image");
+        // Any mutation path invalidates — insert, delete, get_mut.
+        c.insert("t", vec![Value::str("b")]);
+        let b3 = c.batch("t").expect("batch rebuilt");
+        assert!(!Arc::ptr_eq(&b2, &b3), "stale image survived an insert");
+        assert_eq!(b3.rows(), 2);
+        c.get_mut("t").unwrap().insert(vec![Value::str("c")]);
+        assert_eq!(c.batch("t").unwrap().rows(), 3, "stale image survived get_mut");
+        c.delete("t", &[Value::str("a")]);
+        assert_eq!(c.batch("t").unwrap().rows(), 2, "stale image survived a delete");
+        // Clones start cold but converge to the same contents.
+        let copy = c.clone();
+        assert_eq!(copy.batch("t").unwrap(), c.batch("t").unwrap());
     }
 
     #[test]

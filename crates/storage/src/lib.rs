@@ -9,6 +9,9 @@
 //! * [`schema`] — relation schemas ([`RelSchema`]) and database schemas
 //!   ([`DbSchema`]): the unit that corpus tools and peer mappings operate on.
 //! * [`relation`] — in-memory [`Relation`]s (bags of tuples).
+//! * [`column`] — typed column vectors ([`ColumnVec`]), relation→batch
+//!   pivoting ([`ColumnarBatch`]) and selection bitmaps ([`SelBitmap`]):
+//!   the columnar layer under the vectorized evaluator.
 //! * [`index`] — hash indexes over one or more columns.
 //! * [`engine`] — iterator-style operators: scan, filter, project, hash
 //!   join, union, distinct, sort, grouped aggregation.
@@ -24,6 +27,7 @@
 //!   catalog snapshots, and snapshot + suffix-replay recovery.
 
 pub mod catalog;
+pub mod column;
 pub mod engine;
 pub mod index;
 pub mod relation;
@@ -34,6 +38,7 @@ pub mod value;
 pub mod wal;
 
 pub use catalog::{Catalog, SharedCatalog};
+pub use column::{ColumnVec, ColumnarBatch, SelBitmap};
 pub use engine::{AggFn, Predicate};
 pub use index::HashIndex;
 pub use relation::{Relation, Tuple};

@@ -57,6 +57,16 @@ for seed in ${REVERE_IVM_SEEDS:-7 42 1003}; do
     REVERE_IVM_SEED="$seed" cargo test -q --offline -p revere --test differential_ivm
 done
 
+# Vectorized differential gate: the columnar engine must stay
+# byte-identical to the row engine (rows, row order, step profiles,
+# errors, and the bindings-only kernel) and sort-identical to the naive
+# oracle, across the whole morsel sweep, under several fixed seeds.
+# Override the seed set with REVERE_VEC_SEEDS="1 2 3" scripts/verify.sh
+for seed in ${REVERE_VEC_SEEDS:-1 2 3}; do
+    echo "vectorized differential gate: seed $seed"
+    REVERE_VEC_SEED="$seed" cargo test -q --offline -p revere --test differential_vec
+done
+
 # E16 smoke: the durability experiment must run end to end — its sweep
 # asserts byte-identical convergence and suffix-bounded recovery for
 # every built-in crash seed, and reports recovery latency and
@@ -86,4 +96,12 @@ cargo run --release --offline -p revere-bench --bin report E15
 # dataflow, counting, and invalidate-and-recompute subscription paths
 # against each other under fan-out.
 cargo run --release --offline -p revere-bench --bin report E17
+
+# E18 gate: the vectorized-execution experiment asserts in-process that
+# the columnar engine beats the row engine by at least
+# REVERE_E18_MIN_SPEEDUP (default 5×) on the E13 realized-bindings hot
+# loop, with per-disjunct byte-identity between the engines — running
+# the report IS the perf-regression gate, like E15's calibration gate.
+echo "vectorized perf gate: min speedup ${REVERE_E18_MIN_SPEEDUP:-5.0}"
+cargo run --release --offline -p revere-bench --bin report E18
 echo "verify: OK"

@@ -549,3 +549,132 @@ fn triple_store_republish_is_idempotent() {
         }
     });
 }
+
+// ---------------------------------------------------------------------
+// Selection bitmaps and column vectors (the vectorized engine substrate)
+// ---------------------------------------------------------------------
+
+fn gen_bitmap(g: &mut Gen, len: usize) -> SelBitmap {
+    let mut b = SelBitmap::none(len);
+    for i in 0..len {
+        if g.random_bool(0.4) {
+            b.set(i);
+        }
+    }
+    b
+}
+
+#[test]
+fn bitmap_algebra_laws() {
+    forall(256, |g| {
+        // Lengths straddling the 64-bit word boundary, where tail
+        // masking can go wrong.
+        let len = g.random_range(0usize..150);
+        let a = gen_bitmap(g, len);
+        let b = gen_bitmap(g, len);
+        // Involution and idempotence.
+        assert_eq!(a.not().not(), a);
+        assert_eq!(a.and(&a), a);
+        assert_eq!(a.or(&a), a);
+        // De Morgan, both directions.
+        assert_eq!(a.and(&b).not(), a.not().or(&b.not()));
+        assert_eq!(a.or(&b).not(), a.not().and(&b.not()));
+        // Complement partitions the domain; inclusion-exclusion holds.
+        assert_eq!(a.and(&a.not()), SelBitmap::none(len));
+        assert_eq!(a.or(&a.not()), SelBitmap::all(len));
+        assert_eq!(
+            a.or(&b).count_ones() + a.and(&b).count_ones(),
+            a.count_ones() + b.count_ones()
+        );
+        // ones() round-trips through from_indices.
+        assert_eq!(SelBitmap::from_indices(len, &a.ones()), a);
+    });
+}
+
+#[test]
+fn bitmap_rank_select_are_inverse() {
+    forall(256, |g| {
+        let len = g.random_range(0usize..150);
+        let a = gen_bitmap(g, len);
+        let ones = a.ones();
+        assert_eq!(ones.len(), a.count_ones());
+        for (k, &pos) in ones.iter().enumerate() {
+            assert_eq!(a.select(k), Some(pos as usize), "select({k}) of {ones:?}");
+            assert_eq!(a.rank(pos as usize), k, "rank({pos}) of {ones:?}");
+            assert!(a.get(pos as usize));
+        }
+        assert_eq!(a.select(ones.len()), None);
+        assert_eq!(a.rank(len), ones.len());
+    });
+}
+
+/// A generated column: sometimes homogeneous (typed representation),
+/// sometimes mixed (the `Any` fallback), with nulls and duplicates.
+fn gen_column_values(g: &mut Gen) -> Vec<Value> {
+    match g.random_range(0..3u8) {
+        0 => g.vec(0..30, |g| Value::Int(g.random_range(-3i64..4))),
+        1 => g.vec(0..30, |g| Value::Str(g.lowercase(0..3))),
+        _ => g.vec(0..30, |g| gen_value(g)),
+    }
+}
+
+#[test]
+fn column_roundtrips_and_push_path_agrees() {
+    forall(256, |g| {
+        let vals = gen_column_values(g);
+        let col = ColumnVec::from_values(&vals);
+        assert_eq!(col.len(), vals.len());
+        assert_eq!(col.to_values(), vals, "bulk round-trip diverged");
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(&col.get(i), v, "get({i}) diverged");
+        }
+        // Row-at-a-time construction converges to the same column even
+        // when pushes force representation promotion along the way.
+        let mut pushed = ColumnVec::from_values(&[]);
+        for v in &vals {
+            pushed.push(v.clone());
+        }
+        assert_eq!(pushed.to_values(), vals, "push-path round-trip diverged");
+    });
+}
+
+#[test]
+fn column_filter_composes_and_matches_gather() {
+    forall(256, |g| {
+        let vals = gen_column_values(g);
+        let col = ColumnVec::from_values(&vals);
+        let f = gen_bitmap(g, vals.len());
+        // filter ≡ gather(ones): the two selection paths agree.
+        assert_eq!(col.filter(&f), col.gather(&f.ones()));
+        // filter(f) then filter(g-restricted-to-f) ≡ filter(f ∧ g).
+        let gsel = gen_bitmap(g, vals.len());
+        let mut g_on_filtered = SelBitmap::none(f.count_ones());
+        for (j, &pos) in f.ones().iter().enumerate() {
+            if gsel.get(pos as usize) {
+                g_on_filtered.set(j);
+            }
+        }
+        assert_eq!(
+            col.filter(&f).filter(&g_on_filtered).to_values(),
+            col.filter(&f.and(&gsel)).to_values(),
+            "filter composition diverged"
+        );
+    });
+}
+
+#[test]
+fn columnar_batch_roundtrips_relations() {
+    forall(128, |g| {
+        let db = gen_db(g);
+        for name in db.names().map(str::to_string).collect::<Vec<_>>() {
+            let rel = db.get(&name).unwrap();
+            let batch = ColumnarBatch::from_relation(rel);
+            assert_eq!(batch.rows(), rel.len());
+            let back = batch.to_relation(rel.schema.clone());
+            assert_eq!(back.rows(), rel.rows(), "batch round-trip diverged for {name}");
+            for (i, row) in rel.iter().enumerate() {
+                assert_eq!(&batch.row(i), row, "row({i}) diverged for {name}");
+            }
+        }
+    });
+}

@@ -188,3 +188,40 @@ fn parallel_and_sequential_agree_under_tracing() {
     assert!(spans.iter().any(|s| s.name == "pdms.query_parallel"));
     assert!(spans.iter().all(|s| s.name != "pdms.worker"));
 }
+
+#[test]
+fn parallel_path_emits_the_same_eval_counters_as_sequential() {
+    // Regression: `query.eval.*` accounting (notably the
+    // `query.eval.step_bindings` histogram behind EXPLAIN ANALYZE) used
+    // to be emitted only on the traced sequential path; the parallel
+    // workers evaluated with a bare `eval_cq_bag_planned` and the
+    // counters silently read zero. Twin networks, same seed, no faults
+    // (so both paths evaluate every disjunct): the eval counters must
+    // agree exactly, counter for counter and histogram for histogram.
+    let seed = trace_seed();
+    let run = |parallel: bool| {
+        let mut net = build_network(seed);
+        net.faults = FaultPlan::default();
+        net.obs = Obs::enabled();
+        for q in QUERIES {
+            if parallel {
+                let parsed = parse_query(q).expect("query parses");
+                net.query_parallel("P0", &parsed).expect("query runs");
+            } else {
+                net.query_str("P0", q).expect("query runs");
+            }
+        }
+        net
+    };
+    let (seq, par) = (run(false), run(true));
+    let (sm, pm) = (seq.obs.metrics().unwrap(), par.obs.metrics().unwrap());
+    for name in
+        ["query.eval.steps", "query.eval.rows_scanned", "query.eval.build_rows", "query.eval.probes"]
+    {
+        assert!(sm.counter(name) > 0, "sequential path never emitted {name}");
+        assert_eq!(sm.counter(name), pm.counter(name), "counter {name} diverged");
+    }
+    let sh = sm.histogram("query.eval.step_bindings").expect("sequential histogram exists");
+    let ph = pm.histogram("query.eval.step_bindings").expect("parallel path lost step_bindings");
+    assert_eq!((sh.count, sh.sum, sh.min, sh.max), (ph.count, ph.sum, ph.min, ph.max));
+}
