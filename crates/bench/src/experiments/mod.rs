@@ -1,4 +1,4 @@
-//! The E1–E18 experiments (see DESIGN.md §2 for the paper anchors).
+//! The E1–E19 experiments (see DESIGN.md §2 for the paper anchors).
 
 pub mod e_chaos;
 pub mod e_corpus;
@@ -6,6 +6,7 @@ pub mod e_dataflow;
 pub mod e_durability;
 pub mod e_feedback;
 pub mod e_mangrove;
+pub mod e_monitor;
 pub mod e_obs;
 pub mod e_pdms;
 pub mod e_placement;
@@ -38,14 +39,16 @@ pub fn run_all() -> Vec<Table> {
     tables.push(e_durability::e16_durability());
     tables.extend(e_dataflow::e17_tables());
     tables.extend(e_vec::e18_tables());
+    tables.extend(e_monitor::e19_tables());
     tables
 }
 
-/// Run one experiment by id (`"E1"`..`"E18"`). An experiment may produce
+/// Run one experiment by id (`"E1"`..`"E19"`). An experiment may produce
 /// more than one table (E14 reports calibration and the fetch breakdown;
 /// E15 reports calibration before/after feedback and the loop's cost;
 /// E17 reports delta scaling and the subscriber-fan-out shootout; E18
-/// reports per-operator throughput and the hot-loop engine shootout).
+/// reports per-operator throughput and the hot-loop engine shootout;
+/// E19 reports fault attribution and the telemetry-overhead gate).
 pub fn run_one(id: &str) -> Option<Vec<Table>> {
     let one = |t: Table| Some(vec![t]);
     match id.to_ascii_uppercase().as_str() {
@@ -67,6 +70,7 @@ pub fn run_one(id: &str) -> Option<Vec<Table>> {
         "E16" => one(e_durability::e16_durability()),
         "E17" => Some(e_dataflow::e17_tables()),
         "E18" => Some(e_vec::e18_tables()),
+        "E19" => Some(e_monitor::e19_tables()),
         _ => None,
     }
 }

@@ -31,8 +31,12 @@
 //! * [`durable`] — peer checkpoints + WAL recovery on top of
 //!   `revere_storage::wal`, making the at-least-once/dedup pair
 //!   exactly-once *across peer restarts*.
+//! * [`monitor`] — the overlay health monitor: per-peer vitals scraped
+//!   into windowed metrics, Healthy/Degraded/Suspect/Down verdicts with
+//!   hysteresis, a structured event log, and a cluster dashboard.
 
 pub mod durable;
+pub mod monitor;
 pub mod network;
 pub mod peer;
 pub mod placement;
@@ -54,9 +58,10 @@ pub use revere_util::obs;
 pub use durable::{
     checkpoint, recover, CheckpointReport, OutboxResume, PeerDisk, PeerRecovery, RecoveredPeer,
 };
+pub use monitor::{Health, Monitor, MonitorConfig, MonitorEvent, PeerVitals};
 pub use network::{
-    CacheStats, CompletenessReport, PdmsNetwork, PublishReport, QueryBudget, QueryOutcome,
-    Subscription,
+    CacheStats, CompletenessReport, PdmsNetwork, PeerAccounting, PublishReport, QueryBudget,
+    QueryOutcome, Subscription,
 };
 pub use peer::Peer;
 pub use placement::{answer_with_plan, plan_placement, PlacementPlan, WorkloadEntry};

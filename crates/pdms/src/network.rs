@@ -32,7 +32,7 @@ use revere_query::plan::{plan_cq, q_error, Plan};
 use revere_query::{parse_query, ConjunctiveQuery, ExecMode, Source, StepProfile, Term, UnionQuery};
 use revere_storage::{row_deltas, Catalog, Lsn, RelSchema, Relation, SharedCatalog, Tuple};
 use revere_util::fault::{Fate, FaultPlan, RetryPolicy};
-use revere_util::obs::{Obs, SpanHandle};
+use revere_util::obs::{names, Histogram, Obs, SpanHandle};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::str::FromStr;
@@ -96,6 +96,9 @@ pub struct PdmsNetwork {
     /// [`PdmsNetwork::publish`]).
     wal_cursors: BTreeMap<String, Lsn>,
     caches: Mutex<Caches>,
+    /// Per-owner fetch vitals for the health monitor; see
+    /// [`PdmsNetwork::peer_accounting`].
+    accounting: Mutex<BTreeMap<String, PeerAccounting>>,
 }
 
 impl Default for PdmsNetwork {
@@ -117,6 +120,7 @@ impl Default for PdmsNetwork {
             subs_base: None,
             wal_cursors: BTreeMap::new(),
             caches: Mutex::new(Caches::default()),
+            accounting: Mutex::new(BTreeMap::new()),
         }
     }
 }
@@ -125,6 +129,33 @@ impl Default for PdmsNetwork {
 /// step misestimated cardinality by more than 4× in either direction is
 /// considered mis-calibrated and triggers feedback + re-planning.
 pub const REPLAN_Q_ERROR_DEFAULT: f64 = 4.0;
+
+/// Per-owner fetch-path vitals, accumulated *unconditionally* — even
+/// with [`Obs::disabled`] — so the health monitor (`crate::monitor`) can
+/// scrape every overlay without the observability tax. All fields are
+/// cumulative totals since construction; scrapers keep their own
+/// previous snapshot and difference. Updated only for *remote* fetches
+/// (local reads involve no network and say nothing about peer health).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PeerAccounting {
+    /// Fetch attempts aimed at this owner (first tries + retries).
+    pub fetch_attempts: u64,
+    /// Messages sent toward this owner (requests and its responses).
+    pub messages_sent: u64,
+    /// Messages the fault plan dropped on the way to/from this owner.
+    pub messages_dropped: u64,
+    /// Retries spent beyond first attempts.
+    pub retries_spent: u64,
+    /// Completeness gaps: fetches this owner never delivered.
+    pub gaps_observed: u64,
+    /// Round-trip latency (ticks) of each resolved fetch, delivered or
+    /// timed out.
+    pub latency: Histogram,
+    /// Worst q-error observed across completely-fetched plans touching
+    /// this owner's relations (0 until a plan has been profiled;
+    /// sequential query path only, like the feedback loop itself).
+    pub worst_q_error: f64,
+}
 
 /// Hit/miss counters for the network's reformulation and plan caches.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -500,6 +531,15 @@ impl PdmsNetwork {
         self.disks.get(name)
     }
 
+    /// The durable-subscription sync cursor for `name`: journaled records
+    /// with `lsn < cursor` have been absorbed into the subscription base
+    /// (see [`PdmsNetwork::sync_durable_subscriptions`]). `None` until
+    /// the peer has a cursor. The health monitor reads
+    /// `journal.next_lsn() - cursor` as the inbox watermark lag.
+    pub fn wal_cursor(&self, name: &str) -> Option<Lsn> {
+        self.wal_cursors.get(name).copied()
+    }
+
     /// Checkpoint a durable peer: write a fresh image and truncate its
     /// log (see [`crate::durable::checkpoint`]). `None` when the peer is
     /// unknown or not durable.
@@ -630,6 +670,17 @@ impl PdmsNetwork {
         self.caches.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
+    /// Snapshot the per-owner fetch vitals (cumulative since
+    /// construction). The map is keyed by owner peer name and only ever
+    /// gains entries for peers that have been fetched from remotely.
+    pub fn peer_accounting(&self) -> BTreeMap<String, PeerAccounting> {
+        self.lock_accounting().clone()
+    }
+
+    fn lock_accounting(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, PeerAccounting>> {
+        self.accounting.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Reformulate through the cache. On an epoch mismatch the whole cache
     /// is cleared first, so a stale entry can never be served. The second
     /// return is the cache verdict ("hit" / "miss" / "bypass"), recorded
@@ -721,17 +772,18 @@ impl PdmsNetwork {
     /// [`PdmsNetwork::cache_epoch`] — cached plans can never outlive the
     /// observations that justified them.
     fn feed_back(&self, plan: &Plan, profiles: &[StepProfile]) {
-        let Some(threshold) = self.replan_q_error else { return };
         let max_q = plan
             .steps
             .iter()
             .zip(profiles)
             .map(|(s, p)| q_error(s.est_bindings, p.bindings))
             .fold(1.0, f64::max);
+        self.note_worst_q_error(plan, max_q);
+        let Some(threshold) = self.replan_q_error else { return };
         if max_q <= threshold {
             return;
         }
-        self.obs.inc("pdms.feedback.replans", 1);
+        self.obs.inc(names::PDMS_FEEDBACK_PLANS_REPLANNED, 1);
         if self.caching {
             let mut caches = self.lock_caches();
             if caches.plans.remove(plan.key()).is_some() {
@@ -766,9 +818,34 @@ impl PdmsNetwork {
                         )
                     });
                     if changed {
-                        self.obs.inc("pdms.feedback.observations", 1);
+                        self.obs.inc(names::PDMS_FEEDBACK_OVERLAPS_OBSERVED, 1);
                     }
                 }
+            }
+        }
+    }
+
+    /// Record `max_q` as the worst observed q-error for every owner whose
+    /// relations the profiled plan touched — a monitor vital, not part of
+    /// the feedback write-back (it is recorded below the replan
+    /// threshold too, and even when feedback is disabled).
+    fn note_worst_q_error(&self, plan: &Plan, max_q: f64) {
+        let mut owners: Vec<&str> = Vec::new();
+        for s in &plan.steps {
+            if let Some((owner, _)) = split_qualified(&s.relation) {
+                if !owners.contains(&owner) {
+                    owners.push(owner);
+                }
+            }
+        }
+        if owners.is_empty() {
+            return;
+        }
+        let mut acct = self.lock_accounting();
+        for owner in owners {
+            let a = acct.entry(owner.to_string()).or_default();
+            if max_q > a.worst_q_error {
+                a.worst_q_error = max_q;
             }
         }
     }
@@ -906,6 +983,22 @@ impl PdmsNetwork {
                 if !delivered {
                     f.completeness.relations_missing.insert(a.relation.clone());
                     f.completeness.peers_unreachable.insert(owner.to_string());
+                    self.obs.inc(names::PDMS_FETCH_GAPS_OBSERVED, 1);
+                }
+                {
+                    // Monitor vitals, kept even when obs is disabled: the
+                    // adds are commutative, so the totals are identical no
+                    // matter how concurrent queries interleave.
+                    let mut acct = self.lock_accounting();
+                    let a = acct.entry(owner.to_string()).or_default();
+                    a.fetch_attempts += attempts as u64;
+                    a.messages_sent += (f.messages - msg0) as u64;
+                    a.messages_dropped += (f.completeness.messages_dropped - dropped0) as u64;
+                    a.retries_spent += (f.completeness.retries - retries0) as u64;
+                    if !delivered {
+                        a.gaps_observed += 1;
+                    }
+                    a.latency.observe(clock - clock0);
                 }
                 if span.is_recording() {
                     span.set("outcome", if delivered { "delivered" } else { "unreachable" });
@@ -915,10 +1008,10 @@ impl PdmsNetwork {
                     span.set("retries", f.completeness.retries - retries0);
                     span.set("latency_ticks", clock - clock0);
                 }
-                self.obs.inc("pdms.fetch.messages", (f.messages - msg0) as u64);
-                self.obs.inc("pdms.fetch.dropped", (f.completeness.messages_dropped - dropped0) as u64);
-                self.obs.inc("pdms.fetch.retries", (f.completeness.retries - retries0) as u64);
-                self.obs.observe("pdms.fetch.latency_ticks", clock - clock0);
+                self.obs.inc(names::PDMS_FETCH_MESSAGES_SENT, (f.messages - msg0) as u64);
+                self.obs.inc(names::PDMS_FETCH_MESSAGES_DROPPED, (f.completeness.messages_dropped - dropped0) as u64);
+                self.obs.inc(names::PDMS_FETCH_RETRIES_SPENT, (f.completeness.retries - retries0) as u64);
+                self.obs.observe(names::PDMS_FETCH_LATENCY_TICKS, clock - clock0);
             }
         }
         f.completeness.latency_ticks = clock;
@@ -1938,7 +2031,7 @@ mod tests {
         assert!(spans.iter().any(|s| s.name == "pdms.fetch"));
         assert!(spans.iter().any(|s| s.name == "pdms.eval.disjunct"));
         assert!(spans.iter().any(|s| s.name == "eval.step"));
-        assert!(traced.obs.metrics().unwrap().counter("pdms.fetch.messages") > 0);
+        assert!(traced.obs.metrics().unwrap().counter(names::PDMS_FETCH_MESSAGES_SENT) > 0);
     }
 
     #[test]

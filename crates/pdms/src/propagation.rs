@@ -30,7 +30,7 @@ use revere_query::ConjunctiveQuery;
 use revere_storage::wal::{Journal, Lsn, WalRecord};
 use revere_storage::Catalog;
 use revere_util::fault::{Fate, FaultPlan, RetryPolicy};
-use revere_util::obs::Obs;
+use revere_util::obs::{names, Obs};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Stateful propagator for one mapping edge: owns the materialized state
@@ -529,11 +529,11 @@ impl ReliableLink {
             span.set("acknowledged", acknowledged.to_string());
             span.set("applied", applied.to_string());
         }
-        self.obs.inc("pdms.ship.messages", (self.stats.messages - messages0) as u64);
-        self.obs.inc("pdms.ship.dropped", (self.stats.dropped - dropped0) as u64);
-        self.obs.inc("pdms.ship.retries", (self.stats.retries - retries0) as u64);
-        self.obs.inc("pdms.ship.duplicated", (self.stats.duplicated - duplicated0) as u64);
-        self.obs.observe("pdms.ship.attempts", attempts_used as u64);
+        self.obs.inc(names::PDMS_SHIP_MESSAGES_SENT, (self.stats.messages - messages0) as u64);
+        self.obs.inc(names::PDMS_SHIP_MESSAGES_DROPPED, (self.stats.dropped - dropped0) as u64);
+        self.obs.inc(names::PDMS_SHIP_RETRIES_SPENT, (self.stats.retries - retries0) as u64);
+        self.obs.inc(names::PDMS_SHIP_MESSAGES_DUPLICATED, (self.stats.duplicated - duplicated0) as u64);
+        self.obs.observe(names::PDMS_SHIP_ATTEMPTS_SPENT, attempts_used as u64);
         Ok(Delivery { id: gram.id, acknowledged, applied })
     }
 
@@ -845,8 +845,8 @@ mod tests {
         assert_eq!(last.arg("acknowledged").as_deref(), Some("true"));
         assert_eq!(last.arg("target").as_deref(), Some("M"));
         let metrics = obs.metrics().unwrap();
-        assert_eq!(metrics.counter("pdms.ship.messages"), traced.0.messages as u64);
-        assert_eq!(metrics.counter("pdms.ship.dropped"), traced.0.dropped as u64);
+        assert_eq!(metrics.counter(names::PDMS_SHIP_MESSAGES_SENT), traced.0.messages as u64);
+        assert_eq!(metrics.counter(names::PDMS_SHIP_MESSAGES_DROPPED), traced.0.dropped as u64);
     }
 
     #[test]

@@ -24,7 +24,7 @@ use crate::ast::{Atom, ConjunctiveQuery, Term, UnionQuery};
 use crate::plan::{plan_cq, Plan};
 use crate::vec::{eval_cq_bag_profiled_obs_vec, eval_cq_bindings_vec, ExecMode, VecOpts};
 use revere_storage::{Catalog, ColumnarBatch, RelStats, Relation, RelSchema, Tuple, Value};
-use revere_util::obs::{Obs, SpanHandle};
+use revere_util::obs::{names, Obs, SpanHandle};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -431,11 +431,11 @@ fn eval_bindings_row<S: Source>(
                 }
             }
         }
-        obs.inc("query.eval.steps", 1);
-        obs.inc("query.eval.rows_scanned", rel.len() as u64);
-        obs.inc("query.eval.build_rows", build_rows as u64);
-        obs.inc("query.eval.probes", rows.len() as u64);
-        obs.observe("query.eval.step_bindings", next_rows.len() as u64);
+        obs.inc(names::QUERY_EVAL_STEPS_EXECUTED, 1);
+        obs.inc(names::QUERY_EVAL_ROWS_SCANNED, rel.len() as u64);
+        obs.inc(names::QUERY_EVAL_ROWS_BUILT, build_rows as u64);
+        obs.inc(names::QUERY_EVAL_ROWS_PROBED, rows.len() as u64);
+        obs.observe(names::QUERY_EVAL_STEP_BINDINGS, next_rows.len() as u64);
         span.set("rows_scanned", rel.len());
         span.set("build_rows", build_rows);
         span.set("probes", rows.len());

@@ -30,7 +30,7 @@ use crate::ast::{ConjunctiveQuery, Term};
 use crate::eval::{a_schema, validate, AtomSplit, EvalError, Source, StepProfile};
 use crate::plan::Plan;
 use revere_storage::{ColumnVec, ColumnarBatch, Relation, SelBitmap, Value};
-use revere_util::obs::{Obs, SpanHandle};
+use revere_util::obs::{names, Obs, SpanHandle};
 use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -477,11 +477,11 @@ fn eval_bindings_vec<S: Source>(
         let index = build_index(&split, batch, &bind, &sel_rows);
         let (probe_idx, build_idx) = probe(&index, &split, &bind, opts);
 
-        obs.inc("query.eval.steps", 1);
-        obs.inc("query.eval.rows_scanned", batch.rows() as u64);
-        obs.inc("query.eval.build_rows", build_rows as u64);
-        obs.inc("query.eval.probes", bind.rows as u64);
-        obs.observe("query.eval.step_bindings", probe_idx.len() as u64);
+        obs.inc(names::QUERY_EVAL_STEPS_EXECUTED, 1);
+        obs.inc(names::QUERY_EVAL_ROWS_SCANNED, batch.rows() as u64);
+        obs.inc(names::QUERY_EVAL_ROWS_BUILT, build_rows as u64);
+        obs.inc(names::QUERY_EVAL_ROWS_PROBED, bind.rows as u64);
+        obs.observe(names::QUERY_EVAL_STEP_BINDINGS, probe_idx.len() as u64);
         span.set("rows_scanned", batch.rows());
         span.set("build_rows", build_rows);
         span.set("probes", bind.rows);
@@ -732,7 +732,7 @@ mod tests {
         assert_eq!(baseline, run(ExecMode::Vectorized, false), "tracing changed counters");
         assert_eq!(baseline, run(ExecMode::Row, true), "engines disagree on counters");
         assert_eq!(baseline, run(ExecMode::Row, false));
-        assert!(baseline.contains("query.eval.step_bindings"), "{baseline}");
+        assert!(baseline.contains(names::QUERY_EVAL_STEP_BINDINGS), "{baseline}");
     }
 
     #[test]

@@ -65,13 +65,16 @@ pub mod prelude {
         WhosWho,
     };
     pub use revere_pdms::fault::{FaultPlan, FaultSpec, RetryPolicy};
-    pub use revere_pdms::obs::{LogSink, Metrics, Obs, SpanHandle, Tracer};
+    pub use revere_pdms::obs::{
+        LogSink, Metrics, MetricsSnapshot, Obs, ObsConfig, SpanHandle, Tracer,
+    };
     pub use revere_pdms::{
         apply_once, apply_once_dataflow, apply_updategrams, derivation_deltas_readonly,
-        gram_to_batch, maintain, CacheStats, CompletenessReport, DataflowView, GramInbox,
-        IvmStrategy, MaintenanceChoice, MaterializedView, PdmsNetwork, Peer, PublishReport,
-        QueryBudget, QueryOutcome, ReformulateOptions, Reformulator, ReliableLink, SequencedGram,
-        Subscription, Updategram, XmlMapping,
+        gram_to_batch, maintain, CacheStats, CompletenessReport, DataflowView, GramInbox, Health,
+        IvmStrategy, MaintenanceChoice, MaterializedView, Monitor, MonitorConfig, MonitorEvent,
+        PdmsNetwork, Peer, PeerAccounting, PeerVitals, PublishReport, QueryBudget, QueryOutcome,
+        ReformulateOptions, Reformulator, ReliableLink, SequencedGram, Subscription, Updategram,
+        XmlMapping,
     };
     pub use revere_query::{
         contained_in, eval_cq, eval_cq_bag, eval_cq_bag_planned, eval_cq_bag_planned_mode,

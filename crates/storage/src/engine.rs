@@ -9,7 +9,7 @@ use crate::index::HashIndex;
 use crate::relation::{Relation, Tuple};
 use crate::schema::{AttrType, Attribute, RelSchema};
 use crate::value::Value;
-use revere_util::obs::Obs;
+use revere_util::obs::{names, Obs};
 
 /// A selection predicate over a single tuple.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,12 +49,12 @@ pub fn select(rel: &Relation, pred: &Predicate) -> Relation {
 }
 
 /// [`select`] with scan accounting: counts `storage.scan.rows_read` /
-/// `storage.scan.rows_out` into `obs`. Output is identical to
+/// `storage.scan.rows_kept` into `obs`. Output is identical to
 /// [`select`] whether or not `obs` is enabled.
 pub fn select_obs(rel: &Relation, pred: &Predicate, obs: &Obs) -> Relation {
     let rows: Vec<Tuple> = rel.iter().filter(|r| pred.matches(r)).cloned().collect();
-    obs.inc("storage.scan.rows_read", rel.len() as u64);
-    obs.inc("storage.scan.rows_out", rows.len() as u64);
+    obs.inc(names::STORAGE_SCAN_ROWS_READ, rel.len() as u64);
+    obs.inc(names::STORAGE_SCAN_ROWS_KEPT, rows.len() as u64);
     Relation::with_rows(rel.schema.clone(), rows)
 }
 
@@ -85,7 +85,7 @@ pub fn hash_join(
 
 /// [`hash_join`] with join accounting: counts `storage.join.build_rows`,
 /// `storage.join.probe_rows`, `storage.join.index_hits` (per-probe index
-/// matches) and `storage.join.rows_out` into `obs`. Output is identical
+/// matches) and `storage.join.rows_matched` into `obs`. Output is identical
 /// to [`hash_join`] whether or not `obs` is enabled.
 pub fn hash_join_obs(
     left: &Relation,
@@ -102,8 +102,8 @@ pub fn hash_join_obs(
         (right, left, right_cols, left_cols, false)
     };
     let idx = HashIndex::build(build, build_cols);
-    obs.inc("storage.join.build_rows", build.len() as u64);
-    obs.inc("storage.join.probe_rows", probe.len() as u64);
+    obs.inc(names::STORAGE_JOIN_ROWS_BUILT, build.len() as u64);
+    obs.inc(names::STORAGE_JOIN_ROWS_PROBED, probe.len() as u64);
     let mut attrs =
         Vec::with_capacity(left.schema.arity() + right.schema.arity());
     attrs.extend(left.schema.attrs.iter().cloned());
@@ -129,8 +129,8 @@ pub fn hash_join_obs(
             out.insert(joined);
         }
     }
-    obs.inc("storage.join.index_hits", hits);
-    obs.inc("storage.join.rows_out", out.len() as u64);
+    obs.inc(names::STORAGE_JOIN_INDEX_HITS, hits);
+    obs.inc(names::STORAGE_JOIN_ROWS_MATCHED, out.len() as u64);
     out
 }
 
@@ -366,15 +366,15 @@ mod tests {
         let counted = select_obs(&courses(), &Predicate::Gt(2, Value::Int(50)), &obs);
         assert_eq!(plain.rows(), counted.rows());
         let m = obs.metrics().unwrap();
-        assert_eq!(m.counter("storage.scan.rows_read"), 3);
-        assert_eq!(m.counter("storage.scan.rows_out"), 2);
+        assert_eq!(m.counter(names::STORAGE_SCAN_ROWS_READ), 3);
+        assert_eq!(m.counter(names::STORAGE_SCAN_ROWS_KEPT), 2);
 
         let j = hash_join_obs(&courses(), &depts(), &[1], &[0], &obs);
         assert_eq!(j.rows(), hash_join(&courses(), &depts(), &[1], &[0]).rows());
-        assert_eq!(m.counter("storage.join.build_rows"), 2); // depts is smaller
-        assert_eq!(m.counter("storage.join.probe_rows"), 3);
-        assert_eq!(m.counter("storage.join.index_hits"), 3);
-        assert_eq!(m.counter("storage.join.rows_out"), 3);
+        assert_eq!(m.counter(names::STORAGE_JOIN_ROWS_BUILT), 2); // depts is smaller
+        assert_eq!(m.counter(names::STORAGE_JOIN_ROWS_PROBED), 3);
+        assert_eq!(m.counter(names::STORAGE_JOIN_INDEX_HITS), 3);
+        assert_eq!(m.counter(names::STORAGE_JOIN_ROWS_MATCHED), 3);
     }
 
     #[test]

@@ -32,7 +32,10 @@ pub fn stable_hash(s: &str) -> u64 {
 
 /// Mix a sequence of words into one via SplitMix64 steps (order-sensitive,
 /// avalanche-quality). The basis constant keeps `mix(&[])` away from 0.
-fn mix(parts: &[u64]) -> u64 {
+/// Public because it is the workspace's shared pure-hash coin: the fault
+/// plan, the obs head sampler, and the monitor's probe draws all derive
+/// deterministic verdicts from it.
+pub fn mix(parts: &[u64]) -> u64 {
     let mut s: u64 = 0x243F_6A88_85A3_08D3; // π digits
     for &p in parts {
         let mut t = s ^ p;
@@ -42,7 +45,7 @@ fn mix(parts: &[u64]) -> u64 {
 }
 
 /// Map a hash word to `[0, 1)` with 53 bits of precision.
-fn unit(x: u64) -> f64 {
+pub fn unit(x: u64) -> f64 {
     (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 

@@ -678,3 +678,47 @@ fn columnar_batch_roundtrips_relations() {
         }
     });
 }
+
+// ---------------------------------------------------------------------
+// Observability: histogram merge (PR 10)
+// ---------------------------------------------------------------------
+
+/// Observations mixing small values, bucket boundaries, and extremes —
+/// the cases log2 bucketing must carve up correctly.
+fn gen_observations(g: &mut Gen) -> Vec<u64> {
+    g.vec(0..40, |g| {
+        let small = g.random_range(0..16u64);
+        let boundary = (1u64 << g.random_range(0..63u32)).wrapping_sub(g.random_range(0..2u64));
+        let wild = g.random_range(0..u64::MAX);
+        *g.pick(&[0, 1, small, boundary, wild, u64::MAX])
+    })
+}
+
+/// `Histogram::merge` must be exactly "observing the union": buckets,
+/// count, sum, min, max, and therefore every quantile — the invariant
+/// that makes the monitor's per-peer → cluster rollup lossless.
+#[test]
+fn histogram_merge_equals_observing_the_union() {
+    use revere_util::obs::Histogram;
+    forall(256, |g| {
+        let (xs, ys) = (gen_observations(g), gen_observations(g));
+        let observe_all = |vals: &[u64]| {
+            let mut h = Histogram::default();
+            for &v in vals {
+                h.observe(v);
+            }
+            h
+        };
+        let mut merged = observe_all(&xs);
+        merged.merge(&observe_all(&ys));
+        let union: Vec<u64> = xs.iter().chain(&ys).copied().collect();
+        assert_eq!(merged, observe_all(&union), "merge diverged from observing the union");
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(
+                merged.quantile(q),
+                observe_all(&union).quantile(q),
+                "quantile({q}) diverged"
+            );
+        }
+    });
+}

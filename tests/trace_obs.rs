@@ -14,6 +14,7 @@
 //! The seed comes from `REVERE_TRACE_SEED` (default 1003);
 //! `scripts/verify.sh` runs this suite under several seeds.
 
+use revere::pdms::obs::names;
 use revere::prelude::*;
 use revere::storage::Attribute;
 
@@ -215,13 +216,37 @@ fn parallel_path_emits_the_same_eval_counters_as_sequential() {
     };
     let (seq, par) = (run(false), run(true));
     let (sm, pm) = (seq.obs.metrics().unwrap(), par.obs.metrics().unwrap());
-    for name in
-        ["query.eval.steps", "query.eval.rows_scanned", "query.eval.build_rows", "query.eval.probes"]
-    {
+    for name in [
+        names::QUERY_EVAL_STEPS_EXECUTED,
+        names::QUERY_EVAL_ROWS_SCANNED,
+        names::QUERY_EVAL_ROWS_BUILT,
+        names::QUERY_EVAL_ROWS_PROBED,
+    ] {
         assert!(sm.counter(name) > 0, "sequential path never emitted {name}");
         assert_eq!(sm.counter(name), pm.counter(name), "counter {name} diverged");
     }
-    let sh = sm.histogram("query.eval.step_bindings").expect("sequential histogram exists");
-    let ph = pm.histogram("query.eval.step_bindings").expect("parallel path lost step_bindings");
+    let sh = sm.histogram(names::QUERY_EVAL_STEP_BINDINGS).expect("sequential histogram exists");
+    let ph = pm.histogram(names::QUERY_EVAL_STEP_BINDINGS).expect("parallel path lost step_bindings");
     assert_eq!((sh.count, sh.sum, sh.min, sh.max), (ph.count, ph.sum, ph.min, ph.max));
+}
+
+#[test]
+fn every_emitted_metric_name_is_registered() {
+    // Counter-name lint: a representative traced workload (chaos fetches,
+    // retries, feedback, parallel eval) may only emit names canonicalized
+    // in `obs::names` — strays fail here before they ossify.
+    let seed = trace_seed();
+    let mut net = build_network(seed);
+    net.replan_q_error = Some(0.5);
+    net.obs = Obs::enabled();
+    for q in QUERIES {
+        net.query_str("P0", q).expect("query runs");
+    }
+    let snap = net.obs.metrics().unwrap().snapshot();
+    assert!(!snap.counters.is_empty(), "workload emitted no counters");
+    let strays = names::unregistered(&snap);
+    assert!(strays.is_empty(), "unregistered metric names emitted: {strays:?}");
+    for name in snap.counters.keys().chain(snap.histograms.keys()) {
+        assert!(names::follows_scheme(name), "metric {name} breaks layer.noun_verb scheme");
+    }
 }
